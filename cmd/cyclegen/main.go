@@ -1,0 +1,97 @@
+// Command cyclegen lists, summarizes, and exports the standard drive
+// cycles and synthesized route profiles.
+//
+// Usage:
+//
+//	cyclegen                    # table of all standard cycles
+//	cyclegen -cycle US06        # stats for one cycle
+//	cyclegen -cycle NEDC -csv nedc.csv   # export speed trace
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"evclimate/internal/drivecycle"
+	"evclimate/internal/powertrain"
+)
+
+func main() {
+	name := flag.String("cycle", "", "cycle name (empty: list all)")
+	csvPath := flag.String("csv", "", "export the 1 Hz profile to this CSV file")
+	dt := flag.Float64("dt", 1, "sample period for export (s)")
+	flag.Parse()
+
+	pt, err := powertrain.New(powertrain.NissanLeaf())
+	fatalIf(err)
+
+	if *name == "" {
+		fmt.Printf("%-9s %7s %8s %8s %8s %6s %9s\n", "cycle", "dur(s)", "dist(km)", "avg km/h", "max km/h", "stops", "Wh/km")
+		for _, n := range drivecycle.Names() {
+			c, err := drivecycle.ByName(n)
+			fatalIf(err)
+			p := c.Profile(1)
+			s := p.Stats()
+			e := pt.Energy(p)
+			fmt.Printf("%-9s %7.0f %8.2f %8.1f %8.1f %6d %9.1f\n",
+				n, s.Duration, s.DistanceKm, s.AvgSpeedKmh, s.MaxSpeedKmh, s.Stops, e.ConsumptionWhKm)
+		}
+		return
+	}
+
+	c, err := drivecycle.ByName(*name)
+	fatalIf(err)
+	p := c.Profile(*dt)
+	s := p.Stats()
+	e := pt.Energy(p)
+	fmt.Printf("cycle       %s\n", c.Name)
+	fmt.Printf("duration    %.0f s\n", s.Duration)
+	fmt.Printf("distance    %.2f km\n", s.DistanceKm)
+	fmt.Printf("avg speed   %.1f km/h (max %.1f)\n", s.AvgSpeedKmh, s.MaxSpeedKmh)
+	fmt.Printf("stops       %d (idle %.0f %%)\n", s.Stops, 100*s.IdleFraction)
+	fmt.Printf("accel       +%.2f / %.2f m/s²\n", s.MaxAccel, s.MaxDecel)
+	fmt.Printf("traction    %.1f Wh/km (Nissan Leaf model; regen %.2f kWh, peak %.1f kW)\n",
+		e.ConsumptionWhKm, e.RegenKWh, e.PeakPowerW/1000)
+	fmt.Printf("est. range  %.0f km on 21.3 kWh usable (no HVAC)\n", pt.RangeKm(p, 21.3, 0))
+	fmt.Printf("            %.0f km with a 3 kW HVAC load\n", pt.RangeKm(p, 21.3, 3000))
+
+	if *csvPath != "" {
+		fatalIf(export(*csvPath, p, pt))
+		fmt.Printf("exported    %s\n", *csvPath)
+	}
+}
+
+func export(path string, p *drivecycle.Profile, pt *powertrain.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"time_s", "speed_ms", "accel_ms2", "motor_W"}); err != nil {
+		return err
+	}
+	for _, s := range p.Samples {
+		row := []string{
+			strconv.FormatFloat(s.Time, 'g', 8, 64),
+			strconv.FormatFloat(s.Speed, 'g', 8, 64),
+			strconv.FormatFloat(s.Accel, 'g', 8, 64),
+			strconv.FormatFloat(pt.PowerAt(s), 'g', 8, 64),
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyclegen:", err)
+		os.Exit(1)
+	}
+}

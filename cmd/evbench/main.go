@@ -1,0 +1,146 @@
+// Command evbench regenerates the paper's evaluation: every figure and
+// table of Sec. IV (Fig. 1, Fig. 5, Fig. 6, Fig. 7, Fig. 8, Table I).
+//
+// Usage:
+//
+//	evbench                 # run everything (several minutes: ~30 MPC runs)
+//	evbench -exp fig7       # run one experiment (fig1|fig5|fig6|fig7|fig8|table1)
+//	evbench -ambient 30     # override the hot-day ambient temperature
+//	evbench -quick          # truncate profiles to 200 s for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"evclimate/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|fig6|fig7|fig8|table1")
+	ambient := flag.Float64("ambient", 35, "hot-day ambient temperature (°C) for figs 5-8")
+	solar := flag.Float64("solar", 400, "solar thermal load (W)")
+	quick := flag.Bool("quick", false, "truncate profiles to 200 s for a fast smoke run")
+	flag.Parse()
+
+	opts := experiments.Options{AmbientC: *ambient, SolarW: *solar}
+	if *quick {
+		opts.MaxProfileS = 200
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "evbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Truncate(time.Millisecond))
+	}
+
+	run("fig1", func() error {
+		rows, err := experiments.Fig1(experiments.Fig1Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig1(rows))
+		return nil
+	})
+
+	run("fig5", func() error {
+		traces, err := experiments.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig5(traces))
+		return nil
+	})
+
+	run("fig6", func() error {
+		pts, err := experiments.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig6(pts))
+		return nil
+	})
+
+	if *exp == "all" || *exp == "fig7" || *exp == "fig8" {
+		start := time.Now()
+		cycles, err := experiments.RunCycles(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evbench: cycles: %v\n", err)
+			os.Exit(1)
+		}
+		if *exp != "fig8" {
+			fmt.Print(experiments.RenderFig7(experiments.Fig7(cycles)))
+			fmt.Println()
+		}
+		if *exp != "fig7" {
+			fmt.Print(experiments.RenderFig8(experiments.Fig8(cycles)))
+		}
+		// Driving-range view of the same runs (the paper's second
+		// objective, reported via [12]'s estimation approach).
+		if rows, err := experiments.RangeComparison(cycles, 21.3); err == nil {
+			fmt.Println()
+			fmt.Print(experiments.RenderRange(rows))
+		}
+		fmt.Printf("[fig7/fig8 completed in %s]\n\n", time.Since(start).Truncate(time.Millisecond))
+	}
+
+	run("table1", func() error {
+		rows, err := experiments.Table1(opts, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable1(rows))
+		return nil
+	})
+
+	// Ablations are opt-in (not part of "all"): four sweeps of full MPC
+	// runs take several extra minutes.
+	runExplicit := func(name string, fn func() error) {
+		if *exp != name {
+			return
+		}
+		run(name, fn)
+	}
+	runExplicit("ablate", func() error {
+		for _, a := range []struct {
+			title string
+			fn    func() ([]experiments.AblationRow, error)
+		}{
+			{"MPC horizon length", func() ([]experiments.AblationRow, error) { return experiments.AblateHorizon(opts, nil) }},
+			{"SoC-deviation weight w2", func() ([]experiments.AblationRow, error) { return experiments.AblateSoCDevWeight(opts, nil) }},
+			{"SQP iteration budget", func() ([]experiments.AblationRow, error) { return experiments.AblateSQPBudget(opts, nil) }},
+			{"control period", func() ([]experiments.AblationRow, error) { return experiments.AblateControlPeriod(opts, nil) }},
+		} {
+			rows, err := a.fn()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderAblation(a.title, rows))
+			fmt.Println()
+		}
+		return nil
+	})
+
+	runExplicit("fleet", func() error {
+		summary, err := experiments.RunFleet(experiments.FleetConfig{Trips: 10})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFleet(summary))
+		return nil
+	})
+
+	if !strings.Contains("all fig1 fig5 fig6 fig7 fig8 table1 ablate fleet", *exp) {
+		fmt.Fprintf(os.Stderr, "evbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

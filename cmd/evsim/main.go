@@ -1,0 +1,138 @@
+// Command evsim runs one closed-loop co-simulation: a drive cycle, an
+// ambient condition, and a climate controller, and reports the metrics the
+// paper evaluates (average HVAC power, ΔSoH, SoC statistics, comfort).
+//
+// Usage:
+//
+//	evsim -cycle ECE_EUDC -controller mpc -ambient 35
+//	evsim -cycle UDDS -controller onoff -ambient 0 -csv trace.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"evclimate/internal/battery"
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+	"evclimate/internal/core"
+	"evclimate/internal/drivecycle"
+	"evclimate/internal/sim"
+)
+
+func main() {
+	cycleName := flag.String("cycle", "ECE_EUDC", "drive cycle: "+strings.Join(drivecycle.Names(), ", "))
+	ctrlName := flag.String("controller", "mpc", "controller: onoff|fuzzy|pid|mpc")
+	ambient := flag.Float64("ambient", 35, "ambient temperature (°C)")
+	solar := flag.Float64("solar", 400, "solar thermal load (W)")
+	target := flag.Float64("target", 24, "cabin target temperature (°C)")
+	band := flag.Float64("comfort", 3, "comfort-zone half width (°C)")
+	soak := flag.Bool("soak", false, "start with a heat-soaked cabin at ambient temperature")
+	csvPath := flag.String("csv", "", "write the full trace to this CSV file")
+	flag.Parse()
+
+	cyc, err := drivecycle.ByName(*cycleName)
+	fatalIf(err)
+	profile := cyc.Profile(1).WithAmbient(*ambient).WithSolar(*solar)
+
+	cfg := sim.DefaultConfig(profile)
+	cfg.TargetC = *target
+	cfg.ComfortBandC = *band
+	cfg.InitialCabinC = *target
+	if *soak {
+		cfg.UseAmbientStart = true
+	}
+
+	hvac, err := cabin.New(cfg.Cabin)
+	fatalIf(err)
+
+	var ctrl control.Controller
+	switch strings.ToLower(*ctrlName) {
+	case "onoff", "on/off":
+		ctrl = control.NewOnOff(hvac)
+	case "fuzzy":
+		ctrl = control.NewFuzzy(hvac)
+	case "pid":
+		ctrl = control.NewPID(hvac)
+	case "mpc", "lifetime", "lifetime-aware", "mpc-economy", "mpc-comfort":
+		mcfg := core.DefaultConfig()
+		switch strings.ToLower(*ctrlName) {
+		case "mpc-economy":
+			mcfg.Weights = core.EconomyWeights()
+		case "mpc-comfort":
+			mcfg.Weights = core.ComfortWeights()
+		}
+		mpc, err := core.New(mcfg)
+		fatalIf(err)
+		ctrl = mpc
+		cfg.ControlDt = mcfg.Dt
+		cfg.ForecastSteps = mcfg.Horizon
+	default:
+		fatalIf(fmt.Errorf("unknown controller %q (want onoff|fuzzy|pid|mpc|mpc-economy|mpc-comfort)", *ctrlName))
+	}
+
+	runner, err := sim.New(cfg)
+	fatalIf(err)
+	res, err := runner.Run(ctrl)
+	fatalIf(err)
+
+	st := profile.Stats()
+	fmt.Printf("cycle        %s  (%.0f s, %.2f km, max %.0f km/h)\n", *cycleName, st.Duration, st.DistanceKm, st.MaxSpeedKmh)
+	fmt.Printf("controller   %s\n", res.Controller)
+	fmt.Printf("ambient      %.1f °C, solar %.0f W, target %.1f ± %.1f °C\n", *ambient, *solar, *target, *band)
+	fmt.Printf("avg HVAC     %.2f kW   (motor %.2f kW, total %.2f kW)\n", res.AvgHVACW/1000, res.AvgMotorW/1000, res.AvgTotalW/1000)
+	fmt.Printf("HVAC energy  %.3f kWh\n", res.HVACEnergyKWh)
+	fmt.Printf("SoC          %.2f %% → %.2f %%  (dev %.3f, avg %.2f)\n", 90.0, res.FinalSoC, res.SoCDev, res.SoCAvg)
+	fmt.Printf("ΔSoH         %.5f %% per cycle → ≈ %.0f cycles to end of life\n", res.DeltaSoH, battery.LifetimeCycles(res.DeltaSoH))
+	fmt.Printf("comfort      %.1f %% of time outside zone, RMS error %.2f °C\n", 100*res.ComfortViolationFrac, res.RMSTrackingErrC)
+	if mpc, ok := ctrl.(*core.Controller); ok {
+		fmt.Printf("MPC solver   %+v\n", mpc.Stats())
+	}
+
+	if *csvPath != "" {
+		fatalIf(writeCSV(*csvPath, res))
+		fmt.Printf("trace        written to %s\n", *csvPath)
+	}
+}
+
+func writeCSV(path string, res *sim.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"time_s", "cabin_C", "outside_C", "motor_W", "heater_W", "cooler_W", "fan_W", "hvac_W", "total_W", "soc_pct", "supply_C", "coil_C", "recirc", "airflow_kg_s"}); err != nil {
+		return err
+	}
+	tr := res.Trace
+	for i := range tr.Time {
+		rec := []float64{
+			tr.Time[i], tr.CabinC[i], tr.OutsideC[i], tr.MotorW[i],
+			tr.HeaterW[i], tr.CoolerW[i], tr.FanW[i], tr.HVACW[i],
+			tr.TotalW[i], tr.SoC[i],
+			tr.Inputs[i].SupplyTempC, tr.Inputs[i].CoilTempC,
+			tr.Inputs[i].Recirc, tr.Inputs[i].AirFlowKgS,
+		}
+		row := make([]string, len(rec))
+		for j, v := range rec {
+			row[j] = strconv.FormatFloat(v, 'g', 8, 64)
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evsim:", err)
+		os.Exit(1)
+	}
+}

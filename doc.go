@@ -1,0 +1,21 @@
+// Package evclimate reproduces "Battery Lifetime-Aware Automotive Climate
+// Control for Electric Vehicles" (Vatanparvar & Al Faruque, DAC 2015) as a
+// pure-Go library: an EV co-simulation substrate (drive cycles, power
+// train, cabin HVAC thermal model, battery SoC/SoH, BMS), an optimization
+// stack (dense linear algebra, interior-point QP, SQP), the paper's
+// battery lifetime-aware MPC climate controller, the On/Off and
+// fuzzy-based baselines it is compared against, and harnesses that
+// regenerate every figure and table of the paper's evaluation.
+//
+// Entry points:
+//
+//   - internal/core: the MPC climate controller (the paper's contribution)
+//   - internal/sim: the closed-loop co-simulation engine
+//   - internal/experiments: Fig. 1/5/6/7/8 and Table I harnesses
+//   - cmd/evbench: regenerate the full evaluation
+//   - cmd/evsim: run a single cycle/controller/ambient combination
+//   - cmd/cyclegen: inspect and export drive cycles
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package evclimate

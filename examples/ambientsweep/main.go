@@ -1,0 +1,72 @@
+// Ambientsweep: the hot/cold-day analysis behind the paper's Table I —
+// sweep the outside temperature from a freezing morning to a desert
+// afternoon and watch how HVAC power, battery degradation, and the
+// lifetime-aware controller's advantage change with climate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+	"evclimate/internal/core"
+	"evclimate/internal/drivecycle"
+	"evclimate/internal/sim"
+)
+
+func main() {
+	ambients := []float64{-10, 0, 10, 21, 32, 35, 43}
+
+	fmt.Println("ECE_EUDC cycle, 24 °C target — sweep of ambient temperature")
+	fmt.Printf("%8s | %21s | %21s | %s\n", "", "On/Off", "Lifetime-aware", "")
+	fmt.Printf("%8s | %9s %11s | %9s %11s | %s\n",
+		"ambient", "HVAC kW", "ΔSoH %", "HVAC kW", "ΔSoH %", "SoH gain")
+
+	for _, amb := range ambients {
+		solar := 400.0
+		if amb < 15 {
+			solar = 0 // overcast winter day
+		}
+		profile := drivecycle.ECEEUDC().Profile(1).WithAmbient(amb).WithSolar(solar)
+
+		cfg := sim.DefaultConfig(profile)
+		hvac, err := cabin.New(cfg.Cabin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseRunner, err := sim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		onoff, err := baseRunner.Run(control.NewOnOff(hvac))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		mpcCfg := core.DefaultConfig()
+		mpc, err := core.New(mpcCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mpcSim := cfg
+		mpcSim.ControlDt = mpcCfg.Dt
+		mpcSim.ForecastSteps = mpcCfg.Horizon
+		mpcRunner, err := sim.New(mpcSim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aware, err := mpcRunner.Run(mpc)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		gain := 100 * (1 - aware.DeltaSoH/onoff.DeltaSoH)
+		fmt.Printf("%5.0f °C | %9.2f %11.5f | %9.2f %11.5f | %+7.1f%%\n",
+			amb, onoff.AvgHVACW/1000, onoff.DeltaSoH,
+			aware.AvgHVACW/1000, aware.DeltaSoH, gain)
+	}
+	fmt.Println("\nThe gain concentrates where the HVAC load is heavy (paper Table I:")
+	fmt.Println("\"in the conditions when the HVAC power consumption is more considerable,")
+	fmt.Println("our methodology demonstrates more improvement\").")
+}

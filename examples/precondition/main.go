@@ -1,0 +1,86 @@
+// Precondition: quantify cabin pre-conditioning — running the HVAC while
+// the car is still plugged in, so the pull-down energy comes from the
+// grid instead of the pack and the drive starts with a comfortable cabin.
+// This is the stationary counterpart of the paper's precool idea: shifting
+// HVAC effort to when it is cheap for the battery.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evclimate/internal/battery"
+	"evclimate/internal/cabin"
+	"evclimate/internal/core"
+	"evclimate/internal/drivecycle"
+	"evclimate/internal/ode"
+	"evclimate/internal/sim"
+)
+
+func main() {
+	const (
+		ambientC = 38  // desert-parking afternoon
+		solarW   = 500 // car in the sun
+		targetC  = 24
+	)
+
+	// Phase 1 (optional): pre-cool the soaked cabin on grid power.
+	// Integrate the cabin ODE under full cooling until it reaches the
+	// target (or 15 minutes pass).
+	hvac, err := cabin.New(cabin.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, _ := hvac.ClampForEnvironment(cabin.Inputs{
+		SupplyTempC: 8, CoilTempC: 8, Recirc: 0.7, AirFlowKgS: 0.24,
+	}, ambientC, ambientC)
+	var gridJ float64
+	tz := float64(ambientC)
+	sys := func(t float64, x, dxdt []float64) {
+		dxdt[0] = hvac.CabinDerivative(x[0], in, ambientC, solarW)
+	}
+	var precoolS float64
+	for tz > targetC && precoolS < 900 {
+		x, err := ode.Integrate(sys, []float64{tz}, 0, 10, 1, &ode.RK4{}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tz = x[0]
+		mix := hvac.MixTemp(ambientC, tz, in.Recirc)
+		gridJ += hvac.PowersFor(in, mix).Total() * 10
+		precoolS += 10
+	}
+	fmt.Printf("pre-conditioning: %.0f s on grid power, %.2f kWh, cabin %.0f → %.1f °C\n\n",
+		precoolS, gridJ/3.6e6, float64(ambientC), tz)
+
+	// Phase 2: the drive, starting either soaked or pre-conditioned.
+	profile := drivecycle.UDDS().Profile(1).WithAmbient(ambientC).WithSolar(solarW)
+	run := func(label string, initialCabin float64) {
+		mpcCfg := core.DefaultConfig()
+		mpc, err := core.New(mpcCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := sim.DefaultConfig(profile)
+		cfg.TargetC = targetC
+		cfg.InitialCabinC = initialCabin
+		cfg.ControlDt = mpcCfg.Dt
+		cfg.ForecastSteps = mpcCfg.Horizon
+		runner, err := sim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := runner.Run(mpc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s HVAC from pack %.2f kWh   final SoC %.2f %%   ΔSoH %.5f %%   cycles-to-EOL %.0f   comfort misses %.1f %%\n",
+			label, res.HVACEnergyKWh, res.FinalSoC, res.DeltaSoH,
+			battery.LifetimeCycles(res.DeltaSoH), 100*res.ComfortViolationFrac)
+	}
+	run("soaked start", ambientC)
+	run("pre-conditioned", tz)
+
+	fmt.Println("\nPre-conditioning moves the pull-down burst off the battery entirely —")
+	fmt.Println("the same SoC-flattening idea the MPC applies while driving.")
+}

@@ -1,0 +1,91 @@
+// Yearround: the same commute, twelve months of the year. The geodata
+// package plays the role of the traffic/elevation/climate databases the
+// paper builds drive profiles from (Sec. II-A): procedural terrain gives
+// the slopes, a seasonal/diurnal climate model gives ambient temperature
+// and solar load, and a rush-hour model sets segment speeds. The
+// lifetime-aware MPC is compared against On/Off across the seasons.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+	"evclimate/internal/core"
+	"evclimate/internal/geodata"
+	"evclimate/internal/sim"
+)
+
+func main() {
+	planner := &geodata.Planner{
+		Terrain: &geodata.Terrain{Seed: 17, ReliefM: 150},
+		Climate: &geodata.Climate{Zone: geodata.Continental},
+		Traffic: &geodata.Traffic{},
+	}
+	commute := []geodata.Waypoint{
+		{LengthKm: 1.5, FreeFlowKmh: 45, Stop: true},
+		{LengthKm: 4.0, FreeFlowKmh: 70, Stop: true},
+		{LengthKm: 9.0, FreeFlowKmh: 110},
+		{LengthKm: 2.0, FreeFlowKmh: 40, Stop: true},
+	}
+
+	fmt.Println("Continental-climate commute, departing 08:00, by month:")
+	fmt.Printf("%5s %9s %8s | %18s | %18s | %s\n",
+		"month", "ambient", "solar", "On/Off kW / ΔSoH", "MPC kW / ΔSoH", "SoH gain")
+
+	var annualOnOff, annualMPC float64
+	for month := 1; month <= 12; month++ {
+		route, err := planner.Plan(fmt.Sprintf("m%02d", month), commute, month, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profile, err := route.Profile(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cfg := sim.DefaultConfig(profile)
+		hvac, err := cabin.New(cfg.Cabin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseRunner, err := sim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		onoff, err := baseRunner.Run(control.NewOnOff(hvac))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		mpcCfg := core.DefaultConfig()
+		mpc, err := core.New(mpcCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mpcSim := cfg
+		mpcSim.ControlDt = mpcCfg.Dt
+		mpcSim.ForecastSteps = mpcCfg.Horizon
+		mpcRunner, err := sim.New(mpcSim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aware, err := mpcRunner.Run(mpc)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		amb := route.Segments[0].AmbientC
+		sol := route.Segments[0].SolarW
+		gain := 100 * (1 - aware.DeltaSoH/onoff.DeltaSoH)
+		fmt.Printf("%5d %7.1f°C %6.0f W | %7.2f / %.5f | %7.2f / %.5f | %+6.1f%%\n",
+			month, amb, sol,
+			onoff.AvgHVACW/1000, onoff.DeltaSoH,
+			aware.AvgHVACW/1000, aware.DeltaSoH, gain)
+		annualOnOff += onoff.DeltaSoH
+		annualMPC += aware.DeltaSoH
+	}
+	fmt.Printf("\nannual SoH budget: On/Off %.4f %%, lifetime-aware %.4f %% (%.1f%% saved)\n",
+		annualOnOff, annualMPC, 100*(1-annualMPC/annualOnOff))
+}

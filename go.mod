@@ -1,0 +1,3 @@
+module evclimate
+
+go 1.22

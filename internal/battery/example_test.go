@@ -1,0 +1,40 @@
+package battery_test
+
+import (
+	"fmt"
+
+	"evclimate/internal/battery"
+)
+
+// ExampleSoHParams_DeltaSoH evaluates the paper's Eq. 15 degradation
+// model for one discharging/charging cycle and converts it into a
+// battery lifetime.
+func ExampleSoHParams_DeltaSoH() {
+	soh := battery.DefaultSoHParams()
+	// A gentle cycle and a stressful one (SoC deviation and average in
+	// percent, Eqs. 16–17).
+	gentle := soh.DeltaSoH(3, 60)
+	harsh := soh.DeltaSoH(8, 85)
+	fmt.Printf("gentle cycle: %.0f cycles to end of life\n", battery.LifetimeCycles(gentle))
+	fmt.Printf("harsh cycle:  %.0f cycles to end of life\n", battery.LifetimeCycles(harsh))
+	fmt.Printf("harsh/gentle degradation ratio: %.1f×\n", harsh/gentle)
+	// Output:
+	// gentle cycle: 2872 cycles to end of life
+	// harsh cycle:  161 cycles to end of life
+	// harsh/gentle degradation ratio: 17.9×
+}
+
+// ExamplePack_Step drains a pack and shows the Peukert rate-capacity
+// effect: the same energy at a higher rate costs more state of charge.
+func ExamplePack_Step() {
+	pack, err := battery.NewPack(battery.LeafPack(), 100)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 600; i++ {
+		pack.Step(20e3, 1) // 20 kW for 10 minutes
+	}
+	fmt.Printf("SoC after 3.3 kWh at 20 kW: %.1f %%\n", pack.SoC())
+	// Output:
+	// SoC after 3.3 kWh at 20 kW: 84.7 %
+}

@@ -1,0 +1,67 @@
+package battery
+
+import (
+	"errors"
+	"math"
+)
+
+// LifetimeCycles (soh.go) assumes every cycle costs the same ΔSoH. In
+// reality capacity fade compounds: as the pack fades to SoH·C_n, the same
+// daily trip drains a larger SoC fraction, raising SoCdev and hence the
+// next cycle's degradation (Eq. 15 is exponential in SoCdev). This file
+// projects the full feedback loop day by day — the long-horizon view the
+// paper's per-cycle metric implies but does not compute.
+
+// Projection is the day-by-day SoH trajectory of a pack under a repeated
+// daily cycle.
+type Projection struct {
+	// CyclesToEOL is the number of cycles until the 80 % threshold.
+	CyclesToEOL int
+	// FinalSoHPct is the SoH when the projection stopped.
+	FinalSoHPct float64
+	// SoHCurve samples the SoH (percent) every SampleEvery cycles,
+	// starting at cycle 0.
+	SoHCurve []float64
+	// SampleEvery is the curve's sampling stride in cycles.
+	SampleEvery int
+	// NaiveCycles is the constant-rate estimate (LifetimeCycles) for
+	// comparison; the compounding projection is always shorter.
+	NaiveCycles float64
+}
+
+// ProjectLifetime iterates the degradation feedback: each cycle's SoC
+// deviation scales inversely with the current SoH (the same energy spans
+// a larger fraction of the faded capacity), the cycle's ΔSoH follows
+// Eq. 15, and the fade accumulates until the 80 % end-of-life threshold.
+// dev0 and avg0 are the cycle statistics measured at full health.
+func ProjectLifetime(p SoHParams, dev0, avg0 float64) (*Projection, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if dev0 <= 0 || avg0 < 0 || avg0 > 100 {
+		return nil, errors.New("battery: projection needs dev0 > 0 and avg0 in [0, 100]")
+	}
+	const maxCycles = 200000
+	proj := &Projection{SampleEvery: 25, NaiveCycles: LifetimeCycles(p.DeltaSoH(dev0, avg0))}
+	soh := 100.0
+	for cycle := 0; cycle < maxCycles; cycle++ {
+		if cycle%proj.SampleEvery == 0 {
+			proj.SoHCurve = append(proj.SoHCurve, soh)
+		}
+		if soh <= 100-EndOfLifeFadePercent {
+			proj.CyclesToEOL = cycle
+			proj.FinalSoHPct = soh
+			return proj, nil
+		}
+		// The same daily energy spans a larger SoC swing on the faded
+		// capacity (Eq. 13's denominator shrinks with SoH).
+		dev := dev0 * 100 / soh
+		soh -= p.DeltaSoH(dev, avg0)
+		if math.IsNaN(soh) || soh <= 0 {
+			break
+		}
+	}
+	proj.CyclesToEOL = maxCycles
+	proj.FinalSoHPct = soh
+	return proj, nil
+}

@@ -1,0 +1,123 @@
+package battery
+
+import (
+	"errors"
+	"math"
+
+	"evclimate/internal/units"
+)
+
+// The paper treats battery temperature as constant and folds it into the
+// SoH model's a3 coefficient ("Consideration of the battery temperature
+// for estimating ΔSoH is out of the scope of the paper", Sec. II-D).
+// This file implements the natural extension: a lumped thermal model of
+// the pack (Joule heating against a coolant/ambient sink) and an
+// Arrhenius acceleration factor that scales ΔSoH with the cycle's mean
+// pack temperature. It is optional — nothing in the reproduction path
+// depends on it — and is exercised by the thermal-extension tests and the
+// lifetime example's sensitivity analysis.
+
+// ThermalParams describes the lumped pack thermal model.
+type ThermalParams struct {
+	// MassKg is the pack mass.
+	MassKg float64
+	// CpJKgK is the effective specific heat (≈ 1000 J/(kg·K) for Li-ion
+	// modules with housing).
+	CpJKgK float64
+	// InternalResistanceOhm is the DC resistance used for Joule heating
+	// Q = I²·R.
+	InternalResistanceOhm float64
+	// CoolingUAWK is the conductance to the coolant/ambient sink, W/K.
+	CoolingUAWK float64
+	// SinkC is the coolant/ambient sink temperature, °C.
+	SinkC float64
+}
+
+// LeafThermal returns a plausible thermal parameter set for the 24 kWh
+// pack (air-cooled, ≈ 294 kg including enclosure).
+func LeafThermal() ThermalParams {
+	return ThermalParams{
+		MassKg:                294,
+		CpJKgK:                1000,
+		InternalResistanceOhm: 0.09, // pack-level DC resistance
+		CoolingUAWK:           35,
+		SinkC:                 25,
+	}
+}
+
+// Validate reports invalid parameters.
+func (p *ThermalParams) Validate() error {
+	switch {
+	case p.MassKg <= 0 || p.CpJKgK <= 0:
+		return errors.New("battery: thermal mass parameters must be positive")
+	case p.InternalResistanceOhm < 0:
+		return errors.New("battery: internal resistance must be nonnegative")
+	case p.CoolingUAWK < 0:
+		return errors.New("battery: cooling conductance must be nonnegative")
+	}
+	return nil
+}
+
+// ThermalState tracks the pack temperature during a drive.
+type ThermalState struct {
+	p ThermalParams
+	// TempC is the current lumped pack temperature.
+	TempC float64
+	// heatJ and time accumulate mean-temperature statistics.
+	tempTimeIntegral float64
+	elapsedS         float64
+}
+
+// NewThermalState starts the pack at initialC.
+func NewThermalState(p ThermalParams, initialC float64) (*ThermalState, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &ThermalState{p: p, TempC: initialC}, nil
+}
+
+// Step advances the pack temperature by dt seconds under pack current
+// currentA (sign irrelevant: Joule heating is I²R) and returns the new
+// temperature.
+func (s *ThermalState) Step(currentA, dt float64) float64 {
+	q := currentA*currentA*s.p.InternalResistanceOhm - s.p.CoolingUAWK*(s.TempC-s.p.SinkC)
+	s.TempC += q * dt / (s.p.MassKg * s.p.CpJKgK)
+	s.tempTimeIntegral += s.TempC * dt
+	s.elapsedS += dt
+	return s.TempC
+}
+
+// MeanC returns the time-averaged pack temperature so far (the initial
+// temperature if no steps have been taken).
+func (s *ThermalState) MeanC() float64 {
+	if s.elapsedS == 0 {
+		return s.TempC
+	}
+	return s.tempTimeIntegral / s.elapsedS
+}
+
+// ArrheniusRefC is the reference temperature at which the thermal factor
+// is 1 — the constant temperature the paper's calibration assumes.
+const ArrheniusRefC = 25.0
+
+// ArrheniusActivationK is Ea/R for Li-ion capacity fade (≈ 4 500 K,
+// i.e. fade roughly doubles per ~13 °C near room temperature).
+const ArrheniusActivationK = 4500.0
+
+// ThermalFactor returns the multiplicative acceleration of ΔSoH at pack
+// temperature tempC relative to the 25 °C reference.
+func ThermalFactor(tempC float64) float64 {
+	tRef := units.CToK(ArrheniusRefC)
+	t := units.CToK(tempC)
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(ArrheniusActivationK * (1/tRef - 1/t))
+}
+
+// DeltaSoHAtTemp evaluates Eq. 15 and scales it by the Arrhenius thermal
+// factor for the given mean pack temperature — the extension of the
+// paper's constant-temperature assumption.
+func (p *SoHParams) DeltaSoHAtTemp(socDev, socAvg, meanPackC float64) float64 {
+	return p.DeltaSoH(socDev, socAvg) * ThermalFactor(meanPackC)
+}

@@ -1,0 +1,178 @@
+// Package bms implements the Battery Management System: it monitors the
+// pack during a drive, enforces overcharge/overdischarge and power-limit
+// protections (paper Sec. I), records the SoC trajectory, and evaluates
+// the cycle stress statistics (SoCdev, SoCavg) and SoH degradation that
+// the climate controller optimizes against (Algorithm 1, lines 20 and 23).
+package bms
+
+import (
+	"errors"
+	"fmt"
+
+	"evclimate/internal/battery"
+	"evclimate/internal/units"
+)
+
+// Config assembles a BMS.
+type Config struct {
+	// Pack is the battery pack parameter set.
+	Pack battery.Params
+	// SoH is the degradation model parameter set.
+	SoH battery.SoHParams
+	// InitialSoC is the SoC at drive start, percent.
+	InitialSoC float64
+	// MinSoC is the overdischarge protection threshold, percent.
+	MinSoC float64
+	// MaxSoC is the overcharge protection threshold, percent.
+	MaxSoC float64
+	// MaxDischargeW and MaxChargeW limit pack power (both positive).
+	MaxDischargeW, MaxChargeW float64
+}
+
+// DefaultConfig returns a Leaf-pack BMS starting from a 90 % charge.
+func DefaultConfig() Config {
+	return Config{
+		Pack:          battery.LeafPack(),
+		SoH:           battery.DefaultSoHParams(),
+		InitialSoC:    90,
+		MinSoC:        10,
+		MaxSoC:        100,
+		MaxDischargeW: 90e3,
+		MaxChargeW:    40e3,
+	}
+}
+
+// Validate reports invalid configurations.
+func (c *Config) Validate() error {
+	if err := c.Pack.Validate(); err != nil {
+		return err
+	}
+	if err := c.SoH.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.InitialSoC < 0 || c.InitialSoC > 100:
+		return fmt.Errorf("bms: initial SoC %v outside [0, 100]", c.InitialSoC)
+	case c.MinSoC < 0 || c.MaxSoC > 100 || c.MinSoC >= c.MaxSoC:
+		return fmt.Errorf("bms: SoC window [%v, %v] invalid", c.MinSoC, c.MaxSoC)
+	case c.MaxDischargeW <= 0 || c.MaxChargeW < 0:
+		return errors.New("bms: power limits must be positive (charge nonnegative)")
+	}
+	return nil
+}
+
+// Protection events counted by the BMS.
+type Events struct {
+	// DischargeClipped counts steps where the discharge request exceeded
+	// MaxDischargeW.
+	DischargeClipped int
+	// ChargeClipped counts steps where regen exceeded MaxChargeW.
+	ChargeClipped int
+	// OverdischargeBlocked counts steps denied because SoC ≤ MinSoC.
+	OverdischargeBlocked int
+	// OverchargeBlocked counts regen steps denied because SoC ≥ MaxSoC.
+	OverchargeBlocked int
+}
+
+// BMS monitors one pack through a drive.
+type BMS struct {
+	cfg    Config
+	pack   *battery.Pack
+	trace  []float64
+	events Events
+	// throughput accounting
+	dischargeJ, regenJ float64
+}
+
+// New builds a BMS and its pack.
+func New(cfg Config) (*BMS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pack, err := battery.NewPack(cfg.Pack, cfg.InitialSoC)
+	if err != nil {
+		return nil, err
+	}
+	return &BMS{cfg: cfg, pack: pack, trace: []float64{cfg.InitialSoC}}, nil
+}
+
+// Config returns the BMS configuration.
+func (b *BMS) Config() Config { return b.cfg }
+
+// SoC returns the current state of charge in percent.
+func (b *BMS) SoC() float64 { return b.pack.SoC() }
+
+// Events returns the protection event counters.
+func (b *BMS) Events() Events { return b.events }
+
+// Step applies a power request (W, positive = discharge) for dt seconds.
+// The BMS clips the request to the pack power limits and blocks requests
+// that would violate the SoC protection window, then updates the pack and
+// the SoC trace. It returns the power actually applied and the new SoC.
+func (b *BMS) Step(requestW, dt float64) (appliedW, soc float64) {
+	applied := requestW
+	if applied > b.cfg.MaxDischargeW {
+		applied = b.cfg.MaxDischargeW
+		b.events.DischargeClipped++
+	}
+	if applied < -b.cfg.MaxChargeW {
+		applied = -b.cfg.MaxChargeW
+		b.events.ChargeClipped++
+	}
+	if applied > 0 && b.pack.SoC() <= b.cfg.MinSoC {
+		applied = 0
+		b.events.OverdischargeBlocked++
+	}
+	if applied < 0 && b.pack.SoC() >= b.cfg.MaxSoC {
+		applied = 0
+		b.events.OverchargeBlocked++
+	}
+	soc = b.pack.Step(applied, dt)
+	b.trace = append(b.trace, soc)
+	if applied > 0 {
+		b.dischargeJ += applied * dt
+	} else {
+		b.regenJ += -applied * dt
+	}
+	return applied, soc
+}
+
+// Trace returns a copy of the SoC trajectory recorded so far (percent,
+// one entry per Step plus the initial SoC).
+func (b *BMS) Trace() []float64 {
+	out := make([]float64, len(b.trace))
+	copy(out, b.trace)
+	return out
+}
+
+// DischargedKWh returns gross discharged energy.
+func (b *BMS) DischargedKWh() float64 { return units.JToKWh(b.dischargeJ) }
+
+// RegeneratedKWh returns gross regenerated energy.
+func (b *BMS) RegeneratedKWh() float64 { return units.JToKWh(b.regenJ) }
+
+// CycleStats returns SoCdev and SoCavg (Eqs. 16–17) over the recorded
+// trace.
+func (b *BMS) CycleStats() (dev, avg float64, err error) {
+	return battery.CycleStats(b.trace)
+}
+
+// DeltaSoH evaluates the degradation model (Eq. 15) over the recorded
+// trace — Algorithm 1 line 23.
+func (b *BMS) DeltaSoH() (float64, error) {
+	return b.cfg.SoH.DeltaSoHFromTrace(b.trace)
+}
+
+// Reset restores the initial SoC and clears the trace, counters, and
+// throughput, ready for another drive cycle.
+func (b *BMS) Reset() error {
+	pack, err := battery.NewPack(b.cfg.Pack, b.cfg.InitialSoC)
+	if err != nil {
+		return err
+	}
+	b.pack = pack
+	b.trace = []float64{b.cfg.InitialSoC}
+	b.events = Events{}
+	b.dischargeJ, b.regenJ = 0, 0
+	return nil
+}

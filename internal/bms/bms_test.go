@@ -1,0 +1,208 @@
+package bms
+
+import (
+	"math"
+	"testing"
+)
+
+func newBMS(t *testing.T, mutate func(*Config)) *BMS {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.InitialSoC = 150 },
+		func(c *Config) { c.MinSoC = 80; c.MaxSoC = 70 },
+		func(c *Config) { c.MaxDischargeW = 0 },
+		func(c *Config) { c.MaxChargeW = -1 },
+		func(c *Config) { c.Pack.NominalVoltageV = 0 },
+		func(c *Config) { c.SoH.Alpha = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestStepRecordsTrace(t *testing.T) {
+	b := newBMS(t, nil)
+	for i := 0; i < 10; i++ {
+		b.Step(10e3, 1)
+	}
+	tr := b.Trace()
+	if len(tr) != 11 {
+		t.Fatalf("trace length = %d, want 11", len(tr))
+	}
+	if tr[0] != 90 {
+		t.Errorf("trace[0] = %v, want initial 90", tr[0])
+	}
+	// SoC must be non-increasing under pure discharge.
+	for i := 1; i < len(tr); i++ {
+		if tr[i] > tr[i-1] {
+			t.Errorf("SoC rose during discharge at %d: %v → %v", i, tr[i-1], tr[i])
+		}
+	}
+	// Trace returns a copy.
+	tr[0] = 0
+	if b.Trace()[0] != 90 {
+		t.Error("Trace exposed internal storage")
+	}
+}
+
+func TestDischargePowerClipping(t *testing.T) {
+	b := newBMS(t, nil)
+	applied, _ := b.Step(500e3, 1)
+	if applied != b.Config().MaxDischargeW {
+		t.Errorf("applied = %v, want clip to %v", applied, b.Config().MaxDischargeW)
+	}
+	if b.Events().DischargeClipped != 1 {
+		t.Errorf("clip event not counted: %+v", b.Events())
+	}
+}
+
+func TestChargePowerClipping(t *testing.T) {
+	b := newBMS(t, nil)
+	applied, _ := b.Step(-500e3, 1)
+	if applied != -b.Config().MaxChargeW {
+		t.Errorf("applied = %v, want clip to %v", applied, -b.Config().MaxChargeW)
+	}
+	if b.Events().ChargeClipped != 1 {
+		t.Errorf("clip event not counted: %+v", b.Events())
+	}
+}
+
+func TestOverdischargeProtection(t *testing.T) {
+	b := newBMS(t, func(c *Config) { c.InitialSoC = 10.0001; c.MinSoC = 10 })
+	// Drain past the floor: the BMS must block further discharge.
+	var blocked bool
+	for i := 0; i < 5000; i++ {
+		applied, soc := b.Step(50e3, 1)
+		if soc <= 10 && applied == 0 {
+			blocked = true
+			break
+		}
+	}
+	if !blocked {
+		t.Fatal("overdischarge was never blocked")
+	}
+	if b.Events().OverdischargeBlocked == 0 {
+		t.Error("overdischarge events not counted")
+	}
+	if b.SoC() < 9.9 {
+		t.Errorf("SoC %v fell well below the protection floor", b.SoC())
+	}
+}
+
+func TestOverchargeProtection(t *testing.T) {
+	b := newBMS(t, func(c *Config) { c.InitialSoC = 99.9999 })
+	var blocked bool
+	for i := 0; i < 1000; i++ {
+		applied, soc := b.Step(-30e3, 1)
+		if soc >= 100 && applied == 0 {
+			blocked = true
+			break
+		}
+	}
+	if !blocked {
+		t.Fatal("overcharge was never blocked")
+	}
+	if b.Events().OverchargeBlocked == 0 {
+		t.Error("overcharge events not counted")
+	}
+}
+
+func TestThroughputAccounting(t *testing.T) {
+	b := newBMS(t, nil)
+	b.Step(36e3, 100) // 1 kWh discharge
+	b.Step(-36e3, 50) // 0.5 kWh regen
+	if got := b.DischargedKWh(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("discharged = %v kWh, want 1", got)
+	}
+	if got := b.RegeneratedKWh(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("regenerated = %v kWh, want 0.5", got)
+	}
+}
+
+func TestCycleStatsAndDeltaSoH(t *testing.T) {
+	b := newBMS(t, nil)
+	for i := 0; i < 600; i++ {
+		b.Step(20e3, 1)
+	}
+	dev, avg, err := b.CycleStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev <= 0 {
+		t.Errorf("dev = %v, want > 0 for a discharging trace", dev)
+	}
+	if avg >= 90 || avg <= 0 {
+		t.Errorf("avg = %v, want in (0, 90)", avg)
+	}
+	d, err := b.DeltaSoH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Errorf("ΔSoH = %v, want > 0", d)
+	}
+}
+
+func TestPeakShavingReducesDeltaSoH(t *testing.T) {
+	// The core premise of the paper: the same total energy drawn as a
+	// flat load degrades the battery less than a peaky load, because the
+	// SoC trajectory deviates less from its mean path.
+	flat := newBMS(t, nil)
+	peaky := newBMS(t, nil)
+	for i := 0; i < 1200; i++ {
+		flat.Step(15e3, 1)
+		if i%120 < 30 {
+			peaky.Step(60e3, 1)
+		} else {
+			peaky.Step(0, 1)
+		}
+	}
+	dFlat, err := flat.DeltaSoH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dPeaky, err := peaky.DeltaSoH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dFlat >= dPeaky {
+		t.Errorf("flat load ΔSoH %v should be below peaky %v", dFlat, dPeaky)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := newBMS(t, nil)
+	b.Step(50e3, 100)
+	b.Step(500e3, 1)
+	if err := b.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if b.SoC() != 90 {
+		t.Errorf("SoC after reset = %v, want 90", b.SoC())
+	}
+	if len(b.Trace()) != 1 {
+		t.Errorf("trace after reset has %d entries", len(b.Trace()))
+	}
+	if b.Events() != (Events{}) {
+		t.Errorf("events not cleared: %+v", b.Events())
+	}
+	if b.DischargedKWh() != 0 {
+		t.Error("throughput not cleared")
+	}
+}

@@ -1,0 +1,298 @@
+// Package cabin implements the single-zone Variable-Air-Volume HVAC model
+// of paper Sec. II-C: the cabin energy balance (Eqs. 7–8), the
+// outside/recirculated air mixer (Eq. 9), the cooling and heating coil
+// powers (Eqs. 10–11), and the fan power (Eq. 12), plus the actuator
+// limits that become the MPC constraints C1–C10.
+//
+// Air path: mixer (damper blends outside air at To with cabin return air
+// at Tz, giving Tm) → cooling coil (Tm → Tc) → heating coil (Tc → Ts) →
+// fan → cabin supply at Ts and mass flow mz.
+package cabin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"evclimate/internal/units"
+)
+
+// Params defines the HVAC plant and its actuator limits.
+type Params struct {
+	// ThermalCapacitanceJK is Mc in Eq. 7: the lumped heat capacity of
+	// the cabin air, walls, and seats, J/K.
+	ThermalCapacitanceJK float64
+	// AirCpJKgK is the specific heat of air c_p, J/(kg·K).
+	AirCpJKgK float64
+	// ShellUAWK is c_x·A_x in Eq. 8: the cabin shell heat-exchange
+	// conductance, W/K.
+	ShellUAWK float64
+	// EtaHeat and EtaCool are the heating/cooling process efficiencies
+	// η_h and η_c of Eqs. 10–11.
+	EtaHeat, EtaCool float64
+	// FanCoeffW is k_f in Eq. 12: P_f = k_f·mz², W/(kg/s)².
+	FanCoeffW float64
+
+	// MinAirFlowKgS and MaxAirFlowKgS bound the supply air flow (C1).
+	MinAirFlowKgS, MaxAirFlowKgS float64
+	// MinCoilTempC is the lowest cooling-coil outlet temperature (C5).
+	MinCoilTempC float64
+	// MaxHeaterTempC is the highest heater outlet temperature (C6).
+	MaxHeaterTempC float64
+	// MaxRecirc bounds the recirculated-air fraction d_r (C7); fresh-air
+	// regulations keep it below 1.
+	MaxRecirc float64
+	// MaxHeaterPowerW, MaxCoolerPowerW, MaxFanPowerW are the actuator
+	// power limits (C8–C10).
+	MaxHeaterPowerW, MaxCoolerPowerW, MaxFanPowerW float64
+}
+
+// Default returns the single-zone EV HVAC parameter set used in the
+// experiments, sized for a compact EV (≈ 6 kW peak, i-MiEV/Leaf class
+// [8][9]) and matched to the pull-down behaviour reported in [15][22]
+// (≈ 6 °C in five minutes at mid flow).
+func Default() Params {
+	return Params{
+		ThermalCapacitanceJK: 140e3,
+		AirCpJKgK:            units.AirCp,
+		ShellUAWK:            100,
+		EtaHeat:              0.9,
+		EtaCool:              0.85,
+		FanCoeffW:            4800,
+		MinAirFlowKgS:        0.02,
+		MaxAirFlowKgS:        0.25,
+		MinCoilTempC:         3,
+		MaxHeaterTempC:       60,
+		MaxRecirc:            0.8,
+		MaxHeaterPowerW:      6000,
+		MaxCoolerPowerW:      6000,
+		MaxFanPowerW:         350,
+	}
+}
+
+// Validate reports invalid parameter combinations.
+func (p *Params) Validate() error {
+	switch {
+	case p.ThermalCapacitanceJK <= 0:
+		return errors.New("cabin: thermal capacitance must be positive")
+	case p.AirCpJKgK <= 0:
+		return errors.New("cabin: air heat capacity must be positive")
+	case p.ShellUAWK < 0:
+		return errors.New("cabin: shell conductance must be nonnegative")
+	case p.EtaHeat <= 0 || p.EtaHeat > 1 || p.EtaCool <= 0 || p.EtaCool > 1:
+		return errors.New("cabin: coil efficiencies must be in (0, 1]")
+	case p.FanCoeffW < 0:
+		return errors.New("cabin: fan coefficient must be nonnegative")
+	case p.MinAirFlowKgS < 0 || p.MaxAirFlowKgS <= p.MinAirFlowKgS:
+		return fmt.Errorf("cabin: air-flow bounds [%v, %v] invalid", p.MinAirFlowKgS, p.MaxAirFlowKgS)
+	case p.MaxHeaterTempC <= p.MinCoilTempC:
+		return errors.New("cabin: heater max must exceed coil min")
+	case p.MaxRecirc < 0 || p.MaxRecirc > 1:
+		return fmt.Errorf("cabin: max recirculation %v outside [0, 1]", p.MaxRecirc)
+	case p.MaxHeaterPowerW <= 0 || p.MaxCoolerPowerW <= 0 || p.MaxFanPowerW <= 0:
+		return errors.New("cabin: actuator power limits must be positive")
+	}
+	return nil
+}
+
+// Inputs is the HVAC control input vector i = [Ts, Tc, dr, mz]
+// (paper Sec. III-A).
+type Inputs struct {
+	// SupplyTempC is T_s, the supply (heater outlet) temperature, °C.
+	SupplyTempC float64
+	// CoilTempC is T_c, the cooling-coil outlet temperature, °C.
+	CoilTempC float64
+	// Recirc is d_r, the recirculated-air fraction in [0, MaxRecirc].
+	Recirc float64
+	// AirFlowKgS is mz, the supply air mass flow, kg/s.
+	AirFlowKgS float64
+}
+
+// Powers holds the three HVAC power consumers.
+type Powers struct {
+	// HeaterW is P_h (Eq. 10).
+	HeaterW float64
+	// CoolerW is P_c (Eq. 11).
+	CoolerW float64
+	// FanW is P_f (Eq. 12).
+	FanW float64
+}
+
+// Total returns P_h + P_c + P_f.
+func (pw Powers) Total() float64 { return pw.HeaterW + pw.CoolerW + pw.FanW }
+
+// Model evaluates the HVAC equations.
+type Model struct {
+	p Params
+}
+
+// New builds a Model after validating the parameters.
+func New(p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{p: p}, nil
+}
+
+// Params returns the model parameters.
+func (m *Model) Params() Params { return m.p }
+
+// MixTemp returns T_m (Eq. 9): the damper blend of outside air at
+// outsideC and cabin return air at cabinC with recirculation fraction dr.
+func (m *Model) MixTemp(outsideC, cabinC, dr float64) float64 {
+	return (1-dr)*outsideC + dr*cabinC
+}
+
+// PowersFor evaluates Eqs. 10–12 for inputs in with mixer inlet mixC.
+// Negative coil temperature differences (physically impossible operating
+// points excluded by C3/C4) are clamped to zero power.
+func (m *Model) PowersFor(in Inputs, mixC float64) Powers {
+	cp := m.p.AirCpJKgK
+	var pw Powers
+	if d := in.SupplyTempC - in.CoilTempC; d > 0 {
+		pw.HeaterW = cp / m.p.EtaHeat * in.AirFlowKgS * d
+	}
+	if d := mixC - in.CoilTempC; d > 0 {
+		pw.CoolerW = cp / m.p.EtaCool * in.AirFlowKgS * d
+	}
+	pw.FanW = m.p.FanCoeffW * in.AirFlowKgS * in.AirFlowKgS
+	return pw
+}
+
+// ThermalLoad returns Q (Eq. 8): solar gain plus shell heat exchange with
+// outside.
+func (m *Model) ThermalLoad(cabinC, outsideC, solarW float64) float64 {
+	return solarW + m.p.ShellUAWK*(outsideC-cabinC)
+}
+
+// CabinDerivative returns dTz/dt (Eq. 7) for cabin temperature cabinC
+// under inputs in, outside temperature outsideC and solar load solarW.
+func (m *Model) CabinDerivative(cabinC float64, in Inputs, outsideC, solarW float64) float64 {
+	q := m.ThermalLoad(cabinC, outsideC, solarW)
+	supply := in.AirFlowKgS * m.p.AirCpJKgK * (in.SupplyTempC - cabinC)
+	return (q + supply) / m.p.ThermalCapacitanceJK
+}
+
+// ClampInputs projects raw inputs onto the actuator limits C1, C3–C10 and
+// returns the result. It enforces the coil ordering T_c ≤ T_s and
+// T_c ≤ T_m for the given mixer temperature, caps the fan flow so P_f
+// stays within its limit, raises T_c if the cooling coil would exceed its
+// power limit, and lowers T_s if the heater would exceed its limit — the
+// behaviour of the real actuators when commanded beyond capacity.
+func (m *Model) ClampInputs(in Inputs, mixC float64) Inputs {
+	out := in
+	out.AirFlowKgS = units.Clamp(in.AirFlowKgS, m.p.MinAirFlowKgS, m.p.MaxAirFlowKgS)
+	// C10: fan power limit caps the achievable flow.
+	if maxFlowByFan := math.Sqrt(m.p.MaxFanPowerW / m.p.FanCoeffW); out.AirFlowKgS > maxFlowByFan {
+		out.AirFlowKgS = maxFlowByFan
+	}
+	out.Recirc = units.Clamp(in.Recirc, 0, m.p.MaxRecirc)
+	// C4/C5: the coil outlet lies between the coil minimum and the mixer
+	// temperature; when the mix is already below the coil minimum the
+	// cooling coil is inactive and passes the air through (T_c = T_m).
+	lo := math.Min(m.p.MinCoilTempC, mixC)
+	hiC := mixC
+	out.CoilTempC = units.Clamp(in.CoilTempC, lo, hiC)
+	// C9: cooler power limit bounds how far below T_m the coil can pull.
+	if out.AirFlowKgS > 0 {
+		maxDrop := m.p.MaxCoolerPowerW * m.p.EtaCool / (m.p.AirCpJKgK * out.AirFlowKgS)
+		if mixC-out.CoilTempC > maxDrop {
+			out.CoilTempC = mixC - maxDrop
+			if out.CoilTempC > hiC {
+				out.CoilTempC = hiC
+			}
+		}
+	}
+	out.SupplyTempC = units.Clamp(in.SupplyTempC, out.CoilTempC, m.p.MaxHeaterTempC)
+	// C8: heater power limit bounds the rise above the coil temperature.
+	if out.AirFlowKgS > 0 {
+		maxRise := m.p.MaxHeaterPowerW * m.p.EtaHeat / (m.p.AirCpJKgK * out.AirFlowKgS)
+		if out.SupplyTempC-out.CoilTempC > maxRise {
+			out.SupplyTempC = out.CoilTempC + maxRise
+		}
+	}
+	return out
+}
+
+// ClampForEnvironment clamps the recirculation fraction first, computes
+// the resulting mixer temperature for the given outside and cabin
+// temperatures, then clamps the remaining inputs against it. Controllers
+// should use this instead of calling MixTemp with unclamped inputs.
+func (m *Model) ClampForEnvironment(in Inputs, outsideC, cabinC float64) (Inputs, float64) {
+	in.Recirc = units.Clamp(in.Recirc, 0, m.p.MaxRecirc)
+	mix := m.MixTemp(outsideC, cabinC, in.Recirc)
+	return m.ClampInputs(in, mix), mix
+}
+
+// CheckInputs verifies the constraint set C1, C3–C10 for inputs in at
+// mixer temperature mixC, returning a descriptive error for the first
+// violation (tolerance tol in the natural units of each constraint).
+func (m *Model) CheckInputs(in Inputs, mixC, tol float64) error {
+	if in.AirFlowKgS < m.p.MinAirFlowKgS-tol || in.AirFlowKgS > m.p.MaxAirFlowKgS+tol {
+		return fmt.Errorf("cabin: C1 violated: air flow %v outside [%v, %v]", in.AirFlowKgS, m.p.MinAirFlowKgS, m.p.MaxAirFlowKgS)
+	}
+	if in.CoilTempC > in.SupplyTempC+tol {
+		return fmt.Errorf("cabin: C3 violated: coil %v > supply %v", in.CoilTempC, in.SupplyTempC)
+	}
+	if in.CoilTempC > mixC+tol {
+		return fmt.Errorf("cabin: C4 violated: coil %v > mix %v", in.CoilTempC, mixC)
+	}
+	if effLo := math.Min(m.p.MinCoilTempC, mixC); in.CoilTempC < effLo-tol {
+		return fmt.Errorf("cabin: C5 violated: coil %v < %v", in.CoilTempC, effLo)
+	}
+	if in.SupplyTempC > m.p.MaxHeaterTempC+tol {
+		return fmt.Errorf("cabin: C6 violated: supply %v > %v", in.SupplyTempC, m.p.MaxHeaterTempC)
+	}
+	if in.Recirc < -tol || in.Recirc > m.p.MaxRecirc+tol {
+		return fmt.Errorf("cabin: C7 violated: recirculation %v outside [0, %v]", in.Recirc, m.p.MaxRecirc)
+	}
+	pw := m.PowersFor(in, mixC)
+	if pw.HeaterW > m.p.MaxHeaterPowerW*(1+tol)+tol {
+		return fmt.Errorf("cabin: C8 violated: heater %v W > %v W", pw.HeaterW, m.p.MaxHeaterPowerW)
+	}
+	if pw.CoolerW > m.p.MaxCoolerPowerW*(1+tol)+tol {
+		return fmt.Errorf("cabin: C9 violated: cooler %v W > %v W", pw.CoolerW, m.p.MaxCoolerPowerW)
+	}
+	if pw.FanW > m.p.MaxFanPowerW*(1+tol)+tol {
+		return fmt.Errorf("cabin: C10 violated: fan %v W > %v W", pw.FanW, m.p.MaxFanPowerW)
+	}
+	return nil
+}
+
+// SteadyStatePower estimates the HVAC electrical power needed to hold the
+// cabin at holdC against outside temperature outsideC and solar load
+// solarW, assuming recirculation dr and a mid-range air flow. It is used
+// for sizing sanity checks and the Fig. 1 motivational analysis.
+func (m *Model) SteadyStatePower(holdC, outsideC, solarW, dr float64) Powers {
+	q := m.ThermalLoad(holdC, outsideC, solarW)
+	tm := m.MixTemp(outsideC, holdC, dr)
+	cp := m.p.AirCpJKgK
+	var in Inputs
+	// Pick the smallest flow that can carry the load with the coil
+	// limits, then split coil duties.
+	if q > 0 {
+		// Cooling: supply below cabin temperature.
+		ts := holdC - 8
+		if ts < m.p.MinCoilTempC {
+			ts = m.p.MinCoilTempC
+		}
+		mz := q / (cp * (holdC - ts))
+		in = Inputs{SupplyTempC: ts, CoilTempC: ts, Recirc: dr, AirFlowKgS: mz}
+	} else if q < 0 {
+		// Heating: supply above cabin temperature.
+		ts := holdC + 15
+		if ts > m.p.MaxHeaterTempC {
+			ts = m.p.MaxHeaterTempC
+		}
+		mz := -q / (cp * (ts - holdC))
+		tc := tm // no cooling while heating
+		if tc > ts {
+			tc = ts
+		}
+		in = Inputs{SupplyTempC: ts, CoilTempC: tc, Recirc: dr, AirFlowKgS: mz}
+	} else {
+		in = Inputs{SupplyTempC: holdC, CoilTempC: holdC, Recirc: dr, AirFlowKgS: m.p.MinAirFlowKgS}
+	}
+	in = m.ClampInputs(in, tm)
+	return m.PowersFor(in, tm)
+}

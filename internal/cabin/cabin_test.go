@@ -1,0 +1,318 @@
+package cabin
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"evclimate/internal/ode"
+)
+
+func defaultModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.ThermalCapacitanceJK = 0 },
+		func(p *Params) { p.AirCpJKgK = -1 },
+		func(p *Params) { p.ShellUAWK = -1 },
+		func(p *Params) { p.EtaHeat = 0 },
+		func(p *Params) { p.EtaCool = 1.2 },
+		func(p *Params) { p.FanCoeffW = -1 },
+		func(p *Params) { p.MaxAirFlowKgS = p.MinAirFlowKgS },
+		func(p *Params) { p.MaxHeaterTempC = p.MinCoilTempC },
+		func(p *Params) { p.MaxRecirc = 1.5 },
+		func(p *Params) { p.MaxFanPowerW = 0 },
+	}
+	for i, mutate := range cases {
+		p := Default()
+		mutate(&p)
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestMixTempConvexCombination(t *testing.T) {
+	m := defaultModel(t)
+	if got := m.MixTemp(30, 20, 0); got != 30 {
+		t.Errorf("dr=0 should give outside temp, got %v", got)
+	}
+	if got := m.MixTemp(30, 20, 1); got != 20 {
+		t.Errorf("dr=1 should give cabin temp, got %v", got)
+	}
+	if got := m.MixTemp(30, 20, 0.5); got != 25 {
+		t.Errorf("dr=0.5 mix = %v, want 25", got)
+	}
+	// Property: always between the two inlet temperatures.
+	f := func(to, tz, rawDr float64) bool {
+		if math.IsNaN(to) || math.IsNaN(tz) || math.IsInf(to, 0) || math.IsInf(tz, 0) {
+			return true
+		}
+		dr := math.Mod(math.Abs(rawDr), 1)
+		tm := m.MixTemp(to, tz, dr)
+		lo, hi := math.Min(to, tz), math.Max(to, tz)
+		return tm >= lo-1e-9 && tm <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowersEquations(t *testing.T) {
+	m := defaultModel(t)
+	p := m.Params()
+	in := Inputs{SupplyTempC: 40, CoilTempC: 20, Recirc: 0.5, AirFlowKgS: 0.1}
+	mix := 25.0
+	pw := m.PowersFor(in, mix)
+	// Eq. 10: Ph = cp/ηh·mz·(Ts−Tc).
+	wantH := p.AirCpJKgK / p.EtaHeat * 0.1 * 20
+	if math.Abs(pw.HeaterW-wantH) > 1e-9 {
+		t.Errorf("heater = %v, want %v", pw.HeaterW, wantH)
+	}
+	// Eq. 11: Pc = cp/ηc·mz·(Tm−Tc).
+	wantC := p.AirCpJKgK / p.EtaCool * 0.1 * 5
+	if math.Abs(pw.CoolerW-wantC) > 1e-9 {
+		t.Errorf("cooler = %v, want %v", pw.CoolerW, wantC)
+	}
+	// Eq. 12: Pf = kf·mz².
+	wantF := p.FanCoeffW * 0.01
+	if math.Abs(pw.FanW-wantF) > 1e-9 {
+		t.Errorf("fan = %v, want %v", pw.FanW, wantF)
+	}
+	if math.Abs(pw.Total()-(wantH+wantC+wantF)) > 1e-9 {
+		t.Errorf("total mismatch")
+	}
+}
+
+func TestPowersNeverNegative(t *testing.T) {
+	m := defaultModel(t)
+	f := func(ts, tc, mixRaw, mzRaw float64) bool {
+		for _, v := range []float64{ts, tc, mixRaw, mzRaw} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		in := Inputs{
+			SupplyTempC: math.Mod(ts, 80),
+			CoilTempC:   math.Mod(tc, 80),
+			AirFlowKgS:  math.Abs(math.Mod(mzRaw, 0.25)),
+		}
+		pw := m.PowersFor(in, math.Mod(mixRaw, 50))
+		return pw.HeaterW >= 0 && pw.CoolerW >= 0 && pw.FanW >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFanPowerQuadratic(t *testing.T) {
+	m := defaultModel(t)
+	in1 := Inputs{SupplyTempC: 24, CoilTempC: 24, AirFlowKgS: 0.1}
+	in2 := in1
+	in2.AirFlowKgS = 0.2
+	p1 := m.PowersFor(in1, 24).FanW
+	p2 := m.PowersFor(in2, 24).FanW
+	if math.Abs(p2/p1-4) > 1e-9 {
+		t.Errorf("fan power ratio = %v, want 4", p2/p1)
+	}
+}
+
+func TestThermalLoadDirection(t *testing.T) {
+	m := defaultModel(t)
+	// Hot outside heats the cabin; cold outside cools it; solar adds.
+	if q := m.ThermalLoad(24, 35, 0); q <= 0 {
+		t.Errorf("hot-day load = %v, want > 0", q)
+	}
+	if q := m.ThermalLoad(24, 0, 0); q >= 0 {
+		t.Errorf("cold-day load = %v, want < 0", q)
+	}
+	if q1, q2 := m.ThermalLoad(24, 35, 0), m.ThermalLoad(24, 35, 400); q2-q1 != 400 {
+		t.Errorf("solar offset: %v → %v", q1, q2)
+	}
+	// At equal temperatures the only load is solar.
+	if q := m.ThermalLoad(24, 24, 250); q != 250 {
+		t.Errorf("equal-temp load = %v, want 250", q)
+	}
+}
+
+func TestCabinDerivativeSigns(t *testing.T) {
+	m := defaultModel(t)
+	// Cold supply air on a hot day must cool the cabin.
+	cool := Inputs{SupplyTempC: 10, CoilTempC: 10, Recirc: 0.5, AirFlowKgS: 0.2}
+	if d := m.CabinDerivative(30, cool, 35, 0); d >= 0 {
+		t.Errorf("cooling derivative = %v, want < 0", d)
+	}
+	// Warm supply air on a cold day must heat it.
+	heat := Inputs{SupplyTempC: 50, CoilTempC: 0, Recirc: 0.5, AirFlowKgS: 0.2}
+	if d := m.CabinDerivative(15, heat, 0, 0); d <= 0 {
+		t.Errorf("heating derivative = %v, want > 0", d)
+	}
+}
+
+func TestCabinEquilibrium(t *testing.T) {
+	// With supply at cabin temperature and no loads, dTz/dt = 0.
+	m := defaultModel(t)
+	in := Inputs{SupplyTempC: 24, CoilTempC: 24, Recirc: 0.5, AirFlowKgS: 0.1}
+	if d := m.CabinDerivative(24, in, 24, 0); math.Abs(d) > 1e-15 {
+		t.Errorf("equilibrium derivative = %v", d)
+	}
+}
+
+func TestPullDownTime(t *testing.T) {
+	// Integrating the cabin ODE with strong cooling must pull the cabin
+	// from 35 °C to ≤ 26 °C within 10 minutes (matching the vehicle
+	// pull-down behaviour the paper's parameters were fit to [15][22]).
+	m := defaultModel(t)
+	in := Inputs{SupplyTempC: 8, CoilTempC: 8, Recirc: 0.6, AirFlowKgS: 0.22}
+	sys := func(t float64, x, dxdt []float64) {
+		dxdt[0] = m.CabinDerivative(x[0], in, 38, 400)
+	}
+	x, err := ode.Integrate(sys, []float64{35}, 0, 600, 1, &ode.RK4{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] > 26 {
+		t.Errorf("cabin after 10 min of max cooling = %.1f °C, want ≤ 26", x[0])
+	}
+	if x[0] < 5 {
+		t.Errorf("cabin cooled implausibly fast to %.1f °C", x[0])
+	}
+}
+
+func TestWarmUpTime(t *testing.T) {
+	// Heating from 0 °C: reach ≥ 18 °C within 10 minutes.
+	m := defaultModel(t)
+	in := Inputs{SupplyTempC: 55, CoilTempC: 0, Recirc: 0.5, AirFlowKgS: 0.2}
+	sys := func(t float64, x, dxdt []float64) {
+		dxdt[0] = m.CabinDerivative(x[0], in, 0, 0)
+	}
+	x, err := ode.Integrate(sys, []float64{0}, 0, 600, 1, &ode.RK4{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] < 18 {
+		t.Errorf("cabin after 10 min of max heating = %.1f °C, want ≥ 18", x[0])
+	}
+}
+
+func TestClampInputsEnforcesOrdering(t *testing.T) {
+	m := defaultModel(t)
+	p := m.Params()
+	raw := Inputs{SupplyTempC: -20, CoilTempC: 90, Recirc: 2, AirFlowKgS: 9}
+	mix := 25.0
+	c := m.ClampInputs(raw, mix)
+	if c.AirFlowKgS != p.MaxAirFlowKgS {
+		t.Errorf("flow not clamped: %v", c.AirFlowKgS)
+	}
+	if c.Recirc != p.MaxRecirc {
+		t.Errorf("recirc not clamped: %v", c.Recirc)
+	}
+	if c.CoilTempC > mix || c.CoilTempC < p.MinCoilTempC {
+		t.Errorf("coil temp %v outside [%v, %v]", c.CoilTempC, p.MinCoilTempC, mix)
+	}
+	if c.SupplyTempC < c.CoilTempC {
+		t.Errorf("supply %v < coil %v (C3)", c.SupplyTempC, c.CoilTempC)
+	}
+	if err := m.CheckInputs(c, mix, 1e-9); err != nil {
+		t.Errorf("clamped inputs still violate constraints: %v", err)
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	m := defaultModel(t)
+	f := func(ts, tc, dr, mz, mixRaw float64) bool {
+		for _, v := range []float64{ts, tc, dr, mz, mixRaw} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		mix := math.Mod(mixRaw, 50)
+		in := m.ClampInputs(Inputs{
+			SupplyTempC: math.Mod(ts, 200),
+			CoilTempC:   math.Mod(tc, 200),
+			Recirc:      math.Mod(dr, 3),
+			AirFlowKgS:  math.Mod(mz, 1),
+		}, mix)
+		// Clamped inputs satisfy C1, C3–C7 (power limits C8–C10 can still
+		// bind at extreme flow × ΔT combinations, which the MPC handles).
+		return in.AirFlowKgS >= m.Params().MinAirFlowKgS &&
+			in.AirFlowKgS <= m.Params().MaxAirFlowKgS &&
+			in.CoilTempC <= in.SupplyTempC &&
+			in.Recirc >= 0 && in.Recirc <= m.Params().MaxRecirc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckInputsViolations(t *testing.T) {
+	m := defaultModel(t)
+	mix := 25.0
+	good := Inputs{SupplyTempC: 24, CoilTempC: 15, Recirc: 0.5, AirFlowKgS: 0.1}
+	if err := m.CheckInputs(good, mix, 1e-9); err != nil {
+		t.Fatalf("valid inputs rejected: %v", err)
+	}
+	cases := []Inputs{
+		{SupplyTempC: 24, CoilTempC: 15, Recirc: 0.5, AirFlowKgS: 0.5}, // C1
+		{SupplyTempC: 10, CoilTempC: 15, Recirc: 0.5, AirFlowKgS: 0.1}, // C3
+		{SupplyTempC: 30, CoilTempC: 28, Recirc: 0.5, AirFlowKgS: 0.1}, // C4
+		{SupplyTempC: 24, CoilTempC: 1, Recirc: 0.5, AirFlowKgS: 0.1},  // C5
+		{SupplyTempC: 70, CoilTempC: 15, Recirc: 0.5, AirFlowKgS: 0.1}, // C6
+		{SupplyTempC: 24, CoilTempC: 15, Recirc: 0.9, AirFlowKgS: 0.1}, // C7
+	}
+	for i, in := range cases {
+		if err := m.CheckInputs(in, mix, 1e-9); err == nil {
+			t.Errorf("case %d: violation not detected", i)
+		}
+	}
+}
+
+func TestSteadyStatePowerMagnitudes(t *testing.T) {
+	// Steady-state holding power must land in the ranges the paper's
+	// Table I reports for the MPC controller (which approaches the
+	// steady-state optimum): ≈ 1.5–4 kW at 35 °C, ≈ 2–6 kW at 0 °C,
+	// ≈ 0–1 kW near 21 °C.
+	m := defaultModel(t)
+	hot := m.SteadyStatePower(24, 35, 400, 0.5).Total()
+	if hot < 500 || hot > 4000 {
+		t.Errorf("hold power at 35 °C = %.0f W, want 0.5–4 kW", hot)
+	}
+	cold := m.SteadyStatePower(24, 0, 0, 0.5).Total()
+	if cold < 1000 || cold > 6000 {
+		t.Errorf("hold power at 0 °C = %.0f W, want 1–6 kW", cold)
+	}
+	mild := m.SteadyStatePower(24, 21, 200, 0.5).Total()
+	if mild > 1000 {
+		t.Errorf("hold power at 21 °C = %.0f W, want < 1 kW", mild)
+	}
+	// Hotter is harder.
+	hotter := m.SteadyStatePower(24, 43, 400, 0.5).Total()
+	if hotter <= hot {
+		t.Errorf("43 °C power %.0f should exceed 35 °C power %.0f", hotter, hot)
+	}
+}
+
+func TestRecircReducesCoolingPower(t *testing.T) {
+	// Recirculating cool cabin air lowers the mixer temperature on a hot
+	// day, so the cooling coil works less.
+	m := defaultModel(t)
+	fresh := m.SteadyStatePower(24, 38, 400, 0).Total()
+	recirc := m.SteadyStatePower(24, 38, 400, 0.8).Total()
+	if recirc >= fresh {
+		t.Errorf("recirculation did not reduce power: %v vs %v", recirc, fresh)
+	}
+}

@@ -1,0 +1,175 @@
+package cabin
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The paper assumes a single-zone HVAC ("In this paper, we assume a
+// single-zone HVAC", Sec. II-C) while noting VAV systems support
+// multi-zone control. This file provides the multi-zone extension: N
+// cabin zones (e.g. front/rear) with individual thermal capacitances,
+// shell conductances, and supply-air shares, coupled by inter-zone heat
+// exchange. The single HVAC unit conditions one supply stream that the
+// duct system splits between zones; the return air is the supply-weighted
+// zone mix.
+
+// ZoneParams describes one cabin zone.
+type ZoneParams struct {
+	// Name labels the zone ("front", "rear").
+	Name string
+	// CapacitanceJK is the zone's lumped thermal capacitance.
+	CapacitanceJK float64
+	// ShellUAWK is the zone's conductance to outside.
+	ShellUAWK float64
+	// SupplyFrac is the share of supply air routed to the zone; shares
+	// must sum to 1.
+	SupplyFrac float64
+	// SolarFrac is the share of the solar load hitting the zone; shares
+	// must sum to 1.
+	SolarFrac float64
+}
+
+// MultiZoneParams assembles a multi-zone cabin around a base single-zone
+// HVAC unit (coil limits, fan, efficiencies from Params).
+type MultiZoneParams struct {
+	// Unit supplies the HVAC hardware parameters (coils, fan, damper).
+	Unit Params
+	// Zones lists the cabin zones (≥ 1).
+	Zones []ZoneParams
+	// CouplingWK[i][j] is the heat-exchange conductance between zones i
+	// and j in W/K (symmetric, zero diagonal).
+	CouplingWK [][]float64
+}
+
+// TwoZoneDefault splits the default cabin into a front zone (60 % of the
+// capacitance, most of the supply air and sun) and a rear zone, coupled
+// across the seat row.
+func TwoZoneDefault() MultiZoneParams {
+	base := Default()
+	return MultiZoneParams{
+		Unit: base,
+		Zones: []ZoneParams{
+			{Name: "front", CapacitanceJK: 0.6 * base.ThermalCapacitanceJK, ShellUAWK: 0.55 * base.ShellUAWK, SupplyFrac: 0.65, SolarFrac: 0.6},
+			{Name: "rear", CapacitanceJK: 0.4 * base.ThermalCapacitanceJK, ShellUAWK: 0.45 * base.ShellUAWK, SupplyFrac: 0.35, SolarFrac: 0.4},
+		},
+		CouplingWK: [][]float64{
+			{0, 45},
+			{45, 0},
+		},
+	}
+}
+
+// Validate reports invalid configurations.
+func (p *MultiZoneParams) Validate() error {
+	if err := p.Unit.Validate(); err != nil {
+		return err
+	}
+	n := len(p.Zones)
+	if n == 0 {
+		return errors.New("cabin: multi-zone needs at least one zone")
+	}
+	var supplySum, solarSum float64
+	for i, z := range p.Zones {
+		if z.CapacitanceJK <= 0 {
+			return fmt.Errorf("cabin: zone %d capacitance must be positive", i)
+		}
+		if z.ShellUAWK < 0 {
+			return fmt.Errorf("cabin: zone %d shell conductance must be nonnegative", i)
+		}
+		if z.SupplyFrac < 0 || z.SolarFrac < 0 {
+			return fmt.Errorf("cabin: zone %d fractions must be nonnegative", i)
+		}
+		supplySum += z.SupplyFrac
+		solarSum += z.SolarFrac
+	}
+	if supplySum < 0.999 || supplySum > 1.001 {
+		return fmt.Errorf("cabin: zone supply fractions sum to %v, want 1", supplySum)
+	}
+	if solarSum < 0.999 || solarSum > 1.001 {
+		return fmt.Errorf("cabin: zone solar fractions sum to %v, want 1", solarSum)
+	}
+	if len(p.CouplingWK) != n {
+		return fmt.Errorf("cabin: coupling matrix has %d rows, want %d", len(p.CouplingWK), n)
+	}
+	for i := range p.CouplingWK {
+		if len(p.CouplingWK[i]) != n {
+			return fmt.Errorf("cabin: coupling row %d has %d cols, want %d", i, len(p.CouplingWK[i]), n)
+		}
+		if p.CouplingWK[i][i] != 0 {
+			return fmt.Errorf("cabin: coupling diagonal [%d][%d] must be zero", i, i)
+		}
+		for j := range p.CouplingWK[i] {
+			if p.CouplingWK[i][j] < 0 {
+				return fmt.Errorf("cabin: coupling [%d][%d] negative", i, j)
+			}
+			if p.CouplingWK[i][j] != p.CouplingWK[j][i] {
+				return fmt.Errorf("cabin: coupling matrix asymmetric at [%d][%d]", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// MultiZoneModel evaluates the multi-zone cabin dynamics.
+type MultiZoneModel struct {
+	p    MultiZoneParams
+	unit *Model
+}
+
+// NewMultiZone builds the model after validation.
+func NewMultiZone(p MultiZoneParams) (*MultiZoneModel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	unit, err := New(p.Unit)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiZoneModel{p: p, unit: unit}, nil
+}
+
+// Zones returns the number of zones.
+func (m *MultiZoneModel) Zones() int { return len(m.p.Zones) }
+
+// Unit returns the underlying single-unit HVAC model (coils, fan,
+// clamping).
+func (m *MultiZoneModel) Unit() *Model { return m.unit }
+
+// ReturnTemp is the supply-weighted mean zone temperature — the return
+// air the damper recirculates (generalizes Tz in Eq. 9).
+func (m *MultiZoneModel) ReturnTemp(zonesC []float64) float64 {
+	var t float64
+	for i, z := range m.p.Zones {
+		t += z.SupplyFrac * zonesC[i]
+	}
+	return t
+}
+
+// Derivatives writes dTz/dt for every zone (the Eq. 7 generalization:
+// per-zone supply share, shell exchange, solar share, plus inter-zone
+// coupling) into dzdt.
+func (m *MultiZoneModel) Derivatives(zonesC []float64, in Inputs, outsideC, solarW float64, dzdt []float64) {
+	if len(zonesC) != len(m.p.Zones) || len(dzdt) != len(m.p.Zones) {
+		panic(fmt.Sprintf("cabin: zone state length %d/%d, want %d", len(zonesC), len(dzdt), len(m.p.Zones)))
+	}
+	cp := m.p.Unit.AirCpJKgK
+	for i, z := range m.p.Zones {
+		q := z.SolarFrac*solarW + z.ShellUAWK*(outsideC-zonesC[i])
+		supply := z.SupplyFrac * in.AirFlowKgS * cp * (in.SupplyTempC - zonesC[i])
+		coupling := 0.0
+		for j := range m.p.Zones {
+			if j != i {
+				coupling += m.p.CouplingWK[i][j] * (zonesC[j] - zonesC[i])
+			}
+		}
+		dzdt[i] = (q + supply + coupling) / z.CapacitanceJK
+	}
+}
+
+// PowersFor evaluates the HVAC unit powers for the given zone state: the
+// mixer blends outside air with the multi-zone return air.
+func (m *MultiZoneModel) PowersFor(in Inputs, outsideC float64, zonesC []float64) Powers {
+	mix := m.unit.MixTemp(outsideC, m.ReturnTemp(zonesC), in.Recirc)
+	return m.unit.PowersFor(in, mix)
+}

@@ -1,0 +1,164 @@
+package cabin
+
+import (
+	"math"
+	"testing"
+
+	"evclimate/internal/ode"
+)
+
+func twoZone(t *testing.T) *MultiZoneModel {
+	t.Helper()
+	m, err := NewMultiZone(TwoZoneDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTwoZoneDefaultValid(t *testing.T) {
+	p := TwoZoneDefault()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := twoZone(t).Zones(); got != 2 {
+		t.Errorf("zones = %d", got)
+	}
+}
+
+func TestMultiZoneValidation(t *testing.T) {
+	cases := []func(*MultiZoneParams){
+		func(p *MultiZoneParams) { p.Zones = nil },
+		func(p *MultiZoneParams) { p.Zones[0].CapacitanceJK = 0 },
+		func(p *MultiZoneParams) { p.Zones[0].ShellUAWK = -1 },
+		func(p *MultiZoneParams) { p.Zones[0].SupplyFrac = 0.9 }, // sum ≠ 1
+		func(p *MultiZoneParams) { p.Zones[0].SolarFrac = 0.9 },  // sum ≠ 1
+		func(p *MultiZoneParams) { p.CouplingWK = [][]float64{{0}} },
+		func(p *MultiZoneParams) { p.CouplingWK[0][0] = 5 },
+		func(p *MultiZoneParams) { p.CouplingWK[0][1] = 99 }, // asymmetric
+		func(p *MultiZoneParams) { p.CouplingWK[0][1] = -1; p.CouplingWK[1][0] = -1 },
+		func(p *MultiZoneParams) { p.Unit.EtaCool = 2 },
+	}
+	for i, mutate := range cases {
+		p := TwoZoneDefault()
+		mutate(&p)
+		if _, err := NewMultiZone(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestReturnTempWeighted(t *testing.T) {
+	m := twoZone(t)
+	// front 0.65, rear 0.35.
+	got := m.ReturnTemp([]float64{20, 30})
+	want := 0.65*20 + 0.35*30
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("return temp = %v, want %v", got, want)
+	}
+}
+
+func TestFrontZoneCoolsFaster(t *testing.T) {
+	// The front zone receives 65 % of the supply air: under cooling from
+	// a uniform hot start, it must lead the pull-down.
+	m := twoZone(t)
+	in := Inputs{SupplyTempC: 8, CoilTempC: 8, Recirc: 0.5, AirFlowKgS: 0.2}
+	sys := func(t float64, x, dxdt []float64) {
+		m.Derivatives(x, in, 38, 400, dxdt)
+	}
+	x, err := ode.Integrate(sys, []float64{35, 35}, 0, 120, 1, &ode.RK4{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] >= x[1] {
+		t.Errorf("front %v should be cooler than rear %v after 2 min", x[0], x[1])
+	}
+}
+
+func TestCouplingEqualizesZones(t *testing.T) {
+	// With no HVAC and no loads, coupled zones starting apart relax
+	// toward each other.
+	p := TwoZoneDefault()
+	for i := range p.Zones {
+		p.Zones[i].ShellUAWK = 0
+		p.Zones[i].SolarFrac = 0.5
+	}
+	m, err := NewMultiZone(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Inputs{SupplyTempC: 0, CoilTempC: 0, Recirc: 0, AirFlowKgS: 0}
+	sys := func(t float64, x, dxdt []float64) {
+		m.Derivatives(x, in, 0, 0, dxdt)
+	}
+	x, err := ode.Integrate(sys, []float64{30, 20}, 0, 3600, 1, &ode.RK4{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-x[1]) > 0.5 {
+		t.Errorf("zones did not equalize: %v vs %v", x[0], x[1])
+	}
+	// Energy-weighted mean is conserved (no external exchange):
+	// 0.6·30 + 0.4·20 = 26.
+	mean := (0.6*x[0]*1 + 0.4*x[1]) // capacitances 0.6/0.4 of the total
+	if math.Abs(mean-26) > 0.1 {
+		t.Errorf("energy not conserved: weighted mean %v, want 26", mean)
+	}
+}
+
+func TestStrongCouplingMatchesSingleZone(t *testing.T) {
+	// With near-infinite inter-zone coupling, the two-zone model must
+	// reproduce the single-zone model with the summed capacitance and
+	// conductance.
+	p := TwoZoneDefault()
+	p.CouplingWK = [][]float64{{0, 1e7}, {1e7, 0}}
+	mz, err := NewMultiZone(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Inputs{SupplyTempC: 10, CoilTempC: 10, Recirc: 0.5, AirFlowKgS: 0.15}
+
+	// Multi-zone with a stiff solver step (the coupling is stiff).
+	sysM := func(t float64, x, dxdt []float64) {
+		mz.Derivatives(x, in, 35, 400, dxdt)
+	}
+	xm, err := ode.Integrate(sysM, []float64{30, 30}, 0, 300, 0.001, &ode.RK4{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysS := func(t float64, x, dxdt []float64) {
+		dxdt[0] = single.CabinDerivative(x[0], in, 35, 400)
+	}
+	xs, err := ode.Integrate(sysS, []float64{30}, 0, 300, 0.1, &ode.RK4{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(xm[0]-xs[0]) > 0.2 {
+		t.Errorf("strongly coupled two-zone %v ≠ single-zone %v", xm[0], xs[0])
+	}
+}
+
+func TestMultiZonePowersUseReturnMix(t *testing.T) {
+	m := twoZone(t)
+	in := Inputs{SupplyTempC: 12, CoilTempC: 12, Recirc: 0.8, AirFlowKgS: 0.2}
+	// Cooler zones → cooler return air → lower cooling-coil duty.
+	hot := m.PowersFor(in, 38, []float64{32, 32}).CoolerW
+	cool := m.PowersFor(in, 38, []float64{24, 24}).CoolerW
+	if cool >= hot {
+		t.Errorf("cooler return air should reduce coil duty: %v vs %v", cool, hot)
+	}
+}
+
+func TestDerivativesPanicsOnBadLength(t *testing.T) {
+	m := twoZone(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch not detected")
+		}
+	}()
+	m.Derivatives([]float64{1}, Inputs{}, 0, 0, make([]float64, 2))
+}

@@ -1,0 +1,21 @@
+package comfort_test
+
+import (
+	"fmt"
+
+	"evclimate/internal/comfort"
+)
+
+// ExamplePMV scores two cabin temperatures for a summer-clothed driver.
+func ExamplePMV() {
+	for _, tz := range []float64{21.0, 25.0} {
+		pmv, err := comfort.PMV(comfort.DriverSummer(tz))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%.0f °C: PMV %+.1f, %.0f %% dissatisfied\n", tz, pmv, comfort.PPD(pmv))
+	}
+	// Output:
+	// 21 °C: PMV -1.3, 41 % dissatisfied
+	// 25 °C: PMV -0.1, 5 % dissatisfied
+}

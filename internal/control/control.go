@@ -1,0 +1,72 @@
+// Package control defines the climate-controller interface shared by the
+// baselines and the MPC, plus the two state-of-the-art baselines the paper
+// compares against (Sec. IV-B): the switching On/Off thermostat [8][9] and
+// the fuzzy-based controller [10]. A plain PID controller is included as
+// an additional reference point.
+package control
+
+import "evclimate/internal/cabin"
+
+// Forecast carries the preview information a predictive controller gets
+// from the drive profile (paper Sec. II-A: route, traffic, and climate
+// data known before driving). Slices share one sample period Dt and are
+// equal length; a zero-length forecast means no preview is available.
+type Forecast struct {
+	// Dt is the forecast sample period in seconds.
+	Dt float64
+	// MotorPowerW is the predicted electrical motor power over the
+	// horizon (Algorithm 1 line 14).
+	MotorPowerW []float64
+	// OutsideC is the predicted ambient temperature (line 15).
+	OutsideC []float64
+	// SolarW is the predicted solar thermal load.
+	SolarW []float64
+}
+
+// Len returns the number of forecast steps.
+func (f Forecast) Len() int { return len(f.MotorPowerW) }
+
+// StepContext is everything a controller may observe at one control step.
+type StepContext struct {
+	// Time is the simulation time in seconds.
+	Time float64
+	// Dt is the control period in seconds.
+	Dt float64
+	// CabinTempC is the measured cabin temperature T_z.
+	CabinTempC float64
+	// OutsideC is the current ambient temperature T_o.
+	OutsideC float64
+	// SolarW is the current solar thermal load.
+	SolarW float64
+	// MotorPowerW is the current electrical motor power P_e.
+	MotorPowerW float64
+	// SoC is the battery state of charge in percent.
+	SoC float64
+	// TargetC is the desired cabin temperature.
+	TargetC float64
+	// ComfortLowC and ComfortHighC bound the comfort zone (constraint
+	// C2).
+	ComfortLowC, ComfortHighC float64
+	// Forecast is the preview over the control window (may be empty).
+	Forecast Forecast
+}
+
+// Controller decides the HVAC inputs for the next control period.
+type Controller interface {
+	// Name identifies the controller in experiment reports.
+	Name() string
+	// Decide returns the HVAC inputs to apply over [Time, Time+Dt).
+	Decide(ctx StepContext) cabin.Inputs
+	// Reset clears internal state (integrators, hysteresis latches)
+	// before a new run.
+	Reset()
+}
+
+// coolingNeeded reports whether the environment pushes the cabin above
+// the target (so the HVAC must cool), based on ambient and solar load.
+func coolingNeeded(ctx StepContext) bool {
+	// Solar gain makes mild ambients net-heating; 50 W/K shell
+	// conductance is the Default() cabin value and only the sign matters
+	// for mode selection here.
+	return ctx.OutsideC+ctx.SolarW/50 > ctx.TargetC
+}

@@ -1,0 +1,121 @@
+package control
+
+import (
+	"evclimate/internal/cabin"
+	"evclimate/internal/fuzzy"
+)
+
+// Fuzzy is the fuzzy-based temperature-control baseline ([10], Ibrahim et
+// al.): a Mamdani controller on the temperature error and its rate that
+// outputs a normalized HVAC intensity, mapped onto air flow and coil
+// temperatures. It stabilizes the cabin temperature tightly (Fig. 5's
+// flattest trace) without any knowledge of the battery.
+type Fuzzy struct {
+	// Model supplies actuator limits.
+	Model *cabin.Model
+	// Recirc is the fixed damper setting (default 0.5).
+	Recirc float64
+	// MaxCoolSupplyDropC is the supply-air drop below target at full
+	// cooling intensity (default 16 °C).
+	MaxCoolSupplyDropC float64
+	// MaxHeatSupplyRiseC is the supply-air rise above target at full
+	// heating intensity (default 28 °C).
+	MaxHeatSupplyRiseC float64
+
+	sys     *fuzzy.System
+	prevErr float64
+	hasPrev bool
+}
+
+// NewFuzzy builds the baseline with the rule base of [10]: 3×3 rules on
+// (error, error rate) → intensity.
+func NewFuzzy(m *cabin.Model) *Fuzzy {
+	// Error: Tz − target, °C. Positive = too hot.
+	errV := fuzzy.NewVariable("err", -6, 6).
+		AddTerm("neg", fuzzy.Triangle{A: -6, B: -6, C: 0}).
+		AddTerm("zero", fuzzy.Triangle{A: -0.8, B: 0, C: 0.8}).
+		AddTerm("pos", fuzzy.Triangle{A: 0, B: 6, C: 6})
+	// Error rate, °C/s.
+	dErrV := fuzzy.NewVariable("derr", -0.2, 0.2).
+		AddTerm("falling", fuzzy.Triangle{A: -0.2, B: -0.2, C: 0}).
+		AddTerm("steady", fuzzy.Triangle{A: -0.03, B: 0, C: 0.03}).
+		AddTerm("rising", fuzzy.Triangle{A: 0, B: 0.2, C: 0.2})
+	// Intensity: −1 = full heating, +1 = full cooling.
+	outV := fuzzy.NewVariable("u", -1, 1).
+		AddTerm("heathard", fuzzy.Triangle{A: -1, B: -1, C: -0.5}).
+		AddTerm("heat", fuzzy.Triangle{A: -1, B: -0.5, C: 0}).
+		AddTerm("idle", fuzzy.Triangle{A: -0.15, B: 0, C: 0.15}).
+		AddTerm("cool", fuzzy.Triangle{A: 0, B: 0.5, C: 1}).
+		AddTerm("coolhard", fuzzy.Triangle{A: 0.5, B: 1, C: 1})
+
+	rule := func(e, d, u string) fuzzy.Rule {
+		return fuzzy.Rule{
+			If:   []fuzzy.Cond{{Var: "err", Term: e}, {Var: "derr", Term: d}},
+			Then: fuzzy.Cond{Var: "u", Term: u},
+		}
+	}
+	sys := fuzzy.NewSystem(outV, errV, dErrV).
+		AddRule(rule("pos", "rising", "coolhard")).
+		AddRule(rule("pos", "steady", "coolhard")).
+		AddRule(rule("pos", "falling", "cool")).
+		AddRule(rule("zero", "rising", "cool")).
+		AddRule(rule("zero", "steady", "idle")).
+		AddRule(rule("zero", "falling", "heat")).
+		AddRule(rule("neg", "rising", "heat")).
+		AddRule(rule("neg", "steady", "heathard")).
+		AddRule(rule("neg", "falling", "heathard"))
+
+	return &Fuzzy{
+		Model:              m,
+		Recirc:             0.5,
+		MaxCoolSupplyDropC: 16,
+		MaxHeatSupplyRiseC: 28,
+		sys:                sys,
+	}
+}
+
+// Name implements Controller.
+func (c *Fuzzy) Name() string { return "Fuzzy-based" }
+
+// Reset implements Controller.
+func (c *Fuzzy) Reset() {
+	c.prevErr = 0
+	c.hasPrev = false
+}
+
+// Decide implements Controller.
+func (c *Fuzzy) Decide(ctx StepContext) cabin.Inputs {
+	e := ctx.CabinTempC - ctx.TargetC
+	var de float64
+	if c.hasPrev && ctx.Dt > 0 {
+		de = (e - c.prevErr) / ctx.Dt
+	}
+	c.prevErr = e
+	c.hasPrev = true
+
+	u, err := c.sys.Evaluate(map[string]float64{"err": e, "derr": de})
+	if err != nil {
+		u = 0 // rule base covers the universe; defensive fallback
+	}
+
+	p := c.Model.Params()
+	mix := c.Model.MixTemp(ctx.OutsideC, ctx.CabinTempC, c.Recirc)
+	mag := u
+	if mag < 0 {
+		mag = -mag
+	}
+	// Air flow scales with intensity; a small floor keeps ventilation.
+	mz := p.MinAirFlowKgS + mag*(p.MaxAirFlowKgS-p.MinAirFlowKgS)*0.85
+	var in cabin.Inputs
+	switch {
+	case u > 0.02: // cooling
+		ts := ctx.TargetC - u*c.MaxCoolSupplyDropC
+		in = cabin.Inputs{SupplyTempC: ts, CoilTempC: ts, Recirc: c.Recirc, AirFlowKgS: mz}
+	case u < -0.02: // heating
+		ts := ctx.TargetC - u*c.MaxHeatSupplyRiseC // u negative → rise
+		in = cabin.Inputs{SupplyTempC: ts, CoilTempC: mix, Recirc: c.Recirc, AirFlowKgS: mz}
+	default: // idle: ventilate
+		in = cabin.Inputs{SupplyTempC: mix, CoilTempC: mix, Recirc: c.Recirc, AirFlowKgS: p.MinAirFlowKgS}
+	}
+	return c.Model.ClampInputs(in, mix)
+}

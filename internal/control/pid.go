@@ -1,0 +1,110 @@
+package control
+
+import (
+	"evclimate/internal/cabin"
+	"evclimate/internal/units"
+)
+
+// PID is a plain proportional–integral–derivative climate controller, the
+// implementation substrate the paper notes conventional automotive climate
+// control runs on [8][9][10]. It maps the PID actuation u ∈ [−1, 1]
+// (negative = heating) onto supply temperature and air flow the same way
+// the fuzzy baseline does, providing an ablation point between On/Off and
+// fuzzy control.
+type PID struct {
+	// Model supplies actuator limits.
+	Model *cabin.Model
+	// Kp, Ki, Kd are the gains on the temperature error in °C.
+	Kp, Ki, Kd float64
+	// Recirc is the fixed damper setting.
+	Recirc float64
+	// MaxCoolSupplyDropC / MaxHeatSupplyRiseC map |u| = 1 to supply
+	// temperatures, as in the fuzzy baseline.
+	MaxCoolSupplyDropC, MaxHeatSupplyRiseC float64
+
+	integral float64
+	prevErr  float64
+	hasPrev  bool
+}
+
+// NewPID returns a conservatively tuned PID baseline.
+func NewPID(m *cabin.Model) *PID {
+	return &PID{
+		Model:              m,
+		Kp:                 0.5,
+		Ki:                 0.002,
+		Kd:                 2.0,
+		Recirc:             0.5,
+		MaxCoolSupplyDropC: 16,
+		MaxHeatSupplyRiseC: 28,
+	}
+}
+
+// Name implements Controller.
+func (c *PID) Name() string { return "PID" }
+
+// Reset implements Controller.
+func (c *PID) Reset() {
+	c.integral = 0
+	c.prevErr = 0
+	c.hasPrev = false
+}
+
+// Decide implements Controller.
+func (c *PID) Decide(ctx StepContext) cabin.Inputs {
+	e := ctx.CabinTempC - ctx.TargetC // positive = too hot = cool
+	var de float64
+	if c.hasPrev && ctx.Dt > 0 {
+		de = (e - c.prevErr) / ctx.Dt
+	}
+	c.prevErr = e
+	c.hasPrev = true
+	c.integral += e * ctx.Dt
+	// Anti-windup: bound the integral contribution to ±0.5.
+	if c.Ki > 0 {
+		c.integral = units.Clamp(c.integral, -0.5/c.Ki, 0.5/c.Ki)
+	}
+	u := units.Clamp(c.Kp*e+c.Ki*c.integral+c.Kd*de, -1, 1)
+
+	p := c.Model.Params()
+	mix := c.Model.MixTemp(ctx.OutsideC, ctx.CabinTempC, c.Recirc)
+	mag := u
+	if mag < 0 {
+		mag = -mag
+	}
+	mz := p.MinAirFlowKgS + mag*(p.MaxAirFlowKgS-p.MinAirFlowKgS)*0.85
+	var in cabin.Inputs
+	switch {
+	case u > 0.02:
+		ts := ctx.TargetC - u*c.MaxCoolSupplyDropC
+		in = cabin.Inputs{SupplyTempC: ts, CoilTempC: ts, Recirc: c.Recirc, AirFlowKgS: mz}
+	case u < -0.02:
+		ts := ctx.TargetC - u*c.MaxHeatSupplyRiseC
+		in = cabin.Inputs{SupplyTempC: ts, CoilTempC: mix, Recirc: c.Recirc, AirFlowKgS: mz}
+	default:
+		in = cabin.Inputs{SupplyTempC: mix, CoilTempC: mix, Recirc: c.Recirc, AirFlowKgS: p.MinAirFlowKgS}
+	}
+	return c.Model.ClampInputs(in, mix)
+}
+
+// Constant applies fixed HVAC inputs every step — useful for plant tests
+// and for modeling the "HVAC as constant load" assumption the paper
+// criticizes in prior work.
+type Constant struct {
+	// Model supplies actuator limits.
+	Model *cabin.Model
+	// Inputs are applied (clamped) every step.
+	Inputs cabin.Inputs
+}
+
+// Name implements Controller.
+func (c *Constant) Name() string { return "Constant" }
+
+// Reset implements Controller.
+func (c *Constant) Reset() {}
+
+// Decide implements Controller.
+func (c *Constant) Decide(ctx StepContext) cabin.Inputs {
+	in, _ := c.Model.ClampForEnvironment(c.Inputs, ctx.OutsideC, ctx.CabinTempC)
+	return in
+}

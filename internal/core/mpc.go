@@ -1,0 +1,631 @@
+// Package core implements the paper's contribution: the battery
+// lifetime-aware automotive climate controller (Sec. III). At every
+// control step it solves a receding-horizon optimal control problem over
+// the discretized HVAC model (Eqs. 18–19) subject to the constraint set
+// C1–C10, minimizing the Eq. 21 cost
+//
+//	C = Σ w1·(Pf + Pc + Ph) + w2·(SoC − SoCavg)² + w3·(Tz − Ttarget)²
+//
+// with Sequential Quadratic Programming (internal/sqp), warm-started from
+// the previous step's shifted solution — Algorithm 1 of the paper. The
+// SoC-deviation term couples the HVAC schedule to the predicted electric
+// motor power: the optimizer throttles the HVAC during motor peaks and
+// precools/preheats during valleys, flattening the SoC trajectory and
+// thereby reducing SoH degradation (Eq. 15).
+//
+// Following the paper's Eq. 20 structure, the decision vector contains the
+// state trajectory x (cabin temperature), the control inputs i = [Ts, Tc,
+// dr, mz], and the auxiliary coil powers u = [Ph, Pc] tied to the inputs
+// by nonlinear equality constraints and bounded 0 ≤ P ≤ Pmax. Keeping the
+// coil powers as explicit nonnegative variables (rather than eliminating
+// them) is essential: an eliminated bilinear power expression can go
+// negative at infeasible SQP iterates, which the cost would reward,
+// stalling the solver at constraint-violating points. Tm, Pf, Pe, and SoC
+// are eliminated analytically (they are linear or depend only on single
+// inputs), which is mathematically equivalent to the paper's full u
+// vector.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+	"evclimate/internal/mat"
+	"evclimate/internal/sqp"
+	"evclimate/internal/units"
+)
+
+// Weights are the Eq. 21 cost weights.
+type Weights struct {
+	// Power is w1, applied to the summed HVAC electrical power in watts.
+	Power float64
+	// SoCDev is w2, applied to (SoC − SoCavg)² with SoC in percent.
+	SoCDev float64
+	// Comfort is w3, applied to (Tz − Ttarget)² in °C².
+	Comfort float64
+}
+
+// DefaultWeights balances the three cost terms at their typical
+// magnitudes (kilowatt HVAC powers, hundredth-of-a-percent SoC
+// deviations, sub-degree tracking errors). The ordering matters: comfort
+// tracking must dominate the SoC-deviation term, otherwise the optimizer
+// parks the cabin at a comfort-zone boundary to avoid HVAC power ramps
+// (the w2 term penalizes any asymmetric in-window power burst, including
+// the one needed to reach the target).
+func DefaultWeights() Weights {
+	return Weights{Power: 2e-4, SoCDev: 50, Comfort: 2.0}
+}
+
+// EconomyWeights trades comfort tracking for range: the power term is an
+// order of magnitude stronger, letting the cabin drift within the comfort
+// zone when holding the exact target is expensive.
+func EconomyWeights() Weights {
+	return Weights{Power: 2e-3, SoCDev: 50, Comfort: 0.5}
+}
+
+// ComfortWeights pins the cabin to the target regardless of cost — the
+// behaviour of a conventional comfort-first MPC, useful as an ablation
+// reference.
+func ComfortWeights() Weights {
+	return Weights{Power: 2e-5, SoCDev: 10, Comfort: 10}
+}
+
+// Config assembles the MPC controller.
+type Config struct {
+	// Cabin is the HVAC plant parameter set the internal model uses.
+	Cabin cabin.Params
+	// Horizon is N, the number of prediction steps (default 12).
+	Horizon int
+	// Dt is the prediction step in seconds (default 5). The controller
+	// may be called more often; it re-optimizes each call.
+	Dt float64
+	// Weights are the Eq. 21 weights.
+	Weights Weights
+	// BatteryCapacityAh and BatteryVoltageV parameterize the linear SoC
+	// prediction model (Eq. 13 with I_eff ≈ I; the plant still applies
+	// the full Peukert model — that mismatch is part of the co-sim).
+	BatteryCapacityAh, BatteryVoltageV float64
+	// AccessoryW is the constant accessory load added to the predicted
+	// total power.
+	AccessoryW float64
+	// SQP tunes the per-step optimizer (zero value → sensible MPC
+	// defaults: 30 iterations, 1e-4 tolerance).
+	SQP sqp.Options
+	// FunnelRateKps relaxes the comfort constraints into a shrinking
+	// funnel when the cabin starts outside the comfort zone, at this
+	// pull-down rate in K/s (default 0.04).
+	FunnelRateKps float64
+}
+
+// DefaultConfig returns the configuration used in the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Cabin:             cabin.Default(),
+		Horizon:           12,
+		Dt:                5,
+		Weights:           DefaultWeights(),
+		BatteryCapacityAh: 66.2,
+		BatteryVoltageV:   360,
+		AccessoryW:        300,
+	}
+}
+
+// Controller is the battery lifetime-aware MPC climate controller. It
+// implements control.Controller.
+type Controller struct {
+	cfg   Config
+	model *cabin.Model
+
+	prevZ []float64 // previous solution for warm starting
+	// Diagnostics aggregated over a run.
+	solves, converged, stalled, failed int
+	totalSQPIters                      int
+}
+
+// New validates the configuration and builds the controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 12
+	}
+	if cfg.Dt <= 0 {
+		cfg.Dt = 5
+	}
+	if cfg.Weights == (Weights{}) {
+		cfg.Weights = DefaultWeights()
+	}
+	if cfg.Weights.Power < 0 || cfg.Weights.SoCDev < 0 || cfg.Weights.Comfort < 0 {
+		return nil, errors.New("core: weights must be nonnegative")
+	}
+	if cfg.BatteryCapacityAh <= 0 || cfg.BatteryVoltageV <= 0 {
+		return nil, fmt.Errorf("core: battery parameters (%v Ah, %v V) must be positive", cfg.BatteryCapacityAh, cfg.BatteryVoltageV)
+	}
+	if cfg.FunnelRateKps <= 0 {
+		cfg.FunnelRateKps = 0.04
+	}
+	if cfg.SQP.MaxIter == 0 {
+		cfg.SQP.MaxIter = 30
+	}
+	if cfg.SQP.Tol == 0 {
+		cfg.SQP.Tol = 1e-4
+	}
+	if cfg.SQP.MinMeritDecrease == 0 {
+		// Real-time budget: stop polishing once the merit stalls; the
+		// warm-started next step re-optimizes anyway.
+		cfg.SQP.MinMeritDecrease = 1e-4
+	}
+	m, err := cabin.New(cfg.Cabin)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, model: m}, nil
+}
+
+// Name implements control.Controller.
+func (c *Controller) Name() string { return "Battery Lifetime-aware" }
+
+// Reset implements control.Controller.
+func (c *Controller) Reset() {
+	c.prevZ = nil
+	c.solves, c.converged, c.stalled, c.failed = 0, 0, 0, 0
+	c.totalSQPIters = 0
+}
+
+// Stats reports solver diagnostics since the last Reset.
+type Stats struct {
+	// Solves counts MPC steps.
+	Solves int
+	// Converged, Stalled, Failed count SQP termination kinds (the
+	// remainder hit the iteration cap, which is normal for real-time
+	// MPC).
+	Converged, Stalled, Failed int
+	// AvgSQPIters is the mean SQP iteration count per solve.
+	AvgSQPIters float64
+}
+
+// Stats returns the diagnostics.
+func (c *Controller) Stats() Stats {
+	s := Stats{Solves: c.solves, Converged: c.converged, Stalled: c.stalled, Failed: c.failed}
+	if c.solves > 0 {
+		s.AvgSQPIters = float64(c.totalSQPIters) / float64(c.solves)
+	}
+	return s
+}
+
+// horizonData is the exogenous forecast resampled onto the MPC grid.
+type horizonData struct {
+	n            int
+	dt           float64
+	motorW       []float64 // P_e per step
+	outsideC     []float64 // T_o per step
+	solarW       []float64
+	coilFloorC   []float64 // effective C5 lower bound per step
+	comfortLo    []float64 // funnelled C2 bounds per step (for x_{k+1})
+	comfortHi    []float64
+	tz0, soc0    float64
+	targetC      float64
+	kappaPerWatt float64 // SoC percent lost per W over one step
+}
+
+// buildHorizon resamples the StepContext forecast onto the MPC grid.
+func (c *Controller) buildHorizon(ctx control.StepContext) *horizonData {
+	n := c.cfg.Horizon
+	h := &horizonData{
+		n: n, dt: c.cfg.Dt,
+		motorW:     make([]float64, n),
+		outsideC:   make([]float64, n),
+		solarW:     make([]float64, n),
+		coilFloorC: make([]float64, n),
+		comfortLo:  make([]float64, n),
+		comfortHi:  make([]float64, n),
+		tz0:        ctx.CabinTempC,
+		soc0:       ctx.SoC,
+		targetC:    ctx.TargetC,
+	}
+	// SoC percent drained per watt over one prediction step (Eq. 13 with
+	// I_eff ≈ I).
+	h.kappaPerWatt = 100 * c.cfg.Dt / (units.SecondsPerHour * c.cfg.BatteryCapacityAh * c.cfg.BatteryVoltageV)
+
+	f := ctx.Forecast
+	for k := 0; k < n; k++ {
+		tk := float64(k) * c.cfg.Dt
+		if f.Len() > 0 && f.Dt > 0 {
+			idx := int(tk / f.Dt)
+			if idx >= f.Len() {
+				idx = f.Len() - 1
+			}
+			h.motorW[k] = f.MotorPowerW[idx]
+			h.outsideC[k] = f.OutsideC[idx]
+			h.solarW[k] = f.SolarW[idx]
+		} else {
+			h.motorW[k] = ctx.MotorPowerW
+			h.outsideC[k] = ctx.OutsideC
+			h.solarW[k] = ctx.SolarW
+		}
+		h.coilFloorC[k] = math.Min(c.cfg.Cabin.MinCoilTempC, h.outsideC[k])
+
+		// Comfort funnel: when the cabin starts outside the zone, the
+		// bound relaxes to the reachable envelope and tightens along the
+		// horizon at FunnelRateKps, keeping the horizon problem feasible
+		// during pull-down/warm-up.
+		pull := c.cfg.FunnelRateKps * (tk + c.cfg.Dt)
+		lo, hi := ctx.ComfortLowC, ctx.ComfortHighC
+		if ctx.CabinTempC > hi {
+			hi = math.Max(hi, ctx.CabinTempC+0.2-pull)
+		}
+		if ctx.CabinTempC < lo {
+			lo = math.Min(lo, ctx.CabinTempC-0.2+pull)
+		}
+		h.comfortLo[k] = lo
+		h.comfortHi[k] = hi
+	}
+	return h
+}
+
+// Variable layout (paper Eq. 20's z = [x, i, u]):
+//
+//	z[0..n−1]                  x_1..x_N   cabin temperatures
+//	z[n+4k+0..3]               i_k = [Ts_k, Tc_k, dr_k, mz_k]
+//	z[5n+2k+0..1]              u_k = [Ph_k, Pc_k] coil powers (aux)
+func (c *Controller) idxX(k int) int  { return k - 1 } // x_k, k ≥ 1
+func (c *Controller) idxTs(k int) int { return c.cfg.Horizon + 4*k }
+func (c *Controller) idxTc(k int) int { return c.cfg.Horizon + 4*k + 1 }
+func (c *Controller) idxDr(k int) int { return c.cfg.Horizon + 4*k + 2 }
+func (c *Controller) idxMz(k int) int { return c.cfg.Horizon + 4*k + 3 }
+func (c *Controller) idxPh(k int) int { return 5*c.cfg.Horizon + 2*k }
+func (c *Controller) idxPc(k int) int { return 5*c.cfg.Horizon + 2*k + 1 }
+
+// nz returns the decision-vector length.
+func (c *Controller) nz() int { return 7 * c.cfg.Horizon }
+
+// stateAt returns the cabin temperature at the start of step k and
+// whether it is a decision variable (k ≥ 1).
+func stateAt(z []float64, h *horizonData, k int) (float64, bool) {
+	if k == 0 {
+		return h.tz0, false
+	}
+	return z[k-1], true
+}
+
+// hvacPowerAt returns Ph + Pc + Pf at step k for iterate z, in watts.
+// The coil-power decision variables are stored in kilowatts so all
+// decision variables share the same order of magnitude (important for the
+// BFGS Hessian seed in the SQP solver).
+func (c *Controller) hvacPowerAt(z []float64, h *horizonData, k int) float64 {
+	mz := z[c.idxMz(k)]
+	return 1000*(z[c.idxPh(k)]+z[c.idxPc(k)]) + c.cfg.Cabin.FanCoeffW*mz*mz
+}
+
+// socTrajectory returns SoC_1..SoC_N for iterate z.
+func (c *Controller) socTrajectory(z []float64, h *horizonData) []float64 {
+	soc := make([]float64, h.n)
+	s := h.soc0
+	for k := 0; k < h.n; k++ {
+		total := h.motorW[k] + c.hvacPowerAt(z, h, k) + c.cfg.AccessoryW
+		s -= h.kappaPerWatt * total
+		soc[k] = s
+	}
+	return soc
+}
+
+// objective evaluates the Eq. 21 cost.
+func (c *Controller) objective(z []float64, h *horizonData) float64 {
+	w := c.cfg.Weights
+	var cost float64
+	soc := c.socTrajectory(z, h)
+	var socAvg float64
+	for _, s := range soc {
+		socAvg += s
+	}
+	socAvg /= float64(h.n)
+	for k := 0; k < h.n; k++ {
+		cost += w.Power * c.hvacPowerAt(z, h, k)
+		e := soc[k] - socAvg
+		cost += w.SoCDev * e * e
+		d := z[c.idxX(k+1)] - h.targetC
+		cost += w.Comfort * d * d
+	}
+	// Terminal comfort cost: without it the receding horizon ratchets the
+	// cabin toward a comfort-zone boundary, since each 60 s window sees a
+	// tiny drift as nearly free. Weighting the final state as strongly as
+	// the whole running cost anchors the trajectory at the target.
+	dN := z[c.idxX(h.n)] - h.targetC
+	cost += w.Comfort * float64(h.n) * dN * dN
+	return cost
+}
+
+// costPowerSens returns dC/dP_k for each step: the sensitivity of the
+// cost to the step-k HVAC power through the w1 term and the SoC chain.
+// e_j = SoC_j − SoCavg sums to zero, so the mean-shift term cancels and
+// dC/dP_k = w1 − 2·w2·κ·Σ_{j≥k+1} e_j.
+func (c *Controller) costPowerSens(z []float64, h *horizonData) []float64 {
+	w := c.cfg.Weights
+	soc := c.socTrajectory(z, h)
+	var socAvg float64
+	for _, s := range soc {
+		socAvg += s
+	}
+	socAvg /= float64(h.n)
+	sens := make([]float64, h.n)
+	tail := 0.0
+	for k := h.n - 1; k >= 0; k-- {
+		tail += soc[k] - socAvg
+		sens[k] = w.Power - 2*w.SoCDev*h.kappaPerWatt*tail
+	}
+	return sens
+}
+
+// gradient writes the analytic cost gradient.
+func (c *Controller) gradient(z []float64, h *horizonData, grad []float64) {
+	for i := range grad {
+		grad[i] = 0
+	}
+	w := c.cfg.Weights
+	sens := c.costPowerSens(z, h)
+	for k := 0; k < h.n; k++ {
+		dCdP := sens[k]
+		grad[c.idxPh(k)] += dCdP * 1000
+		grad[c.idxPc(k)] += dCdP * 1000
+		grad[c.idxMz(k)] += dCdP * 2 * c.cfg.Cabin.FanCoeffW * z[c.idxMz(k)]
+		grad[c.idxX(k+1)] += 2 * w.Comfort * (z[c.idxX(k+1)] - h.targetC)
+	}
+	grad[c.idxX(h.n)] += 2 * w.Comfort * float64(h.n) * (z[c.idxX(h.n)] - h.targetC)
+}
+
+// Equality constraints, 3 per step k:
+//
+//	row k        : dynamics residual (Eqs. 18–19, trapezoidal), scaled by
+//	               Δt/Mc so it reads in kelvins
+//	row n + 2k   : Ph_k − (cp/ηh)·mz·(Ts − Tc)/1000 = 0   (Eq. 10, kW)
+//	row n + 2k+1 : Pc_k − (cp/ηc)·mz·(Tm − Tc)/1000 = 0   (Eqs. 9, 11, kW)
+func (c *Controller) equalities(z []float64, h *horizonData, out []float64) {
+	p := c.cfg.Cabin
+	ah := p.AirCpJKgK / p.EtaHeat
+	ac := p.AirCpJKgK / p.EtaCool
+	for k := 0; k < h.n; k++ {
+		xk, _ := stateAt(z, h, k)
+		xk1 := z[c.idxX(k+1)]
+		ts := z[c.idxTs(k)]
+		tc := z[c.idxTc(k)]
+		dr := z[c.idxDr(k)]
+		mz := z[c.idxMz(k)]
+		xbar := (xk + xk1) / 2
+		q := h.solarW[k] + p.ShellUAWK*(h.outsideC[k]-xbar)
+		supply := mz * p.AirCpJKgK * (ts - xbar)
+		rowScale := h.dt / p.ThermalCapacitanceJK
+		out[k] = (xk1 - xk) - rowScale*(q+supply)
+
+		tm := (1-dr)*h.outsideC[k] + dr*xk
+		out[h.n+2*k] = z[c.idxPh(k)] - ah*mz*(ts-tc)/1000
+		out[h.n+2*k+1] = z[c.idxPc(k)] - ac*mz*(tm-tc)/1000
+	}
+}
+
+// equalitiesJac writes the Jacobian of the equality constraints.
+func (c *Controller) equalitiesJac(z []float64, h *horizonData, jac *mat.Dense) {
+	p := c.cfg.Cabin
+	ah := p.AirCpJKgK / p.EtaHeat
+	ac := p.AirCpJKgK / p.EtaCool
+	for k := 0; k < h.n; k++ {
+		ts := z[c.idxTs(k)]
+		tc := z[c.idxTc(k)]
+		dr := z[c.idxDr(k)]
+		mz := z[c.idxMz(k)]
+		xk, xIsVar := stateAt(z, h, k)
+		xk1 := z[c.idxX(k+1)]
+		xbar := (xk + xk1) / 2
+
+		// Dynamics row (scaled by Δt/Mc).
+		rowScale := h.dt / p.ThermalCapacitanceJK
+		jac.Set(k, c.idxX(k+1), 1+rowScale*(p.ShellUAWK/2+mz*p.AirCpJKgK/2))
+		if xIsVar {
+			jac.Set(k, c.idxX(k), -1+rowScale*(p.ShellUAWK/2+mz*p.AirCpJKgK/2))
+		}
+		jac.Set(k, c.idxTs(k), -rowScale*mz*p.AirCpJKgK)
+		jac.Set(k, c.idxMz(k), -rowScale*p.AirCpJKgK*(ts-xbar))
+
+		// Heater power definition row (kW).
+		r := h.n + 2*k
+		jac.Set(r, c.idxPh(k), 1)
+		jac.Set(r, c.idxTs(k), -ah*mz/1000)
+		jac.Set(r, c.idxTc(k), ah*mz/1000)
+		jac.Set(r, c.idxMz(k), -ah*(ts-tc)/1000)
+
+		// Cooler power definition row (kW).
+		r = h.n + 2*k + 1
+		tm := (1-dr)*h.outsideC[k] + dr*xk
+		jac.Set(r, c.idxPc(k), 1)
+		jac.Set(r, c.idxTc(k), ac*mz/1000)
+		jac.Set(r, c.idxDr(k), -ac*mz*(xk-h.outsideC[k])/1000)
+		jac.Set(r, c.idxMz(k), -ac*(tm-tc)/1000)
+		if xIsVar {
+			jac.Set(r, c.idxX(k), -ac*mz*dr/1000)
+		}
+	}
+}
+
+// Inequality constraints, 14 per step k:
+//
+//	0: mz ≥ mz_lo          (C1)     1: mz ≤ mz_hi∧fan  (C1/C10)
+//	2: x_{k+1} ≥ lo_k      (C2)     3: x_{k+1} ≤ hi_k  (C2)
+//	4: Tc ≤ Ts             (C3)     5: Tc ≤ Tm         (C4)
+//	6: Tc ≥ floor_k        (C5)     7: Ts ≤ Th_max     (C6)
+//	8: dr ≥ 0              (C7)     9: dr ≤ dr_max     (C7)
+//	10: Ph ≤ Ph_max        (C8)    11: Pc ≤ Pc_max     (C9)
+//	12: Ph ≥ 0                     13: Pc ≥ 0
+const ineqPerStep = 14
+
+func (c *Controller) maxFlow() float64 {
+	p := c.cfg.Cabin
+	return math.Min(p.MaxAirFlowKgS, math.Sqrt(p.MaxFanPowerW/p.FanCoeffW))
+}
+
+func (c *Controller) inequalities(z []float64, h *horizonData, out []float64) {
+	p := c.cfg.Cabin
+	mzHi := c.maxFlow()
+	for k := 0; k < h.n; k++ {
+		ts := z[c.idxTs(k)]
+		tc := z[c.idxTc(k)]
+		dr := z[c.idxDr(k)]
+		mz := z[c.idxMz(k)]
+		xhat, _ := stateAt(z, h, k)
+		tm := (1-dr)*h.outsideC[k] + dr*xhat
+		o := out[k*ineqPerStep:]
+		o[0] = p.MinAirFlowKgS - mz
+		o[1] = mz - mzHi
+		o[2] = h.comfortLo[k] - z[c.idxX(k+1)]
+		o[3] = z[c.idxX(k+1)] - h.comfortHi[k]
+		o[4] = tc - ts
+		o[5] = tc - tm
+		o[6] = h.coilFloorC[k] - tc
+		o[7] = ts - p.MaxHeaterTempC
+		o[8] = -dr
+		o[9] = dr - p.MaxRecirc
+		o[10] = z[c.idxPh(k)] - p.MaxHeaterPowerW/1000
+		o[11] = z[c.idxPc(k)] - p.MaxCoolerPowerW/1000
+		o[12] = -z[c.idxPh(k)]
+		o[13] = -z[c.idxPc(k)]
+	}
+}
+
+func (c *Controller) inequalitiesJac(z []float64, h *horizonData, jac *mat.Dense) {
+	for k := 0; k < h.n; k++ {
+		dr := z[c.idxDr(k)]
+		xhat, xIsVar := stateAt(z, h, k)
+		r := k * ineqPerStep
+		jac.Set(r+0, c.idxMz(k), -1)
+		jac.Set(r+1, c.idxMz(k), 1)
+		jac.Set(r+2, c.idxX(k+1), -1)
+		jac.Set(r+3, c.idxX(k+1), 1)
+		jac.Set(r+4, c.idxTc(k), 1)
+		jac.Set(r+4, c.idxTs(k), -1)
+		jac.Set(r+5, c.idxTc(k), 1)
+		jac.Set(r+5, c.idxDr(k), h.outsideC[k]-xhat)
+		if xIsVar {
+			jac.Set(r+5, c.idxX(k), -dr)
+		}
+		jac.Set(r+6, c.idxTc(k), -1)
+		jac.Set(r+7, c.idxTs(k), 1)
+		jac.Set(r+8, c.idxDr(k), -1)
+		jac.Set(r+9, c.idxDr(k), 1)
+		jac.Set(r+10, c.idxPh(k), 1)
+		jac.Set(r+11, c.idxPc(k), 1)
+		jac.Set(r+12, c.idxPh(k), -1)
+		jac.Set(r+13, c.idxPc(k), -1)
+	}
+}
+
+// initialGuess builds a feasible-ish starting iterate: hold the current
+// temperature and ventilate.
+func (c *Controller) initialGuess(h *horizonData) []float64 {
+	p := c.cfg.Cabin
+	ah := p.AirCpJKgK / p.EtaHeat
+	ac := p.AirCpJKgK / p.EtaCool
+	z := make([]float64, c.nz())
+	for k := 1; k <= h.n; k++ {
+		z[c.idxX(k)] = h.tz0
+	}
+	for k := 0; k < h.n; k++ {
+		dr := 0.5
+		tm := (1-dr)*h.outsideC[k] + dr*h.tz0
+		tc := math.Max(h.coilFloorC[k], math.Min(tm, h.targetC))
+		ts := units.Clamp(h.targetC, tc, p.MaxHeaterTempC)
+		mz := p.MinAirFlowKgS + 0.02
+		z[c.idxTs(k)] = ts
+		z[c.idxTc(k)] = tc
+		z[c.idxDr(k)] = dr
+		z[c.idxMz(k)] = mz
+		z[c.idxPh(k)] = math.Max(0, ah*mz*(ts-tc)/1000)
+		z[c.idxPc(k)] = math.Max(0, ac*mz*(tm-tc)/1000)
+	}
+	return z
+}
+
+// shiftWarmStart advances the previous solution by one step.
+func (c *Controller) shiftWarmStart(prev []float64, h *horizonData) []float64 {
+	n := h.n
+	z := mat.CloneVec(prev)
+	for k := 1; k < n; k++ {
+		z[c.idxX(k)] = prev[c.idxX(k+1)]
+	}
+	for k := 0; k < n-1; k++ {
+		for j := 0; j < 4; j++ {
+			z[c.cfg.Horizon+4*k+j] = prev[c.cfg.Horizon+4*(k+1)+j]
+		}
+		z[c.idxPh(k)] = prev[c.idxPh(k+1)]
+		z[c.idxPc(k)] = prev[c.idxPc(k+1)]
+	}
+	return z
+}
+
+// Decide implements control.Controller: it solves the horizon problem and
+// applies the first control move.
+func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
+	h := c.buildHorizon(ctx)
+	n := h.n
+
+	prob := &sqp.Problem{
+		N:         c.nz(),
+		Objective: func(z []float64) float64 { return c.objective(z, h) },
+		Gradient:  func(z, g []float64) { c.gradient(z, h, g) },
+		MEq:       3 * n,
+		Eq:        func(z, out []float64) { c.equalities(z, h, out) },
+		EqJac:     func(z []float64, jac *mat.Dense) { c.equalitiesJac(z, h, jac) },
+		MIneq:     n * ineqPerStep,
+		Ineq:      func(z, out []float64) { c.inequalities(z, h, out) },
+		IneqJac:   func(z []float64, jac *mat.Dense) { c.inequalitiesJac(z, h, jac) },
+	}
+
+	var z0 []float64
+	if c.prevZ != nil && len(c.prevZ) == c.nz() {
+		z0 = c.shiftWarmStart(c.prevZ, h)
+	} else {
+		z0 = c.initialGuess(h)
+	}
+
+	res, err := sqp.Solve(prob, z0, c.cfg.SQP)
+	c.solves++
+	if res != nil {
+		c.totalSQPIters += res.Iterations
+		switch res.Status {
+		case sqp.Converged:
+			c.converged++
+		case sqp.Stalled:
+			c.stalled++
+		case sqp.Failed:
+			c.failed++
+		}
+	}
+
+	var in cabin.Inputs
+	if err != nil || res == nil || !mat.AllFinite(res.X) {
+		// Optimizer broke down: fall back to a safe ventilation move and
+		// drop the warm start.
+		c.failed++
+		c.prevZ = nil
+		mixFallback := c.model.MixTemp(ctx.OutsideC, ctx.CabinTempC, 0.5)
+		in = cabin.Inputs{SupplyTempC: mixFallback, CoilTempC: mixFallback, Recirc: 0.5, AirFlowKgS: c.cfg.Cabin.MinAirFlowKgS}
+	} else {
+		c.prevZ = res.X
+		in = cabin.Inputs{
+			SupplyTempC: res.X[c.idxTs(0)],
+			CoilTempC:   res.X[c.idxTc(0)],
+			Recirc:      res.X[c.idxDr(0)],
+			AirFlowKgS:  res.X[c.idxMz(0)],
+		}
+	}
+	out, _ := c.model.ClampForEnvironment(in, ctx.OutsideC, ctx.CabinTempC)
+	return out
+}
+
+// PredictedPlan exposes the optimizer's current plan (cabin temperatures
+// x_1..x_N) for analysis and the Fig. 6 precool illustration. It returns
+// nil before the first Decide call.
+func (c *Controller) PredictedPlan() []float64 {
+	if c.prevZ == nil {
+		return nil
+	}
+	return mat.CloneVec(c.prevZ[:c.cfg.Horizon])
+}

@@ -1,0 +1,42 @@
+package drivecycle_test
+
+import (
+	"fmt"
+
+	"evclimate/internal/drivecycle"
+)
+
+// ExampleByName loads a standard cycle and reports its headline numbers.
+func ExampleByName() {
+	cycle, err := drivecycle.ByName("NEDC")
+	if err != nil {
+		panic(err)
+	}
+	profile := cycle.Profile(1)
+	s := profile.Stats()
+	fmt.Printf("%s: %.0f s, %.1f km, max %.0f km/h, %d stops\n",
+		cycle.Name, s.Duration, s.DistanceKm, s.MaxSpeedKmh, s.Stops)
+	// Output:
+	// NEDC: 1180 s, 10.8 km, max 120 km/h, 13 stops
+}
+
+// ExampleRoute_Profile builds a drive profile from GPS-style route
+// segments with weather attached.
+func ExampleRoute_Profile() {
+	route := &drivecycle.Route{
+		Name: "school-run",
+		Segments: []drivecycle.RouteSegment{
+			{LengthKm: 1, SpeedKmh: 40, AmbientC: 30, SolarW: 300, StopAtEnd: true},
+			{LengthKm: 3, SpeedKmh: 60, AmbientC: 30, SolarW: 300},
+		},
+	}
+	profile, err := route.Profile(1)
+	if err != nil {
+		panic(err)
+	}
+	s := profile.Stats()
+	fmt.Printf("%.1f km at up to %.0f km/h, ambient %.0f °C\n",
+		s.DistanceKm, s.MaxSpeedKmh, profile.Samples[0].AmbientC)
+	// Output:
+	// 4.2 km at up to 60 km/h, ambient 30 °C
+}

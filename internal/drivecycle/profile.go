@@ -1,0 +1,257 @@
+// Package drivecycle models drive profiles (paper Sec. II-A): discrete-time
+// sampled environment data — vehicle speed, acceleration, road slope,
+// ambient temperature, and solar load — that feed the power-train and HVAC
+// models. It provides the standard regulatory cycles the paper evaluates on
+// (NEDC, ECE, EUDC, ECE_EUDC, US06, SC03, UDDS) and a route builder for
+// composing realistic GPS-style profiles from segments.
+package drivecycle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"evclimate/internal/units"
+)
+
+// Sample is one discrete-time sample of a drive profile.
+type Sample struct {
+	// Time is the sample time in seconds from profile start.
+	Time float64
+	// Speed is the vehicle speed in m/s.
+	Speed float64
+	// Accel is the vehicle acceleration in m/s².
+	Accel float64
+	// SlopePercent is the road slope in percent (100 % = 45°).
+	SlopePercent float64
+	// AmbientC is the outside air temperature in °C.
+	AmbientC float64
+	// SolarW is the solar radiation thermal load on the cabin in watts.
+	SolarW float64
+	// WindMs is the headwind component along the route in m/s
+	// (negative = tailwind).
+	WindMs float64
+}
+
+// Profile is a uniformly sampled drive profile.
+type Profile struct {
+	// Name identifies the source cycle or route.
+	Name string
+	// Dt is the sample period in seconds.
+	Dt float64
+	// Samples holds the per-step environment data.
+	Samples []Sample
+}
+
+// ErrEmptyProfile is returned by operations that need at least one sample.
+var ErrEmptyProfile = errors.New("drivecycle: empty profile")
+
+// Duration returns the profile length in seconds.
+func (p *Profile) Duration() float64 {
+	if len(p.Samples) == 0 {
+		return 0
+	}
+	return p.Samples[len(p.Samples)-1].Time
+}
+
+// Len returns the number of samples.
+func (p *Profile) Len() int { return len(p.Samples) }
+
+// At returns the sample whose interval contains time t, with linear
+// interpolation of speed; t is clamped to the profile span.
+func (p *Profile) At(t float64) Sample {
+	if len(p.Samples) == 0 {
+		return Sample{}
+	}
+	if t <= p.Samples[0].Time {
+		return p.Samples[0]
+	}
+	last := p.Samples[len(p.Samples)-1]
+	if t >= last.Time {
+		return last
+	}
+	idx := int(math.Floor((t - p.Samples[0].Time) / p.Dt))
+	if idx >= len(p.Samples)-1 {
+		idx = len(p.Samples) - 2
+	}
+	a, b := p.Samples[idx], p.Samples[idx+1]
+	if t < a.Time || t > b.Time {
+		// Non-uniform spacing fallback: scan.
+		for i := 0; i < len(p.Samples)-1; i++ {
+			if p.Samples[i].Time <= t && t <= p.Samples[i+1].Time {
+				a, b = p.Samples[i], p.Samples[i+1]
+				break
+			}
+		}
+	}
+	w := (t - a.Time) / (b.Time - a.Time)
+	return Sample{
+		Time:         t,
+		Speed:        units.Lerp(a.Speed, b.Speed, w),
+		Accel:        a.Accel,
+		SlopePercent: units.Lerp(a.SlopePercent, b.SlopePercent, w),
+		AmbientC:     units.Lerp(a.AmbientC, b.AmbientC, w),
+		SolarW:       units.Lerp(a.SolarW, b.SolarW, w),
+		WindMs:       units.Lerp(a.WindMs, b.WindMs, w),
+	}
+}
+
+// Stats summarizes a profile.
+type Stats struct {
+	// Duration is the total time in seconds.
+	Duration float64
+	// DistanceKm is the integrated distance in kilometers.
+	DistanceKm float64
+	// AvgSpeedKmh includes idle time.
+	AvgSpeedKmh float64
+	// MaxSpeedKmh is the peak speed.
+	MaxSpeedKmh float64
+	// MaxAccel and MaxDecel are the acceleration extremes in m/s².
+	MaxAccel, MaxDecel float64
+	// Stops counts transitions from motion to standstill.
+	Stops int
+	// IdleFraction is the fraction of samples at standstill.
+	IdleFraction float64
+}
+
+// Stats computes summary statistics over the profile.
+func (p *Profile) Stats() Stats {
+	var s Stats
+	if len(p.Samples) == 0 {
+		return s
+	}
+	s.Duration = p.Duration()
+	var dist float64
+	idle := 0
+	moving := false
+	for i, smp := range p.Samples {
+		if i > 0 {
+			dt := smp.Time - p.Samples[i-1].Time
+			dist += (smp.Speed + p.Samples[i-1].Speed) / 2 * dt
+		}
+		if kmh := units.MsToKmh(smp.Speed); kmh > s.MaxSpeedKmh {
+			s.MaxSpeedKmh = kmh
+		}
+		if smp.Accel > s.MaxAccel {
+			s.MaxAccel = smp.Accel
+		}
+		if smp.Accel < s.MaxDecel {
+			s.MaxDecel = smp.Accel
+		}
+		still := smp.Speed < 0.05
+		if still {
+			idle++
+			if moving {
+				s.Stops++
+			}
+		}
+		moving = !still
+	}
+	s.DistanceKm = dist / 1000
+	if s.Duration > 0 {
+		s.AvgSpeedKmh = units.MsToKmh(dist / s.Duration)
+	}
+	s.IdleFraction = float64(idle) / float64(len(p.Samples))
+	return s
+}
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	out := &Profile{Name: p.Name, Dt: p.Dt, Samples: make([]Sample, len(p.Samples))}
+	copy(out.Samples, p.Samples)
+	return out
+}
+
+// WithAmbient returns a copy with a constant ambient temperature (°C).
+func (p *Profile) WithAmbient(tempC float64) *Profile {
+	out := p.Clone()
+	for i := range out.Samples {
+		out.Samples[i].AmbientC = tempC
+	}
+	return out
+}
+
+// WithSolar returns a copy with a constant solar thermal load (W). The
+// paper treats solar radiation as a constant thermal-load offset during a
+// drive (Sec. II-C).
+func (p *Profile) WithSolar(watts float64) *Profile {
+	out := p.Clone()
+	for i := range out.Samples {
+		out.Samples[i].SolarW = watts
+	}
+	return out
+}
+
+// WithWind returns a copy with a constant headwind (m/s; negative =
+// tailwind).
+func (p *Profile) WithWind(windMs float64) *Profile {
+	out := p.Clone()
+	for i := range out.Samples {
+		out.Samples[i].WindMs = windMs
+	}
+	return out
+}
+
+// WithSlopeFunc returns a copy whose slope at each sample is slope(t) in
+// percent.
+func (p *Profile) WithSlopeFunc(slope func(t float64) float64) *Profile {
+	out := p.Clone()
+	for i := range out.Samples {
+		out.Samples[i].SlopePercent = slope(out.Samples[i].Time)
+	}
+	return out
+}
+
+// WithAmbientFunc returns a copy whose ambient temperature at each sample
+// is temp(t) in °C.
+func (p *Profile) WithAmbientFunc(temp func(t float64) float64) *Profile {
+	out := p.Clone()
+	for i := range out.Samples {
+		out.Samples[i].AmbientC = temp(out.Samples[i].Time)
+	}
+	return out
+}
+
+// Repeat returns the profile concatenated n times (n ≥ 1).
+func (p *Profile) Repeat(n int) *Profile {
+	if n < 1 {
+		panic(fmt.Sprintf("drivecycle: Repeat(%d)", n))
+	}
+	out := &Profile{Name: fmt.Sprintf("%s×%d", p.Name, n), Dt: p.Dt}
+	period := p.Duration() + p.Dt
+	for k := 0; k < n; k++ {
+		offset := float64(k) * period
+		for _, s := range p.Samples {
+			s.Time += offset
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: positive Dt, monotone time,
+// nonnegative speed, finite values.
+func (p *Profile) Validate() error {
+	if len(p.Samples) == 0 {
+		return ErrEmptyProfile
+	}
+	if p.Dt <= 0 {
+		return fmt.Errorf("drivecycle: profile %q has non-positive Dt %v", p.Name, p.Dt)
+	}
+	prev := math.Inf(-1)
+	for i, s := range p.Samples {
+		if s.Time <= prev {
+			return fmt.Errorf("drivecycle: profile %q sample %d: time %v not increasing", p.Name, i, s.Time)
+		}
+		prev = s.Time
+		if s.Speed < 0 {
+			return fmt.Errorf("drivecycle: profile %q sample %d: negative speed %v", p.Name, i, s.Speed)
+		}
+		for _, v := range []float64{s.Speed, s.Accel, s.SlopePercent, s.AmbientC, s.SolarW, s.WindMs} {
+			if !units.IsFinite(v) {
+				return fmt.Errorf("drivecycle: profile %q sample %d: non-finite value", p.Name, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package drivecycle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// builders maps canonical cycle names to constructors. Construction is on
+// demand so callers can mutate returned cycles freely.
+var builders = map[string]func() *Cycle{
+	"ECE15":    ECE15,
+	"EUDC":     EUDC,
+	"NEDC":     NEDC,
+	"ECE_EUDC": ECEEUDC,
+	"US06":     US06,
+	"SC03":     SC03,
+	"UDDS":     UDDS,
+}
+
+// Names returns the available standard cycle names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns a fresh instance of the named standard cycle. The lookup
+// is case-insensitive and treats '-' and '_' as equivalent.
+func ByName(name string) (*Cycle, error) {
+	canon := strings.ToUpper(strings.ReplaceAll(name, "-", "_"))
+	if b, ok := builders[canon]; ok {
+		return b(), nil
+	}
+	return nil, fmt.Errorf("drivecycle: unknown cycle %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// EvaluationCycles returns the five drive profiles of the paper's
+// evaluation (Figs. 7–8) in the paper's order.
+func EvaluationCycles() []*Cycle {
+	return []*Cycle{NEDC(), US06(), ECEEUDC(), SC03(), UDDS()}
+}

@@ -1,0 +1,126 @@
+package drivecycle
+
+import (
+	"fmt"
+	"math"
+
+	"evclimate/internal/units"
+)
+
+// RouteSegment is one leg of a GPS-style route: the information a
+// navigation system provides ahead of time (paper Sec. II-A — route
+// segments with average speed from traffic data, slope from elevation
+// data, and ambient temperature from climate databases).
+type RouteSegment struct {
+	// LengthKm is the segment length in kilometers.
+	LengthKm float64
+	// SpeedKmh is the average travel speed over the segment.
+	SpeedKmh float64
+	// SlopePercent is the road grade (100 % = 45°).
+	SlopePercent float64
+	// AmbientC is the outside temperature over the segment in °C.
+	AmbientC float64
+	// SolarW is the solar thermal load over the segment in watts.
+	SolarW float64
+	// StopAtEnd inserts a stop (traffic light / junction) of StopS
+	// seconds at the end of the segment.
+	StopAtEnd bool
+	// StopS is the stop duration when StopAtEnd is set (default 15 s).
+	StopS float64
+}
+
+// Route is an ordered list of segments plus generation parameters.
+type Route struct {
+	// Name labels the generated profile.
+	Name string
+	// Segments describe the legs of the trip.
+	Segments []RouteSegment
+	// Accel is the acceleration used for speed transitions in m/s²
+	// (default 1.2).
+	Accel float64
+}
+
+// Profile renders the route into a drive profile sampled at dt. Speed
+// transitions between segments are constant-acceleration ramps; each
+// segment's slope, ambient, and solar values are applied over its span.
+func (r *Route) Profile(dt float64) (*Profile, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("drivecycle: route %q: dt %v must be positive", r.Name, dt)
+	}
+	if len(r.Segments) == 0 {
+		return nil, fmt.Errorf("drivecycle: route %q has no segments", r.Name)
+	}
+	accel := r.Accel
+	if accel <= 0 {
+		accel = 1.2
+	}
+
+	type envSpan struct {
+		untilS                float64
+		slope, ambient, solar float64
+	}
+	var (
+		bps   []Breakpoint
+		spans []envSpan
+	)
+	t, v := 0.0, 0.0 // current time, speed (km/h)
+	bps = append(bps, Breakpoint{0, 0})
+	push := func(dtSeg, speed float64) {
+		if dtSeg <= 0 {
+			return
+		}
+		t += dtSeg
+		v = speed
+		bps = append(bps, Breakpoint{t, speed})
+	}
+	for i, seg := range r.Segments {
+		if seg.LengthKm <= 0 || seg.SpeedKmh <= 0 {
+			return nil, fmt.Errorf("drivecycle: route %q segment %d: length and speed must be positive", r.Name, i)
+		}
+		// Ramp to the segment speed.
+		dv := units.KmhToMs(seg.SpeedKmh - v)
+		rampDist := 0.0
+		if math.Abs(dv) > 1e-9 {
+			rampT := math.Abs(dv) / accel
+			rampDist = (units.KmhToMs(v) + units.KmhToMs(seg.SpeedKmh)) / 2 * rampT
+			push(rampT, seg.SpeedKmh)
+		}
+		// Cruise for the remaining distance.
+		remain := seg.LengthKm*1000 - rampDist
+		if remain > 0 {
+			push(remain/units.KmhToMs(seg.SpeedKmh), seg.SpeedKmh)
+		}
+		if seg.StopAtEnd {
+			stopT := units.KmhToMs(v) / accel
+			push(stopT, 0)
+			dwell := seg.StopS
+			if dwell <= 0 {
+				dwell = 15
+			}
+			push(dwell, 0)
+		}
+		spans = append(spans, envSpan{untilS: t, slope: seg.SlopePercent, ambient: seg.AmbientC, solar: seg.SolarW})
+	}
+	// Final stop.
+	if v > 0 {
+		push(units.KmhToMs(v)/accel, 0)
+		spans[len(spans)-1].untilS = t
+	}
+
+	cyc := &Cycle{Name: r.Name, Breakpoints: bps}
+	if err := cyc.Validate(); err != nil {
+		return nil, err
+	}
+	p := cyc.Profile(dt)
+	// Apply per-segment environment values.
+	si := 0
+	for i := range p.Samples {
+		for si < len(spans)-1 && p.Samples[i].Time > spans[si].untilS {
+			si++
+		}
+		p.Samples[i].SlopePercent = spans[si].slope
+		p.Samples[i].AmbientC = spans[si].ambient
+		p.Samples[i].SolarW = spans[si].solar
+	}
+	return p, nil
+}

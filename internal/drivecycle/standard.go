@@ -1,0 +1,66 @@
+package drivecycle
+
+// This file defines the regulatory drive cycles used in the paper's
+// evaluation (Sec. IV): NEDC, ECE_EUDC, US06, SC03, UDDS.
+//
+// The European cycles (ECE-15 urban cycle, EUDC extra-urban cycle, and
+// their compositions) are officially specified as piecewise-linear speed
+// ramps, so the breakpoint tables below are the cycle definitions, not
+// approximations.
+//
+// The EPA transient cycles (US06, SC03, UDDS) are officially distributed
+// as second-by-second measured traces that are not redistributable here;
+// see synthetic.go for the matched-statistics reconstructions (the
+// substitution is documented in DESIGN.md §3).
+
+// ECE15 returns the ECE-15 urban driving cycle (UDC): 195 s, ≈ 1 km,
+// max 50 km/h, three stop-start micro-trips.
+func ECE15() *Cycle {
+	return &Cycle{
+		Name: "ECE15",
+		Breakpoints: []Breakpoint{
+			{0, 0}, {11, 0},
+			{15, 15}, {23, 15}, {28, 0},
+			{49, 0},
+			{61, 32}, {85, 32}, {96, 0},
+			{117, 0},
+			{143, 50}, {155, 50}, {163, 35}, {176, 35}, {188, 0},
+			{195, 0},
+		},
+	}
+}
+
+// EUDC returns the Extra-Urban Driving Cycle: 400 s, ≈ 7 km,
+// max 120 km/h.
+func EUDC() *Cycle {
+	return &Cycle{
+		Name: "EUDC",
+		Breakpoints: []Breakpoint{
+			{0, 0}, {20, 0},
+			{61, 70}, {111, 70},
+			{119, 50}, {188, 50},
+			{201, 70}, {251, 70},
+			{286, 100}, {316, 100},
+			{336, 120}, {346, 120},
+			{380, 0}, {400, 0},
+		},
+	}
+}
+
+// NEDC returns the New European Driving Cycle: four ECE-15 urban cycles
+// followed by one EUDC, 1180 s total, ≈ 11 km.
+func NEDC() *Cycle {
+	c := ECE15().RepeatCycle(4).Append(EUDC())
+	c.Name = "NEDC"
+	return c
+}
+
+// ECEEUDC returns the combined single urban + extra-urban cycle
+// (1 × ECE-15 followed by EUDC, 595 s). The paper lists ECE_EUDC as a
+// profile distinct from NEDC; we take it as the single-repetition
+// composition.
+func ECEEUDC() *Cycle {
+	c := ECE15().Append(EUDC())
+	c.Name = "ECE_EUDC"
+	return c
+}

@@ -1,0 +1,31 @@
+package drivecycle
+
+// WLTP returns the WLTC class-3b cycle (the NEDC's successor), rebuilt as
+// four statistics-matched micro-trip phases — Low, Medium, High, and
+// Extra-High — like the EPA cycles in synthetic.go. Official reference:
+// 1800 s, 23.27 km, average 46.5 km/h, maximum 131.3 km/h.
+// The paper predates WLTP; the cycle is provided as an extension so the
+// controllers can be evaluated on the current homologation profile.
+func WLTP() *Cycle {
+	trips := []microTrip{
+		// Low phase (≈ 589 s, 3.1 km): urban stop-and-go, max 56.5 km/h.
+		{peakKmh: 45, accel: 1.2, cruiseS: 30, wobbleKmh: 5, decel: 1.3, endKmh: 0, idleS: 66},
+		{peakKmh: 30, accel: 1.1, cruiseS: 20, wobbleKmh: 4, decel: 1.2, endKmh: 0, idleS: 63},
+		{peakKmh: 56.5, accel: 1.3, cruiseS: 45, wobbleKmh: 6, decel: 1.3, endKmh: 0, idleS: 68},
+		{peakKmh: 38, accel: 1.1, cruiseS: 25, wobbleKmh: 4, decel: 1.2, endKmh: 0, idleS: 64},
+		{peakKmh: 48, accel: 1.2, cruiseS: 35, wobbleKmh: 5, decel: 1.3, endKmh: 0, idleS: 70},
+		// Medium phase (≈ 433 s, 4.8 km): max 76.6 km/h.
+		{peakKmh: 76.6, accel: 1.2, cruiseS: 110, wobbleKmh: 7, decel: 1.2, endKmh: 0, idleS: 63},
+		{peakKmh: 62, accel: 1.1, cruiseS: 80, wobbleKmh: 6, decel: 1.2, endKmh: 0, idleS: 66},
+		// High phase (≈ 455 s, 7.2 km): max 97.4 km/h.
+		{peakKmh: 97.4, accel: 1.1, cruiseS: 190, wobbleKmh: 8, decel: 1.1, endKmh: 40, idleS: 0},
+		{peakKmh: 80, accel: 1.0, cruiseS: 130, wobbleKmh: 7, decel: 1.2, endKmh: 0, idleS: 62},
+		// Extra-high phase (≈ 323 s, 8.3 km): max 131.3 km/h.
+		{peakKmh: 131.3, accel: 1.0, cruiseS: 190, wobbleKmh: 10, decel: 1.2, endKmh: 0, idleS: 58},
+	}
+	return buildCycle("WLTP", 12, trips)
+}
+
+func init() {
+	builders["WLTP"] = WLTP
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"evclimate/internal/core"
+	"evclimate/internal/drivecycle"
+	"evclimate/internal/sim"
+	"evclimate/internal/sqp"
+)
+
+// This file implements the ablation studies DESIGN.md §7 calls out for the
+// design choices behind the MPC controller: horizon length, the
+// SoC-deviation weight w2 (the term that distinguishes the paper's
+// controller from a plain comfort+energy MPC), the SQP iteration budget
+// (down to a single-QP controller), and the plant/controller time-step
+// ratio (model-mismatch sensitivity).
+
+// AblationRow is one configuration's outcome.
+type AblationRow struct {
+	// Label names the configuration, e.g. "N=20".
+	Label string
+	// AvgHVACW, DeltaSoH, SoCDev, RMSTrackingErrC, ComfortViolationFrac
+	// are the run metrics.
+	AvgHVACW, DeltaSoH, SoCDev, RMSTrackingErrC, ComfortViolationFrac float64
+	// SolveTimeMs is the mean wall-clock time per MPC step.
+	SolveTimeMs float64
+}
+
+// runMPCConfig simulates one MPC configuration on the hot-day ECE_EUDC
+// profile and collects metrics.
+func (o *Options) runMPCConfig(label string, mcfg core.Config) (AblationRow, error) {
+	p := o.prepare(drivecycle.ECEEUDC(), o.AmbientC, o.SolarW)
+	cfg := sim.DefaultConfig(p)
+	cfg.TargetC = o.TargetC
+	cfg.ComfortBandC = o.ComfortBandC
+	cfg.InitialCabinC = o.TargetC
+	cfg.ControlDt = o.MPCControlDt
+	cfg.ForecastSteps = mcfg.Horizon
+	runner, err := sim.New(cfg)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	mpc, err := core.New(mcfg)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	start := time.Now()
+	res, err := runner.Run(mpc)
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("experiments: ablation %s: %w", label, err)
+	}
+	elapsed := time.Since(start)
+	row := AblationRow{
+		Label:                label,
+		AvgHVACW:             res.AvgHVACW,
+		DeltaSoH:             res.DeltaSoH,
+		SoCDev:               res.SoCDev,
+		RMSTrackingErrC:      res.RMSTrackingErrC,
+		ComfortViolationFrac: res.ComfortViolationFrac,
+	}
+	if solves := mpc.Stats().Solves; solves > 0 {
+		row.SolveTimeMs = float64(elapsed.Milliseconds()) / float64(solves)
+	}
+	return row, nil
+}
+
+// AblateHorizon sweeps the MPC horizon length N.
+func AblateHorizon(opts Options, horizons []int) ([]AblationRow, error) {
+	opts.fill()
+	if len(horizons) == 0 {
+		horizons = []int{4, 8, 12, 20}
+	}
+	rows := make([]AblationRow, 0, len(horizons))
+	for _, n := range horizons {
+		mcfg := opts.mpcConfig()
+		mcfg.Horizon = n
+		row, err := opts.runMPCConfig(fmt.Sprintf("N=%d", n), mcfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblateSoCDevWeight sweeps w2. w2 = 0 reduces the controller to a plain
+// comfort+energy MPC — the configuration that isolates the paper's
+// battery-lifetime term.
+func AblateSoCDevWeight(opts Options, weights []float64) ([]AblationRow, error) {
+	opts.fill()
+	if len(weights) == 0 {
+		weights = []float64{0, 10, 50, 200}
+	}
+	rows := make([]AblationRow, 0, len(weights))
+	for _, w2 := range weights {
+		mcfg := opts.mpcConfig()
+		mcfg.Weights.SoCDev = w2
+		row, err := opts.runMPCConfig(fmt.Sprintf("w2=%g", w2), mcfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblateSQPBudget sweeps the per-step SQP iteration limit. MaxIter = 1 is
+// the "single-QP" controller: one linearization of the bilinear dynamics,
+// no outer iterations.
+func AblateSQPBudget(opts Options, budgets []int) ([]AblationRow, error) {
+	opts.fill()
+	if len(budgets) == 0 {
+		budgets = []int{1, 5, 15, 30}
+	}
+	rows := make([]AblationRow, 0, len(budgets))
+	for _, it := range budgets {
+		mcfg := opts.mpcConfig()
+		mcfg.SQP = sqp.Options{MaxIter: it, Tol: 1e-4}
+		row, err := opts.runMPCConfig(fmt.Sprintf("sqp=%d", it), mcfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblateControlPeriod sweeps the controller period against the fixed
+// plant integration (PlantSubSteps keeps the plant step ≈ 1 s), probing
+// sensitivity to plant/controller rate mismatch.
+func AblateControlPeriod(opts Options, periods []float64) ([]AblationRow, error) {
+	opts.fill()
+	if len(periods) == 0 {
+		periods = []float64{2, 5, 10}
+	}
+	rows := make([]AblationRow, 0, len(periods))
+	for _, dt := range periods {
+		o := opts
+		o.MPCControlDt = dt
+		mcfg := o.mpcConfig()
+		mcfg.Dt = dt
+		row, err := o.runMPCConfig(fmt.Sprintf("dt=%gs", dt), mcfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAblation formats ablation rows under a title.
+func RenderAblation(title string, rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation — %s (ECE_EUDC, hot day)\n", title)
+	sb.WriteString("config     HVAC kW    ΔSoH %   SoC dev   RMS °C  viol %  ms/solve\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %7.2f %9.5f %9.3f %8.2f %7.1f %9.1f\n",
+			r.Label, r.AvgHVACW/1000, r.DeltaSoH, r.SoCDev,
+			r.RMSTrackingErrC, 100*r.ComfortViolationFrac, r.SolveTimeMs)
+	}
+	return sb.String()
+}

@@ -1,0 +1,149 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (Sec. IV): the motivational EV/ICE power breakdown (Fig. 1),
+// the cabin-temperature traces of the three controllers (Fig. 5), the
+// precool illustration (Fig. 6), the battery-lifetime comparison over the
+// five drive profiles (Fig. 7), the average HVAC power comparison
+// (Fig. 8), and the ambient-temperature analysis (Table I). The cmd/evbench
+// binary and the repository-level benchmarks drive these harnesses.
+package experiments
+
+import (
+	"fmt"
+
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+	"evclimate/internal/core"
+	"evclimate/internal/drivecycle"
+	"evclimate/internal/sim"
+)
+
+// Options configures an experiment run. The zero value reproduces the
+// paper's setup.
+type Options struct {
+	// AmbientC is the outside temperature for the hot-day experiments
+	// (Figs. 5–8). Default 35 °C.
+	AmbientC float64
+	// SolarW is the constant solar thermal load. Default 400 W.
+	SolarW float64
+	// TargetC is the cabin target temperature. Default 24 °C.
+	TargetC float64
+	// ComfortBandC is the comfort-zone half width. Default 3 °C.
+	ComfortBandC float64
+	// MPCControlDt is the MPC control period in seconds. Default 5.
+	MPCControlDt float64
+	// BaselineControlDt is the baseline control period. Default 1.
+	BaselineControlDt float64
+	// MPC overrides the MPC configuration. Zero value → core.DefaultConfig.
+	MPC *core.Config
+	// MaxProfileS truncates drive profiles to this many seconds
+	// (0 = full length) — used to keep unit tests fast.
+	MaxProfileS float64
+}
+
+func (o *Options) fill() {
+	if o.AmbientC == 0 {
+		o.AmbientC = 35
+	}
+	if o.SolarW == 0 {
+		o.SolarW = 400
+	}
+	if o.TargetC == 0 {
+		o.TargetC = 24
+	}
+	if o.ComfortBandC == 0 {
+		o.ComfortBandC = 3
+	}
+	if o.MPCControlDt == 0 {
+		o.MPCControlDt = 5
+	}
+	if o.BaselineControlDt == 0 {
+		o.BaselineControlDt = 1
+	}
+}
+
+func (o *Options) mpcConfig() core.Config {
+	if o.MPC != nil {
+		return *o.MPC
+	}
+	return core.DefaultConfig()
+}
+
+// truncate limits a profile to maxS seconds.
+func truncate(p *drivecycle.Profile, maxS float64) *drivecycle.Profile {
+	if maxS <= 0 || p.Duration() <= maxS {
+		return p
+	}
+	out := &drivecycle.Profile{Name: p.Name, Dt: p.Dt}
+	for _, s := range p.Samples {
+		if s.Time > maxS {
+			break
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	return out
+}
+
+// prepare builds the experiment profile for a cycle at the options'
+// ambient conditions.
+func (o *Options) prepare(c *drivecycle.Cycle, ambientC, solarW float64) *drivecycle.Profile {
+	p := c.Profile(1).WithAmbient(ambientC).WithSolar(solarW)
+	return truncate(p, o.MaxProfileS)
+}
+
+// ControllerName identifies the three compared methodologies.
+const (
+	NameOnOff = "On/Off"
+	NameFuzzy = "Fuzzy-based"
+	NameMPC   = "Battery Lifetime-aware"
+)
+
+// runAll simulates the three controllers on one profile and returns the
+// results keyed by controller name. Baselines run at the fine control
+// period; the MPC at its own period with preview enabled.
+func (o *Options) runAll(p *drivecycle.Profile) (map[string]*sim.Result, error) {
+	hvac, err := cabin.New(cabin.Default())
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]*sim.Result, 3)
+
+	baseCfg := sim.DefaultConfig(p)
+	baseCfg.TargetC = o.TargetC
+	baseCfg.ComfortBandC = o.ComfortBandC
+	baseCfg.InitialCabinC = o.TargetC
+	baseCfg.ControlDt = o.BaselineControlDt
+	baseRunner, err := sim.New(baseCfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, ctrl := range []control.Controller{control.NewOnOff(hvac), control.NewFuzzy(hvac)} {
+		res, err := baseRunner.Run(ctrl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", ctrl.Name(), p.Name, err)
+		}
+		out[ctrl.Name()] = res
+	}
+
+	mcfg := o.mpcConfig()
+	mpcSimCfg := baseCfg
+	mpcSimCfg.ControlDt = o.MPCControlDt
+	mpcSimCfg.ForecastSteps = mcfg.Horizon * int(mcfg.Dt/o.MPCControlDt+0.5)
+	if mpcSimCfg.ForecastSteps < mcfg.Horizon {
+		mpcSimCfg.ForecastSteps = mcfg.Horizon
+	}
+	mpcRunner, err := sim.New(mpcSimCfg)
+	if err != nil {
+		return nil, err
+	}
+	mpc, err := core.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mpcRunner.Run(mpc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: MPC on %s: %w", p.Name, err)
+	}
+	out[NameMPC] = res
+	return out, nil
+}

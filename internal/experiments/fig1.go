@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"evclimate/internal/cabin"
+	"evclimate/internal/powertrain"
+	"evclimate/internal/units"
+)
+
+// Fig1Row is one ambient-temperature column of Fig. 1: the percentage
+// split of total power consumption among propulsion, HVAC, and
+// accessories, for an EV and an ICE vehicle.
+type Fig1Row struct {
+	// AmbientC is the outside temperature.
+	AmbientC float64
+	// EVMotorPct, EVHVACPct, EVAccPct sum to 100 for the EV.
+	EVMotorPct, EVHVACPct, EVAccPct float64
+	// ICEEnginePct, ICEHVACPct, ICEAccPct sum to 100 for the ICE
+	// vehicle (fuel-power basis).
+	ICEEnginePct, ICEHVACPct, ICEAccPct float64
+}
+
+// Fig1Config parameterizes the motivational analysis.
+type Fig1Config struct {
+	// CruiseKmh is the evaluation speed (default 110 km/h, highway).
+	CruiseKmh float64
+	// Ambients are the evaluated outside temperatures (default −10…40).
+	Ambients []float64
+	// SolarW is the solar load (default 300 W).
+	SolarW float64
+	// TargetC is the cabin setpoint (default 24 °C).
+	TargetC float64
+	// EngineEfficiency is the ICE tank-to-shaft efficiency (default 0.28).
+	EngineEfficiency float64
+	// CompressorCOP is the ICE belt-driven A/C coefficient of
+	// performance (default 2.5).
+	CompressorCOP float64
+	// AccessoryW is the accessory electrical load (default 300 W).
+	AccessoryW float64
+}
+
+func (c *Fig1Config) fill() {
+	if c.CruiseKmh == 0 {
+		c.CruiseKmh = 110
+	}
+	if len(c.Ambients) == 0 {
+		c.Ambients = []float64{-10, 0, 10, 20, 30, 40}
+	}
+	if c.SolarW == 0 {
+		c.SolarW = 300
+	}
+	if c.TargetC == 0 {
+		c.TargetC = 24
+	}
+	if c.EngineEfficiency == 0 {
+		c.EngineEfficiency = 0.28
+	}
+	if c.CompressorCOP == 0 {
+		c.CompressorCOP = 2.5
+	}
+	if c.AccessoryW == 0 {
+		c.AccessoryW = 300
+	}
+}
+
+// Fig1 regenerates the Fig. 1 breakdown from the models. The EV HVAC
+// follows the paper's Eq. 10–12 power model; the ICE vehicle burns fuel
+// for propulsion (engine efficiency) and for the A/C compressor in
+// cooling, while heating uses engine waste heat (fan only) — the
+// asymmetry that motivates the paper.
+func Fig1(cfg Fig1Config) ([]Fig1Row, error) {
+	cfg.fill()
+	pt, err := powertrain.New(powertrain.NissanLeaf())
+	if err != nil {
+		return nil, err
+	}
+	hv, err := cabin.New(cabin.Default())
+	if err != nil {
+		return nil, err
+	}
+	v := units.KmhToMs(cfg.CruiseKmh)
+	evMotorW := pt.ElectricalPower(v, 0, 0, 0)
+	mechW := pt.TractiveForce(v, 0, 0, 0) * v
+
+	rows := make([]Fig1Row, 0, len(cfg.Ambients))
+	for _, amb := range cfg.Ambients {
+		pw := hv.SteadyStatePower(cfg.TargetC, amb, cfg.SolarW, 0.5)
+		evHVAC := pw.Total()
+
+		evTotal := evMotorW + evHVAC + cfg.AccessoryW
+
+		// ICE vehicle, fuel-power basis.
+		engineFuel := mechW / cfg.EngineEfficiency
+		accFuel := cfg.AccessoryW / (cfg.EngineEfficiency * 0.6) // via alternator
+		var hvacFuel float64
+		if pw.CoolerW > 0 {
+			// Compressor shaft power from the thermal duty implied by the
+			// EV's electrical cooler model (duty = Pc·ηc), then to fuel.
+			thermal := pw.CoolerW * hv.Params().EtaCool
+			hvacFuel = thermal / cfg.CompressorCOP / cfg.EngineEfficiency
+		}
+		// Heating is engine waste heat: only the blower costs fuel.
+		hvacFuel += pw.FanW / (cfg.EngineEfficiency * 0.6)
+		iceTotal := engineFuel + hvacFuel + accFuel
+
+		rows = append(rows, Fig1Row{
+			AmbientC:     amb,
+			EVMotorPct:   100 * evMotorW / evTotal,
+			EVHVACPct:    100 * evHVAC / evTotal,
+			EVAccPct:     100 * cfg.AccessoryW / evTotal,
+			ICEEnginePct: 100 * engineFuel / iceTotal,
+			ICEHVACPct:   100 * hvacFuel / iceTotal,
+			ICEAccPct:    100 * accFuel / iceTotal,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig1 formats the rows as the paper's stacked-percentage series.
+func RenderFig1(rows []Fig1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 1 — Power-consumption percentages, EV vs ICE, by ambient temperature\n")
+	sb.WriteString("Ambient   EV: motor  HVAC   acc  | ICE: engine  HVAC   acc\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%5.0f °C     %5.1f%% %5.1f%% %4.1f%% |      %5.1f%% %5.1f%% %4.1f%%\n",
+			r.AmbientC, r.EVMotorPct, r.EVHVACPct, r.EVAccPct,
+			r.ICEEnginePct, r.ICEHVACPct, r.ICEAccPct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+	"evclimate/internal/core"
+	"evclimate/internal/geodata"
+	"evclimate/internal/sim"
+)
+
+// This file adds a fleet-scale Monte-Carlo evaluation beyond the paper's
+// five fixed cycles: many synthesized commutes across climates, terrains,
+// and departure times (via internal/geodata), each driven under On/Off and
+// under the lifetime-aware MPC, aggregated into distributional statistics
+// of the SoH and power savings. This answers the robustness question the
+// paper's fixed-cycle evaluation leaves open: how does the improvement
+// distribute over realistic usage, not just regulatory cycles?
+
+// FleetConfig parameterizes the Monte-Carlo sweep.
+type FleetConfig struct {
+	// Trips is the number of synthesized commutes (default 12).
+	Trips int
+	// Seed makes the sweep reproducible (default 1).
+	Seed int64
+	// Zones are the climate zones sampled (default all four).
+	Zones []geodata.ClimateZone
+	// MaxProfileS truncates each trip (0 = full; tests set this).
+	MaxProfileS float64
+	// MPC overrides the controller configuration.
+	MPC *core.Config
+}
+
+// FleetTrip is one sampled commute's outcome.
+type FleetTrip struct {
+	// Label describes the sample ("coastal m7 h8 14km").
+	Label string
+	// OnOffDeltaSoH, MPCDeltaSoH are the per-cycle degradations.
+	OnOffDeltaSoH, MPCDeltaSoH float64
+	// OnOffHVACW, MPCHVACW are the average HVAC powers.
+	OnOffHVACW, MPCHVACW float64
+	// SoHSavingPct is the MPC's relative improvement.
+	SoHSavingPct float64
+}
+
+// FleetSummary aggregates the sweep.
+type FleetSummary struct {
+	// Trips holds the individual outcomes.
+	Trips []FleetTrip
+	// MeanSoHSavingPct, MedianSoHSavingPct, MinSoHSavingPct,
+	// MaxSoHSavingPct summarize the distribution of SoH savings.
+	MeanSoHSavingPct, MedianSoHSavingPct, MinSoHSavingPct, MaxSoHSavingPct float64
+	// WinFraction is the share of trips where the MPC degraded the
+	// battery less than On/Off.
+	WinFraction float64
+}
+
+// RunFleet executes the Monte-Carlo sweep.
+func RunFleet(cfg FleetConfig) (*FleetSummary, error) {
+	if cfg.Trips <= 0 {
+		cfg.Trips = 12
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if len(cfg.Zones) == 0 {
+		cfg.Zones = []geodata.ClimateZone{
+			geodata.Temperate, geodata.Desert, geodata.Coastal, geodata.Continental,
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	hvac, err := cabin.New(cabin.Default())
+	if err != nil {
+		return nil, err
+	}
+	mpcCfg := core.DefaultConfig()
+	if cfg.MPC != nil {
+		mpcCfg = *cfg.MPC
+	}
+
+	summary := &FleetSummary{MinSoHSavingPct: 1e9, MaxSoHSavingPct: -1e9}
+	for trip := 0; trip < cfg.Trips; trip++ {
+		zone := cfg.Zones[rng.Intn(len(cfg.Zones))]
+		month := 1 + rng.Intn(12)
+		hour := []float64{7.5, 8, 12, 17.5, 22}[rng.Intn(5)]
+		planner := &geodata.Planner{
+			Terrain: &geodata.Terrain{Seed: rng.Int63(), ReliefM: 60 + rng.Float64()*180},
+			Climate: &geodata.Climate{Zone: zone},
+			Traffic: &geodata.Traffic{},
+		}
+		// A commute of 2–5 legs, 5–25 km total.
+		legs := 2 + rng.Intn(4)
+		wps := make([]geodata.Waypoint, legs)
+		var totalKm float64
+		for i := range wps {
+			wps[i] = geodata.Waypoint{
+				LengthKm:    1 + rng.Float64()*7,
+				FreeFlowKmh: []float64{40, 60, 80, 110}[rng.Intn(4)],
+				Stop:        rng.Float64() < 0.5,
+			}
+			totalKm += wps[i].LengthKm
+		}
+		route, err := planner.Plan(fmt.Sprintf("fleet-%d", trip), wps, month, hour)
+		if err != nil {
+			return nil, err
+		}
+		profile, err := route.Profile(1)
+		if err != nil {
+			return nil, err
+		}
+		profile = truncate(profile, cfg.MaxProfileS)
+
+		base := sim.DefaultConfig(profile)
+		runner, err := sim.New(base)
+		if err != nil {
+			return nil, err
+		}
+		onoff, err := runner.Run(control.NewOnOff(hvac))
+		if err != nil {
+			return nil, err
+		}
+		mpcSim := base
+		mpcSim.ControlDt = mpcCfg.Dt
+		mpcSim.ForecastSteps = mpcCfg.Horizon
+		mpcRunner, err := sim.New(mpcSim)
+		if err != nil {
+			return nil, err
+		}
+		mpc, err := core.New(mpcCfg)
+		if err != nil {
+			return nil, err
+		}
+		aware, err := mpcRunner.Run(mpc)
+		if err != nil {
+			return nil, err
+		}
+
+		saving := 100 * (1 - aware.DeltaSoH/onoff.DeltaSoH)
+		ft := FleetTrip{
+			Label:         fmt.Sprintf("%s m%02d h%04.1f %4.1fkm", zone, month, hour, totalKm),
+			OnOffDeltaSoH: onoff.DeltaSoH,
+			MPCDeltaSoH:   aware.DeltaSoH,
+			OnOffHVACW:    onoff.AvgHVACW,
+			MPCHVACW:      aware.AvgHVACW,
+			SoHSavingPct:  saving,
+		}
+		summary.Trips = append(summary.Trips, ft)
+		summary.MeanSoHSavingPct += saving
+		if saving < summary.MinSoHSavingPct {
+			summary.MinSoHSavingPct = saving
+		}
+		if saving > summary.MaxSoHSavingPct {
+			summary.MaxSoHSavingPct = saving
+		}
+		if aware.DeltaSoH < onoff.DeltaSoH {
+			summary.WinFraction++
+		}
+	}
+	n := float64(len(summary.Trips))
+	summary.MeanSoHSavingPct /= n
+	summary.WinFraction /= n
+	savings := make([]float64, len(summary.Trips))
+	for i, tr := range summary.Trips {
+		savings[i] = tr.SoHSavingPct
+	}
+	sort.Float64s(savings)
+	summary.MedianSoHSavingPct = savings[len(savings)/2]
+	return summary, nil
+}
+
+// RenderFleet formats the sweep.
+func RenderFleet(s *FleetSummary) string {
+	var sb strings.Builder
+	sb.WriteString("Fleet Monte-Carlo — SoH saving of the lifetime-aware MPC vs On/Off\n")
+	for _, tr := range s.Trips {
+		fmt.Fprintf(&sb, "  %-28s OnOff %5.2f kW / %.5f %%   MPC %5.2f kW / %.5f %%   saving %+6.1f %%\n",
+			tr.Label, tr.OnOffHVACW/1000, tr.OnOffDeltaSoH,
+			tr.MPCHVACW/1000, tr.MPCDeltaSoH, tr.SoHSavingPct)
+	}
+	fmt.Fprintf(&sb, "trips %d   mean %+.1f %%   median %+.1f %%   range [%+.1f, %+.1f] %%   wins %.0f %%\n",
+		len(s.Trips), s.MeanSoHSavingPct, s.MedianSoHSavingPct,
+		s.MinSoHSavingPct, s.MaxSoHSavingPct, 100*s.WinFraction)
+	return sb.String()
+}

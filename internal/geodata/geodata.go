@@ -1,0 +1,227 @@
+// Package geodata synthesizes the route information the paper's drive
+// profiles are built from (Sec. II-A): road slope from elevation data
+// (the paper uses the Google Maps APIs [17]), ambient temperature from
+// climate records (NOAA NCDC [18]), and average segment speeds from
+// traffic data. Those services need network access and licenses; this
+// package provides deterministic procedural substitutes with the same
+// interfaces — a terrain model, a seasonal/diurnal climate model, and a
+// rush-hour traffic model — and a planner that compiles a waypoint route
+// into a drivecycle.Route. The substitution is documented in DESIGN.md §3.
+package geodata
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"evclimate/internal/drivecycle"
+)
+
+// Terrain is a deterministic procedural elevation model: a sum of
+// sinusoids at several wavelengths, seeded so distinct regions differ.
+type Terrain struct {
+	// Seed selects the region.
+	Seed int64
+	// ReliefM scales the total elevation variation (default 120 m).
+	ReliefM float64
+}
+
+// ElevationM returns the terrain elevation at a distance along the route
+// in kilometers.
+func (t *Terrain) ElevationM(xKm float64) float64 {
+	relief := t.ReliefM
+	if relief <= 0 {
+		relief = 120
+	}
+	s := float64(t.Seed%977) * 0.61803
+	// Three octaves: long rolling hills, mid features, local undulation.
+	e := 0.55*math.Sin(xKm/9.7+s) +
+		0.3*math.Sin(xKm/2.9+2.3*s) +
+		0.15*math.Sin(xKm/0.83+4.1*s)
+	return relief * e / 2
+}
+
+// SlopePercentAt returns the road grade (percent) at xKm using a central
+// difference over ±100 m.
+func (t *Terrain) SlopePercentAt(xKm float64) float64 {
+	const h = 0.1 // km
+	dElev := t.ElevationM(xKm+h) - t.ElevationM(xKm-h)
+	return dElev / (2 * h * 1000) * 100
+}
+
+// ClimateZone selects the seasonal/diurnal temperature model.
+type ClimateZone int
+
+const (
+	// Temperate: mild summers, cold winters (continental Europe).
+	Temperate ClimateZone = iota
+	// Desert: hot summers, large diurnal swing (Phoenix-like).
+	Desert
+	// Coastal: damped seasons and days (San Francisco-like).
+	Coastal
+	// Continental: hot summers AND very cold winters (Minneapolis-like).
+	Continental
+)
+
+// String implements fmt.Stringer.
+func (z ClimateZone) String() string {
+	switch z {
+	case Temperate:
+		return "temperate"
+	case Desert:
+		return "desert"
+	case Coastal:
+		return "coastal"
+	case Continental:
+		return "continental"
+	default:
+		return fmt.Sprintf("zone(%d)", int(z))
+	}
+}
+
+// zoneParams: annual mean, seasonal amplitude, diurnal amplitude (°C).
+func (z ClimateZone) params() (mean, seasonal, diurnal float64) {
+	switch z {
+	case Desert:
+		return 23, 12, 9
+	case Coastal:
+		return 14, 4, 3
+	case Continental:
+		return 9, 16, 6
+	default: // Temperate
+		return 11, 9, 5
+	}
+}
+
+// Climate is the procedural stand-in for a climate database: temperature
+// as a function of month and hour, plus a clear-sky solar-load model.
+type Climate struct {
+	// Zone selects the regional parameters.
+	Zone ClimateZone
+}
+
+// AmbientC returns the typical outside temperature for month (1–12) and
+// hour (0–23, local solar time). The seasonal peak is late July; the
+// diurnal peak 15:00.
+func (c *Climate) AmbientC(month int, hour float64) float64 {
+	mean, seasonal, diurnal := c.Zone.params()
+	seasonPhase := 2 * math.Pi * (float64(month) - 7.5) / 12
+	dayPhase := 2 * math.Pi * (hour - 15) / 24
+	return mean + seasonal*math.Cos(seasonPhase) + diurnal*math.Cos(dayPhase)
+}
+
+// SolarLoadW returns the solar thermal load on a parked/driving car's
+// cabin for month and hour: zero at night, peaking near solar noon,
+// stronger in summer.
+func (c *Climate) SolarLoadW(month int, hour float64) float64 {
+	// Day length varies with season: 8 h winter to 16 h summer.
+	seasonPhase := 2 * math.Pi * (float64(month) - 6.5) / 12
+	halfDay := (12 + 4*math.Cos(seasonPhase)) / 2
+	fromNoon := math.Abs(hour - 12.5)
+	if fromNoon > halfDay {
+		return 0
+	}
+	peak := 350 + 250*math.Cos(seasonPhase)
+	return peak * math.Cos(fromNoon/halfDay*math.Pi/2)
+}
+
+// Traffic models rush-hour slowdowns: a multiplicative factor on
+// free-flow speed by hour of day.
+type Traffic struct {
+	// PeakSlowdown is the worst-case speed factor during rush hour
+	// (default 0.55).
+	PeakSlowdown float64
+}
+
+// SpeedFactor returns the fraction of free-flow speed achievable at the
+// given hour (0–23). Morning rush peaks at 08:00, evening at 17:30.
+func (t *Traffic) SpeedFactor(hour float64) float64 {
+	slow := t.PeakSlowdown
+	if slow <= 0 {
+		slow = 0.55
+	}
+	rush := func(center, width float64) float64 {
+		d := (hour - center) / width
+		return math.Exp(-d * d)
+	}
+	congestion := math.Max(rush(8, 1.2), rush(17.5, 1.5))
+	return 1 - (1-slow)*congestion
+}
+
+// Waypoint is one leg of a planned route in the planner's input form:
+// distance and free-flow speed, as a navigation service would report.
+type Waypoint struct {
+	// LengthKm is the leg length.
+	LengthKm float64
+	// FreeFlowKmh is the uncongested speed.
+	FreeFlowKmh float64
+	// Stop marks a junction/light at the end of the leg.
+	Stop bool
+}
+
+// Planner compiles waypoints plus models into a drive profile's route.
+type Planner struct {
+	// Terrain, Climate, Traffic supply the environment; nil fields get
+	// defaults (seed-0 terrain, temperate climate, default traffic).
+	Terrain *Terrain
+	Climate *Climate
+	Traffic *Traffic
+}
+
+// Plan builds a drivecycle.Route for a trip departing in the given month
+// (1–12) at the given hour (0–24). Slopes are sampled at each leg's
+// midpoint, speeds are scaled by the traffic factor at departure, and
+// ambient/solar come from the climate model (advanced along the trip's
+// rough timeline).
+func (pl *Planner) Plan(name string, wps []Waypoint, month int, hour float64) (*drivecycle.Route, error) {
+	if len(wps) == 0 {
+		return nil, errors.New("geodata: no waypoints")
+	}
+	if month < 1 || month > 12 {
+		return nil, fmt.Errorf("geodata: month %d outside 1–12", month)
+	}
+	if hour < 0 || hour >= 24 {
+		return nil, fmt.Errorf("geodata: hour %v outside [0, 24)", hour)
+	}
+	terrain := pl.Terrain
+	if terrain == nil {
+		terrain = &Terrain{}
+	}
+	climate := pl.Climate
+	if climate == nil {
+		climate = &Climate{}
+	}
+	traffic := pl.Traffic
+	if traffic == nil {
+		traffic = &Traffic{}
+	}
+
+	route := &drivecycle.Route{Name: name}
+	distKm := 0.0
+	tripHour := hour
+	for i, wp := range wps {
+		if wp.LengthKm <= 0 || wp.FreeFlowKmh <= 0 {
+			return nil, fmt.Errorf("geodata: waypoint %d: length and speed must be positive", i)
+		}
+		speed := wp.FreeFlowKmh * traffic.SpeedFactor(tripHour)
+		if speed < 5 {
+			speed = 5
+		}
+		mid := distKm + wp.LengthKm/2
+		seg := drivecycle.RouteSegment{
+			LengthKm:     wp.LengthKm,
+			SpeedKmh:     speed,
+			SlopePercent: terrain.SlopePercentAt(mid),
+			AmbientC:     climate.AmbientC(month, tripHour),
+			SolarW:       climate.SolarLoadW(month, tripHour),
+			StopAtEnd:    wp.Stop,
+		}
+		route.Segments = append(route.Segments, seg)
+		distKm += wp.LengthKm
+		tripHour += wp.LengthKm / speed // advance the clock
+		if tripHour >= 24 {
+			tripHour -= 24
+		}
+	}
+	return route, nil
+}

@@ -1,0 +1,206 @@
+package geodata
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerrainDeterministicAndBounded(t *testing.T) {
+	tr := &Terrain{Seed: 42, ReliefM: 100}
+	if tr.ElevationM(5) != tr.ElevationM(5) {
+		t.Error("terrain not deterministic")
+	}
+	// Different seeds give different terrain.
+	tr2 := &Terrain{Seed: 43, ReliefM: 100}
+	same := true
+	for x := 0.0; x < 50; x += 5 {
+		if math.Abs(tr.ElevationM(x)-tr2.ElevationM(x)) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical terrain")
+	}
+	// Elevation bounded by the relief.
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		x := math.Mod(raw, 1000)
+		e := tr.ElevationM(x)
+		return e >= -100 && e <= 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTerrainSlopesRealistic(t *testing.T) {
+	tr := &Terrain{Seed: 7}
+	var maxAbs float64
+	for x := 0.0; x < 100; x += 0.25 {
+		s := tr.SlopePercentAt(x)
+		if a := math.Abs(s); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	// Real roads: grades rarely exceed 10 %; the default relief must stay
+	// well within that, but produce *some* hills.
+	if maxAbs > 10 {
+		t.Errorf("max grade %v %% too steep", maxAbs)
+	}
+	if maxAbs < 0.5 {
+		t.Errorf("max grade %v %% — terrain is flat", maxAbs)
+	}
+}
+
+func TestClimateSeasons(t *testing.T) {
+	c := &Climate{Zone: Temperate}
+	july := c.AmbientC(7, 15)
+	jan := c.AmbientC(1, 15)
+	if july <= jan {
+		t.Errorf("July (%v) should be warmer than January (%v)", july, jan)
+	}
+	// Afternoon warmer than pre-dawn.
+	if c.AmbientC(7, 15) <= c.AmbientC(7, 4) {
+		t.Error("afternoon should be warmer than night")
+	}
+}
+
+func TestClimateZonesDiffer(t *testing.T) {
+	desert := (&Climate{Zone: Desert}).AmbientC(7, 15)
+	coastal := (&Climate{Zone: Coastal}).AmbientC(7, 15)
+	continentalWinter := (&Climate{Zone: Continental}).AmbientC(1, 5)
+	if desert < 38 || desert > 48 {
+		t.Errorf("desert July afternoon = %v, want ≈ 43 (the paper's Table I extreme)", desert)
+	}
+	if coastal > 25 {
+		t.Errorf("coastal July afternoon = %v, want mild", coastal)
+	}
+	if continentalWinter > -2 {
+		t.Errorf("continental January night = %v, want below freezing", continentalWinter)
+	}
+}
+
+func TestClimateZoneStrings(t *testing.T) {
+	for z, want := range map[ClimateZone]string{
+		Temperate: "temperate", Desert: "desert", Coastal: "coastal", Continental: "continental",
+	} {
+		if z.String() != want {
+			t.Errorf("%d.String() = %q", z, z.String())
+		}
+	}
+	if ClimateZone(99).String() == "" {
+		t.Error("unknown zone renders empty")
+	}
+}
+
+func TestSolarLoad(t *testing.T) {
+	c := &Climate{Zone: Temperate}
+	// Zero at night, peak near noon, summer > winter.
+	if c.SolarLoadW(7, 2) != 0 {
+		t.Error("solar at 02:00 should be zero")
+	}
+	noonSummer := c.SolarLoadW(7, 12.5)
+	noonWinter := c.SolarLoadW(1, 12.5)
+	if noonSummer <= noonWinter {
+		t.Errorf("summer noon (%v) should out-sun winter (%v)", noonSummer, noonWinter)
+	}
+	if noonSummer < 300 || noonSummer > 700 {
+		t.Errorf("summer noon load = %v W, want 300–700", noonSummer)
+	}
+	// Morning below noon.
+	if c.SolarLoadW(7, 9) >= noonSummer {
+		t.Error("morning sun should be below noon")
+	}
+}
+
+func TestTrafficRushHours(t *testing.T) {
+	tr := &Traffic{}
+	rush := tr.SpeedFactor(8)
+	night := tr.SpeedFactor(2)
+	if rush >= 0.8 {
+		t.Errorf("rush-hour factor = %v, want congestion", rush)
+	}
+	if night < 0.95 {
+		t.Errorf("night factor = %v, want free flow", night)
+	}
+	// Factors always in (0, 1].
+	for h := 0.0; h < 24; h += 0.5 {
+		f := tr.SpeedFactor(h)
+		if f <= 0 || f > 1 {
+			t.Fatalf("factor at %v = %v", h, f)
+		}
+	}
+}
+
+func TestPlannerBuildsValidRoute(t *testing.T) {
+	pl := &Planner{
+		Terrain: &Terrain{Seed: 3},
+		Climate: &Climate{Zone: Desert},
+		Traffic: &Traffic{},
+	}
+	wps := []Waypoint{
+		{LengthKm: 2, FreeFlowKmh: 50, Stop: true},
+		{LengthKm: 8, FreeFlowKmh: 110},
+		{LengthKm: 1.5, FreeFlowKmh: 40, Stop: true},
+	}
+	route, err := pl.Plan("desert-commute", wps, 7, 8) // July, morning rush
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route.Segments) != 3 {
+		t.Fatalf("segments = %d", len(route.Segments))
+	}
+	// Rush hour slows the trip below free flow.
+	if route.Segments[1].SpeedKmh >= 110 {
+		t.Errorf("highway speed %v not slowed by rush hour", route.Segments[1].SpeedKmh)
+	}
+	// July desert morning is already warm.
+	if route.Segments[0].AmbientC < 25 {
+		t.Errorf("desert July morning = %v °C", route.Segments[0].AmbientC)
+	}
+	// The route renders into a valid drive profile.
+	p, err := route.Profile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if math.Abs(st.DistanceKm-11.5) > 0.8 {
+		t.Errorf("distance %v, want ≈ 11.5", st.DistanceKm)
+	}
+}
+
+func TestPlannerDefaults(t *testing.T) {
+	pl := &Planner{}
+	route, err := pl.Plan("defaults", []Waypoint{{LengthKm: 5, FreeFlowKmh: 80}}, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route.Segments) != 1 {
+		t.Fatal("no segments")
+	}
+	if _, err := route.Profile(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlannerValidation(t *testing.T) {
+	pl := &Planner{}
+	if _, err := pl.Plan("x", nil, 7, 8); err == nil {
+		t.Error("empty waypoints accepted")
+	}
+	if _, err := pl.Plan("x", []Waypoint{{LengthKm: 1, FreeFlowKmh: 50}}, 0, 8); err == nil {
+		t.Error("month 0 accepted")
+	}
+	if _, err := pl.Plan("x", []Waypoint{{LengthKm: 1, FreeFlowKmh: 50}}, 7, 24); err == nil {
+		t.Error("hour 24 accepted")
+	}
+	if _, err := pl.Plan("x", []Waypoint{{LengthKm: 0, FreeFlowKmh: 50}}, 7, 8); err == nil {
+		t.Error("zero-length waypoint accepted")
+	}
+}

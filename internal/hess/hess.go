@@ -1,0 +1,246 @@
+// Package hess implements a Hybrid Energy Storage System — a battery pack
+// paired with an ultracapacitor bank and a power-split policy. The paper's
+// introduction positions HESS (Park, Kim & Chang, DAC'13 [3]) as the BMS
+// evolution this work complements: where a HESS shaves motor-power peaks
+// with hardware, the paper's controller shaves them by scheduling the
+// HVAC. This package provides the hardware alternative so the two
+// approaches (and their combination) can be compared on the same traces.
+package hess
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// UltracapParams defines an ultracapacitor bank.
+type UltracapParams struct {
+	// CapacitanceF is the bank capacitance in farads.
+	CapacitanceF float64
+	// MaxVoltageV and MinVoltageV bound the operating window; usable
+	// energy is ½C(Vmax² − Vmin²).
+	MaxVoltageV, MinVoltageV float64
+	// ESROhm is the equivalent series resistance.
+	ESROhm float64
+	// MaxCurrentA limits charge/discharge current.
+	MaxCurrentA float64
+}
+
+// DefaultUltracap returns a 63 F / 125 V heavy-transport module pair
+// (≈ 0.24 kWh usable, ≈ 120 kg) — the class of bank [3] sizes for an EV.
+func DefaultUltracap() UltracapParams {
+	return UltracapParams{
+		CapacitanceF: 63,
+		MaxVoltageV:  125,
+		MinVoltageV:  62.5,
+		ESROhm:       0.018,
+		MaxCurrentA:  750,
+	}
+}
+
+// Validate reports invalid parameters.
+func (p *UltracapParams) Validate() error {
+	switch {
+	case p.CapacitanceF <= 0:
+		return errors.New("hess: capacitance must be positive")
+	case p.MaxVoltageV <= p.MinVoltageV || p.MinVoltageV < 0:
+		return fmt.Errorf("hess: voltage window [%v, %v] invalid", p.MinVoltageV, p.MaxVoltageV)
+	case p.ESROhm < 0:
+		return errors.New("hess: ESR must be nonnegative")
+	case p.MaxCurrentA <= 0:
+		return errors.New("hess: current limit must be positive")
+	}
+	return nil
+}
+
+// UsableEnergyJ returns ½C(Vmax² − Vmin²).
+func (p UltracapParams) UsableEnergyJ() float64 {
+	return 0.5 * p.CapacitanceF * (p.MaxVoltageV*p.MaxVoltageV - p.MinVoltageV*p.MinVoltageV)
+}
+
+// Ultracap tracks one bank's state.
+type Ultracap struct {
+	p UltracapParams
+	v float64 // terminal open-circuit voltage
+}
+
+// NewUltracap starts the bank at the given state of charge (fraction of
+// usable energy, in [0, 1]).
+func NewUltracap(p UltracapParams, socFrac float64) (*Ultracap, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if socFrac < 0 || socFrac > 1 {
+		return nil, fmt.Errorf("hess: ultracap SoC %v outside [0, 1]", socFrac)
+	}
+	e := 0.5*p.CapacitanceF*p.MinVoltageV*p.MinVoltageV + socFrac*p.UsableEnergyJ()
+	return &Ultracap{p: p, v: math.Sqrt(2 * e / p.CapacitanceF)}, nil
+}
+
+// Voltage returns the current open-circuit voltage.
+func (u *Ultracap) Voltage() float64 { return u.v }
+
+// SoCFrac returns the usable-energy fraction in [0, 1].
+func (u *Ultracap) SoCFrac() float64 {
+	e := 0.5 * u.p.CapacitanceF * u.v * u.v
+	eMin := 0.5 * u.p.CapacitanceF * u.p.MinVoltageV * u.p.MinVoltageV
+	return (e - eMin) / u.p.UsableEnergyJ()
+}
+
+// MaxDischargeW returns the power the bank can source right now
+// (limited by current and remaining energy).
+func (u *Ultracap) MaxDischargeW(dt float64) float64 {
+	if u.v <= u.p.MinVoltageV {
+		return 0
+	}
+	pCurrent := u.v * u.p.MaxCurrentA
+	// Energy above the floor, deliverable within dt.
+	eAvail := 0.5 * u.p.CapacitanceF * (u.v*u.v - u.p.MinVoltageV*u.p.MinVoltageV)
+	return math.Min(pCurrent, eAvail/dt)
+}
+
+// MaxChargeW returns the power the bank can absorb right now.
+func (u *Ultracap) MaxChargeW(dt float64) float64 {
+	if u.v >= u.p.MaxVoltageV {
+		return 0
+	}
+	pCurrent := u.v * u.p.MaxCurrentA
+	eRoom := 0.5 * u.p.CapacitanceF * (u.p.MaxVoltageV*u.p.MaxVoltageV - u.v*u.v)
+	return math.Min(pCurrent, eRoom/dt)
+}
+
+// Step applies powerW (positive = discharge) for dt seconds, clipping to
+// the feasible window, and returns the power actually exchanged. ESR
+// losses are charged against the stored energy.
+func (u *Ultracap) Step(powerW, dt float64) float64 {
+	if powerW > 0 {
+		powerW = math.Min(powerW, u.MaxDischargeW(dt))
+	} else {
+		powerW = -math.Min(-powerW, u.MaxChargeW(dt))
+	}
+	if powerW == 0 {
+		return 0
+	}
+	i := powerW / u.v
+	loss := i * i * u.p.ESROhm
+	e := 0.5*u.p.CapacitanceF*u.v*u.v - (powerW+loss)*dt
+	eMin := 0.5 * u.p.CapacitanceF * u.p.MinVoltageV * u.p.MinVoltageV
+	eMax := 0.5 * u.p.CapacitanceF * u.p.MaxVoltageV * u.p.MaxVoltageV
+	if e < eMin {
+		e = eMin
+	}
+	if e > eMax {
+		e = eMax
+	}
+	u.v = math.Sqrt(2 * e / u.p.CapacitanceF)
+	return powerW
+}
+
+// Splitter decides how much of a power request the ultracapacitor takes.
+type Splitter interface {
+	// Split returns the power the ultracap should handle for a total
+	// request (positive = discharge). The system clips it to feasibility.
+	Split(requestW float64, uc *Ultracap, dt float64) float64
+	// Name identifies the policy.
+	Name() string
+}
+
+// ThresholdSplit sends everything above ThresholdW (and all regeneration)
+// to the ultracapacitor — the classic peak-shaving rule.
+type ThresholdSplit struct {
+	// ThresholdW is the battery's preferred ceiling.
+	ThresholdW float64
+}
+
+// Name implements Splitter.
+func (s *ThresholdSplit) Name() string { return "threshold" }
+
+// Split implements Splitter.
+func (s *ThresholdSplit) Split(requestW float64, uc *Ultracap, dt float64) float64 {
+	if requestW > s.ThresholdW {
+		return requestW - s.ThresholdW
+	}
+	if requestW < 0 {
+		return requestW // capture all regen
+	}
+	// Below threshold: trickle-recharge the cap from the battery when low.
+	if uc.SoCFrac() < 0.5 {
+		return -math.Min(2000, s.ThresholdW-requestW)
+	}
+	return 0
+}
+
+// FilterSplit low-passes the demand: the battery follows the filtered
+// signal, the ultracap supplies the high-frequency residual.
+type FilterSplit struct {
+	// TauS is the filter time constant in seconds (default 20).
+	TauS float64
+
+	filtered float64
+	primed   bool
+}
+
+// Name implements Splitter.
+func (s *FilterSplit) Name() string { return "low-pass" }
+
+// Split implements Splitter.
+func (s *FilterSplit) Split(requestW float64, uc *Ultracap, dt float64) float64 {
+	tau := s.TauS
+	if tau <= 0 {
+		tau = 20
+	}
+	if !s.primed {
+		s.filtered = requestW
+		s.primed = true
+	}
+	alpha := dt / (tau + dt)
+	s.filtered += alpha * (requestW - s.filtered)
+	// SoC feedback: bias the battery share to recentre the cap at 50 %.
+	bias := (0.5 - uc.SoCFrac()) * 3000
+	return requestW - s.filtered - bias
+}
+
+// System is a battery-plus-ultracap storage front end. It does not model
+// the battery internally — it returns the battery-side power so the
+// caller's BMS (internal/bms) can account for it.
+type System struct {
+	uc       *Ultracap
+	splitter Splitter
+	// accounting
+	ucDischargeJ, ucChargeJ float64
+}
+
+// NewSystem assembles a HESS front end.
+func NewSystem(p UltracapParams, initialSoC float64, s Splitter) (*System, error) {
+	if s == nil {
+		return nil, errors.New("hess: nil splitter")
+	}
+	uc, err := NewUltracap(p, initialSoC)
+	if err != nil {
+		return nil, err
+	}
+	return &System{uc: uc, splitter: s}, nil
+}
+
+// Ultracap exposes the bank state.
+func (h *System) Ultracap() *Ultracap { return h.uc }
+
+// Step routes a total power request (positive = discharge) through the
+// splitter and returns the battery-side power after the ultracap takes
+// its feasible share.
+func (h *System) Step(requestW, dt float64) (batteryW float64) {
+	want := h.splitter.Split(requestW, h.uc, dt)
+	got := h.uc.Step(want, dt)
+	if got > 0 {
+		h.ucDischargeJ += got * dt
+	} else {
+		h.ucChargeJ += -got * dt
+	}
+	return requestW - got
+}
+
+// UltracapThroughputKWh returns gross (discharge, charge) energy handled
+// by the bank.
+func (h *System) UltracapThroughputKWh() (discharge, charge float64) {
+	return h.ucDischargeJ / 3.6e6, h.ucChargeJ / 3.6e6
+}

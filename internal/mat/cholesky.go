@@ -1,0 +1,104 @@
+package mat
+
+import "math"
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	l *Dense
+}
+
+// CholeskyFactorize computes the Cholesky factorization of the symmetric
+// positive definite matrix a. Only the lower triangle of a is read.
+// It returns ErrNotSPD if a pivot is non-positive.
+func CholeskyFactorize(a *Dense) (*Cholesky, error) {
+	n, c := a.Dims()
+	if n != c {
+		panic(ErrShape)
+	}
+	l := NewDense(n, n)
+	ad, ld := a.data, l.data
+	for j := 0; j < n; j++ {
+		var diag float64
+		for k := 0; k < j; k++ {
+			diag += ld[j*n+k] * ld[j*n+k]
+		}
+		diag = ad[j*n+j] - diag
+		if diag <= 0 || math.IsNaN(diag) {
+			return nil, ErrNotSPD
+		}
+		ljj := math.Sqrt(diag)
+		ld[j*n+j] = ljj
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += ld[i*n+k] * ld[j*n+k]
+			}
+			ld[i*n+j] = (ad[i*n+j] - s) / ljj
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve solves A·x = b using the factorization. b is not modified.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n, _ := c.l.Dims()
+	if len(b) != n {
+		panic(ErrShape)
+	}
+	ld := c.l.data
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= ld[i*n+j] * y[j]
+		}
+		y[i] = s / ld[i*n+i]
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= ld[j*n+i] * x[j]
+		}
+		x[i] = s / ld[i*n+i]
+	}
+	return x
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Dense { return c.l.Clone() }
+
+// SolveSPD solves A·x = b for symmetric positive definite A. If the plain
+// Cholesky factorization fails, a diagonal ridge is added (scaled by the
+// largest diagonal entry) and the factorization retried a few times; this
+// regularized fallback is what the SQP solver relies on when a Hessian
+// approximation drifts to the PSD boundary. It returns ErrNotSPD only if
+// even the ridged matrix cannot be factorized.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	if ch, err := CholeskyFactorize(a); err == nil {
+		return ch.Solve(b), nil
+	}
+	n, _ := a.Dims()
+	var dmax float64
+	for i := 0; i < n; i++ {
+		if v := math.Abs(a.At(i, i)); v > dmax {
+			dmax = v
+		}
+	}
+	if dmax == 0 {
+		dmax = 1
+	}
+	ridge := 1e-10 * dmax
+	for k := 0; k < 12; k++ {
+		reg := a.Clone()
+		for i := 0; i < n; i++ {
+			reg.Add(i, i, ridge)
+		}
+		if ch, err := CholeskyFactorize(reg); err == nil {
+			return ch.Solve(b), nil
+		}
+		ridge *= 10
+	}
+	return nil, ErrNotSPD
+}

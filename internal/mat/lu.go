@@ -1,0 +1,136 @@
+package mat
+
+import "math"
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U,
+// where L is unit lower triangular and U is upper triangular, both packed
+// into lu. It is produced by Factorize.
+type LU struct {
+	lu   *Dense
+	piv  []int // row permutation: row i of the factorization came from row piv[i] of A
+	sign int   // +1 or −1, the determinant of the permutation
+}
+
+// Factorize computes the LU factorization of the square matrix a with
+// partial (row) pivoting. It returns ErrSingular if a pivot is exactly
+// zero; near-singular systems succeed here but may produce large residuals.
+func Factorize(a *Dense) (*LU, error) {
+	n, c := a.Dims()
+	if n != c {
+		panic(ErrShape)
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	d := lu.data
+	for k := 0; k < n; k++ {
+		// Find the pivot row.
+		p := k
+		mx := math.Abs(d[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(d[i*n+k]); a > mx {
+				mx, p = a, i
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				d[p*n+j], d[k*n+j] = d[k*n+j], d[p*n+j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivVal := d[k*n+k]
+		// Row-slice the elimination so the compiler can drop bounds
+		// checks in the hot inner loop.
+		rowK := d[k*n+k+1 : k*n+n]
+		for i := k + 1; i < n; i++ {
+			m := d[i*n+k] / pivVal
+			d[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			rowI := d[i*n+k+1 : i*n+n]
+			for j, rkj := range rowK {
+				rowI[j] -= m * rkj
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A·x = b using the factorization. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	n, _ := f.lu.Dims()
+	if len(b) != n {
+		panic(ErrShape)
+	}
+	d := f.lu.data
+	x := make([]float64, n)
+	// Apply permutation and forward-substitute through L.
+	for i := 0; i < n; i++ {
+		s := b[f.piv[i]]
+		for j := 0; j < i; j++ {
+			s -= d[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute through U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= d[i*n+j] * x[j]
+		}
+		x[i] = s / d[i*n+i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	n, _ := f.lu.Dims()
+	det := float64(f.sign)
+	for i := 0; i < n; i++ {
+		det *= f.lu.data[i*n+i]
+	}
+	return det
+}
+
+// Solve solves the square linear system a·x = b with LU factorization.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns a⁻¹, or ErrSingular.
+func Inverse(a *Dense) (*Dense, error) {
+	n, c := a.Dims()
+	if n != c {
+		panic(ErrShape)
+	}
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	inv := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := f.Solve(e)
+		for i := 0; i < n; i++ {
+			inv.data[i*n+j] = col[i]
+		}
+	}
+	return inv, nil
+}

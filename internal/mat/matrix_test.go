@@ -1,0 +1,207 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// randomSPD returns a random symmetric positive definite matrix GᵀG + I.
+func randomSPD(rng *rand.Rand, n int) *Dense {
+	g := randomDense(rng, n, n)
+	a := g.T().Mul(g)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 1)
+	}
+	return a
+}
+
+func TestNewDensePanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDense(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewDense(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r, c := m.Dims()
+	if r != 2 || c != 3 {
+		t.Fatalf("Dims = %d,%d want 2,3", r, c)
+	}
+	want := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != want[i][j] {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 4, 4)
+	i4 := Identity(4)
+	if !a.Mul(i4).EqualApprox(a, 1e-14) || !i4.Mul(a).EqualApprox(a, 1e-14) {
+		t.Error("identity is not multiplicative identity")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got := a.Mul(b); !got.EqualApprox(want, 0) {
+		t.Errorf("Mul:\n%v\nwant\n%v", got, want)
+	}
+}
+
+func TestMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape-mismatched Mul did not panic")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomDense(rng, 3, 5)
+	if !a.T().T().EqualApprox(a, 0) {
+		t.Error("(Aᵀ)ᵀ != A")
+	}
+	if a.T().At(4, 2) != a.At(2, 4) {
+		t.Error("transpose element mismatch")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDense(rng, 4, 6)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	xm := NewDense(6, 1)
+	for i, v := range x {
+		xm.Set(i, 0, v)
+	}
+	got := a.MulVec(x)
+	want := a.Mul(xm)
+	for i := range got {
+		if math.Abs(got[i]-want.At(i, 0)) > 1e-13 {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomDense(rng, 4, 6)
+	y := make([]float64, 4)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	got := a.MulVecT(y)
+	want := a.T().MulVec(y)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-13 {
+			t.Errorf("MulVecT[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	if got := a.AddMat(b); !got.EqualApprox(FromRows([][]float64{{11, 22}, {33, 44}}), 0) {
+		t.Errorf("AddMat wrong:\n%v", got)
+	}
+	if got := b.SubMat(a); !got.EqualApprox(FromRows([][]float64{{9, 18}, {27, 36}}), 0) {
+		t.Errorf("SubMat wrong:\n%v", got)
+	}
+	if got := a.Clone().Scale(2); !got.EqualApprox(FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Errorf("Scale wrong:\n%v", got)
+	}
+}
+
+func TestRowColSetRow(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	row := m.Row(1)
+	if row[0] != 4 || row[2] != 6 {
+		t.Errorf("Row(1) = %v", row)
+	}
+	// Row returns a copy.
+	row[0] = 99
+	if m.At(1, 0) != 4 {
+		t.Error("Row did not copy")
+	}
+	col := m.Col(2)
+	if col[0] != 3 || col[1] != 6 {
+		t.Errorf("Col(2) = %v", col)
+	}
+	m.SetRow(0, []float64{7, 8, 9})
+	if m.At(0, 1) != 8 {
+		t.Error("SetRow did not write")
+	}
+}
+
+func TestDiagIsSymmetric(t *testing.T) {
+	d := Diag([]float64{1, 2, 3})
+	if !d.IsSymmetric(0) {
+		t.Error("diagonal matrix not symmetric")
+	}
+	if d.At(1, 1) != 2 || d.At(0, 1) != 0 {
+		t.Error("Diag values wrong")
+	}
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if a.IsSymmetric(0.5) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	if !a.IsSymmetric(2) {
+		t.Error("tolerance not honored")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.Clone()
+	b.Set(0, 0, 42)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := FromRows([][]float64{{1, -7}, {3, 4}})
+	if got := a.MaxAbs(); got != 7 {
+		t.Errorf("MaxAbs = %v, want 7", got)
+	}
+}

@@ -1,0 +1,116 @@
+package mat
+
+import "math"
+
+// QR holds a Householder QR factorization of an m×n matrix with m ≥ n:
+// A = Q·R with Q orthogonal (m×m, stored implicitly) and R upper
+// triangular (n×n).
+type QR struct {
+	qr   *Dense    // Householder vectors below the diagonal, R on and above
+	rd   []float64 // diagonal of R
+	m, n int
+}
+
+// QRFactorize computes the Householder QR factorization of a (m ≥ n).
+func QRFactorize(a *Dense) *QR {
+	m, n := a.Dims()
+	if m < n {
+		panic(ErrShape)
+	}
+	qr := a.Clone()
+	rd := make([]float64, n)
+	d := qr.data
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below (and including) the diagonal.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, d[i*n+k])
+		}
+		if nrm == 0 {
+			rd[k] = 0
+			continue
+		}
+		if d[k*n+k] < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			d[i*n+k] /= nrm
+		}
+		d[k*n+k] += 1
+		// Apply the transformation to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += d[i*n+k] * d[i*n+j]
+			}
+			s = -s / d[k*n+k]
+			for i := k; i < m; i++ {
+				d[i*n+j] += s * d[i*n+k]
+			}
+		}
+		rd[k] = -nrm
+	}
+	return &QR{qr: qr, rd: rd, m: m, n: n}
+}
+
+// FullRank reports whether R has no zero diagonal entries (to within tol,
+// relative to the largest diagonal magnitude).
+func (f *QR) FullRank(tol float64) bool {
+	var mx float64
+	for _, v := range f.rd {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return false
+	}
+	for _, v := range f.rd {
+		if math.Abs(v) <= tol*mx {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveLS returns the least-squares solution x minimizing ‖A·x − b‖₂.
+// It returns ErrSingular if A is rank deficient.
+func (f *QR) SolveLS(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		panic(ErrShape)
+	}
+	if !f.FullRank(1e-14) {
+		return nil, ErrSingular
+	}
+	d := f.qr.data
+	y := CloneVec(b)
+	// Apply Householder reflections: y ← Qᵀ·b.
+	for k := 0; k < f.n; k++ {
+		if d[k*f.n+k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < f.m; i++ {
+			s += d[i*f.n+k] * y[i]
+		}
+		s = -s / d[k*f.n+k]
+		for i := k; i < f.m; i++ {
+			y[i] += s * d[i*f.n+k]
+		}
+	}
+	// Back-substitute R·x = y[:n].
+	x := make([]float64, f.n)
+	for i := f.n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= d[i*f.n+j] * x[j]
+		}
+		x[i] = s / f.rd[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ via QR.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	return QRFactorize(a).SolveLS(b)
+}

@@ -1,0 +1,347 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLUSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUSolveRandomResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		a := randomDense(rng, n, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			continue // random singular matrix: astronomically unlikely but legal
+		}
+		r := SubVec(a.MulVec(x), b)
+		if Norm2(r) > 1e-8*(1+Norm2(b)) {
+			t.Errorf("trial %d: residual %v too large", trial, Norm2(r))
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := Solve(a, []float64{1, 1}); err != ErrSingular {
+		t.Errorf("Solve on singular matrix: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 2}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-6) > 1e-12 {
+		t.Errorf("Det = %v, want 6", d)
+	}
+	// Permutation sign: swap rows gives negative determinant.
+	b := FromRows([][]float64{{0, 2}, {3, 0}})
+	fb, err := Factorize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fb.Det(); math.Abs(d+6) > 1e-12 {
+		t.Errorf("Det = %v, want -6", d)
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomSPD(rng, n) // SPD: comfortably invertible
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !a.Mul(inv).EqualApprox(Identity(n), 1e-8) {
+			t.Errorf("trial %d: A·A⁻¹ != I", trial)
+		}
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	ch, err := CholeskyFactorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantL := FromRows([][]float64{
+		{2, 0, 0},
+		{6, 1, 0},
+		{-8, 5, 3},
+	})
+	if !ch.L().EqualApprox(wantL, 1e-12) {
+		t.Errorf("L =\n%v\nwant\n%v", ch.L(), wantL)
+	}
+}
+
+func TestCholeskySolveMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(15)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		ch, err := CholeskyFactorize(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		xc := ch.Solve(b)
+		xl, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range xc {
+			if math.Abs(xc[i]-xl[i]) > 1e-7*(1+math.Abs(xl[i])) {
+				t.Errorf("trial %d: Cholesky/LU mismatch at %d: %v vs %v", trial, i, xc[i], xl[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 0},
+		{0, -1},
+	})
+	if _, err := CholeskyFactorize(a); err != ErrNotSPD {
+		t.Errorf("CholeskyFactorize on indefinite: err = %v, want ErrNotSPD", err)
+	}
+}
+
+func TestSolveSPDRegularizes(t *testing.T) {
+	// Positive semidefinite (singular) matrix: plain Cholesky fails, the
+	// ridged fallback must still return a finite solution.
+	a := FromRows([][]float64{
+		{1, 1},
+		{1, 1},
+	})
+	x, err := SolveSPD(a, []float64{2, 2})
+	if err != nil {
+		t.Fatalf("SolveSPD failed: %v", err)
+	}
+	if !AllFinite(x) {
+		t.Errorf("SolveSPD returned non-finite %v", x)
+	}
+	// The ridged solution of [1 1;1 1]x=[2;2] tends to x = [1,1].
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Errorf("SolveSPD = %v, want approx [1 1]", x)
+	}
+}
+
+func TestQRLeastSquaresExact(t *testing.T) {
+	// Square nonsingular system: least squares equals exact solve.
+	a := FromRows([][]float64{
+		{2, 1},
+		{1, 3},
+	})
+	b := []float64{5, 10}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestQRLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2t + 1 from noisy-free samples: exact recovery.
+	a := FromRows([][]float64{
+		{0, 1},
+		{1, 1},
+		{2, 1},
+		{3, 1},
+	})
+	b := []float64{1, 3, 5, 7}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Errorf("fit = %v, want [2 1]", x)
+	}
+}
+
+func TestQRLeastSquaresNormalEquations(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		m := 5 + rng.Intn(10)
+		n := 1 + rng.Intn(4)
+		a := randomDense(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Residual must be orthogonal to the column space: Aᵀ(Ax−b) = 0.
+		grad := a.MulVecT(SubVec(a.MulVec(x), b))
+		if Norm2(grad) > 1e-9*(1+Norm2(b)) {
+			t.Errorf("trial %d: normal-equation residual %v", trial, Norm2(grad))
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+		{3, 6},
+	})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); err != ErrSingular {
+		t.Errorf("rank-deficient LS: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Dot(x, y); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := NormInf([]float64{-7, 3}); got != 7 {
+		t.Errorf("NormInf = %v, want 7", got)
+	}
+	if got := AddVec(x, y); got[2] != 9 {
+		t.Errorf("AddVec = %v", got)
+	}
+	if got := SubVec(y, x); got[0] != 3 {
+		t.Errorf("SubVec = %v", got)
+	}
+	if got := ScaleVec(2, x); got[1] != 4 {
+		t.Errorf("ScaleVec = %v", got)
+	}
+	z := CloneVec(x)
+	Axpy(10, y, z)
+	if z[0] != 41 || z[2] != 63 {
+		t.Errorf("Axpy = %v", z)
+	}
+	if f := Filled(3, 2.5); f[0] != 2.5 || len(f) != 3 {
+		t.Errorf("Filled = %v", f)
+	}
+	if !AllFinite(x) {
+		t.Error("AllFinite false negative")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("AllFinite missed NaN")
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	// Components near sqrt(MaxFloat64) must not overflow in Norm2.
+	big := 1e200
+	if got := Norm2([]float64{big, big}); math.IsInf(got, 0) {
+		t.Error("Norm2 overflowed")
+	} else if math.Abs(got-big*math.Sqrt2) > 1e186 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestLUDetProductProperty(t *testing.T) {
+	// det(A·B) = det(A)·det(B) for random small matrices.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		a := randomDense(rng, n, n)
+		b := randomDense(rng, n, n)
+		fa, errA := Factorize(a)
+		fb, errB := Factorize(b)
+		fab, errAB := Factorize(a.Mul(b))
+		if errA != nil || errB != nil || errAB != nil {
+			continue // singular random draw
+		}
+		want := fa.Det() * fb.Det()
+		got := fab.Det()
+		if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+			t.Errorf("trial %d: det(AB)=%v, det(A)det(B)=%v", trial, got, want)
+		}
+	}
+}
+
+func TestCholeskySolveSPDProperty(t *testing.T) {
+	// A·x = b round-trips for random SPD systems via SolveSPD.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				t.Errorf("trial %d: x[%d] = %v, want %v", trial, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInverseOfInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomSPD(rng, 6)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Inverse(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualApprox(a, 1e-7*a.MaxAbs()) {
+		t.Error("(A⁻¹)⁻¹ != A")
+	}
+}

@@ -1,0 +1,125 @@
+package powertrain
+
+import (
+	"fmt"
+	"math"
+
+	"evclimate/internal/units"
+)
+
+// EfficiencyMap models the motor efficiency η_m as a function of the
+// operating point, represented as a grid over vehicle speed (m/s) and
+// mechanical power fraction |P|/P_rated with bilinear interpolation —
+// the "components' efficiency map" the paper's BMS consults. Queries
+// outside the grid clamp to the boundary.
+type EfficiencyMap struct {
+	// SpeedsMs are the grid speeds, strictly increasing.
+	SpeedsMs []float64
+	// LoadFracs are the grid |P|/P_rated values, strictly increasing.
+	LoadFracs []float64
+	// Eta[i][j] is the efficiency at SpeedsMs[i], LoadFracs[j]; all in
+	// (0, 1].
+	Eta [][]float64
+	// RatedPowerW normalizes the power axis.
+	RatedPowerW float64
+}
+
+// Validate checks the grid structure.
+func (m *EfficiencyMap) Validate() error {
+	if len(m.SpeedsMs) < 2 || len(m.LoadFracs) < 2 {
+		return fmt.Errorf("powertrain: efficiency map needs ≥ 2×2 grid")
+	}
+	if m.RatedPowerW <= 0 {
+		return fmt.Errorf("powertrain: efficiency map rated power must be positive")
+	}
+	for i := 1; i < len(m.SpeedsMs); i++ {
+		if m.SpeedsMs[i] <= m.SpeedsMs[i-1] {
+			return fmt.Errorf("powertrain: efficiency map speeds not increasing")
+		}
+	}
+	for j := 1; j < len(m.LoadFracs); j++ {
+		if m.LoadFracs[j] <= m.LoadFracs[j-1] {
+			return fmt.Errorf("powertrain: efficiency map load fractions not increasing")
+		}
+	}
+	if len(m.Eta) != len(m.SpeedsMs) {
+		return fmt.Errorf("powertrain: efficiency map rows %d != speeds %d", len(m.Eta), len(m.SpeedsMs))
+	}
+	for i, row := range m.Eta {
+		if len(row) != len(m.LoadFracs) {
+			return fmt.Errorf("powertrain: efficiency map row %d has %d cols, want %d", i, len(row), len(m.LoadFracs))
+		}
+		for j, v := range row {
+			if v <= 0 || v > 1 {
+				return fmt.Errorf("powertrain: efficiency map [%d][%d] = %v outside (0, 1]", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// At returns η_m at vehicle speed v (m/s) and mechanical power pMech (W,
+// sign ignored), clamping to the grid boundary.
+func (m *EfficiencyMap) At(v, pMech float64) float64 {
+	if pMech < 0 {
+		pMech = -pMech
+	}
+	frac := pMech / m.RatedPowerW
+	i, wi := gridIndex(m.SpeedsMs, v)
+	j, wj := gridIndex(m.LoadFracs, frac)
+	e00 := m.Eta[i][j]
+	e01 := m.Eta[i][j+1]
+	e10 := m.Eta[i+1][j]
+	e11 := m.Eta[i+1][j+1]
+	return units.Lerp(units.Lerp(e00, e01, wj), units.Lerp(e10, e11, wj), wi)
+}
+
+// gridIndex returns the lower cell index and interpolation weight for x in
+// the grid, clamped to the boundary cells.
+func gridIndex(grid []float64, x float64) (int, float64) {
+	n := len(grid)
+	if x <= grid[0] {
+		return 0, 0
+	}
+	if x >= grid[n-1] {
+		return n - 2, 1
+	}
+	for i := 0; i < n-1; i++ {
+		if x <= grid[i+1] {
+			return i, (x - grid[i]) / (grid[i+1] - grid[i])
+		}
+	}
+	return n - 2, 1
+}
+
+// DefaultLeafEfficiency builds the 80 kW PM-synchronous-motor map used by
+// the Nissan Leaf parameter set: efficiency peaks around mid speed and
+// mid-to-high load (≈ 0.93) and falls off at very low speed (high-slip,
+// inverter-dominated losses) and very light load.
+func DefaultLeafEfficiency() *EfficiencyMap {
+	speeds := []float64{0, 3, 8, 15, 25, 40}
+	loads := []float64{0, 0.05, 0.15, 0.35, 0.65, 1.0}
+	peak := 0.93
+	eta := make([][]float64, len(speeds))
+	for i, v := range speeds {
+		eta[i] = make([]float64, len(loads))
+		for j, f := range loads {
+			// Speed factor: poor at standstill, best near 15–25 m/s.
+			sf := 1 - 0.25*gauss(v, 0, 6) - 0.05*gauss(v, 40, 25)
+			// Load factor: light loads are inefficient, best near 50 %.
+			lf := 1 - 0.45*gauss(f, 0, 0.08) - 0.04*gauss(f, 1, 0.8)
+			e := peak * sf * lf
+			if e < 0.05 {
+				e = 0.05
+			}
+			eta[i][j] = e
+		}
+	}
+	return &EfficiencyMap{SpeedsMs: speeds, LoadFracs: loads, Eta: eta, RatedPowerW: 80e3}
+}
+
+// gauss is an unnormalized Gaussian bump used to shape the default map.
+func gauss(x, mu, sigma float64) float64 {
+	d := (x - mu) / sigma
+	return math.Exp(-d * d / 2)
+}

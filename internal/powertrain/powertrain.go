@@ -1,0 +1,242 @@
+// Package powertrain implements the EV longitudinal power-train model of
+// paper Sec. II-B: road-load forces (aerodynamic drag, gravity, rolling
+// resistance, Eqs. 1–4), tractive force (Eq. 5), and electrical motor
+// power with an efficiency map and regenerative braking (Eq. 6). The
+// default parameter set follows the Nissan Leaf specification the paper
+// calibrated against [12].
+package powertrain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"evclimate/internal/drivecycle"
+	"evclimate/internal/units"
+)
+
+// Params defines a vehicle power train.
+type Params struct {
+	// MassKg is the total vehicle mass including payload.
+	MassKg float64
+	// Cx is the aerodynamic drag coefficient.
+	Cx float64
+	// FrontalAreaM2 is the effective frontal area A in m².
+	FrontalAreaM2 float64
+	// AirDensity is ρ_air in kg/m³.
+	AirDensity float64
+	// C0 and C1 are the rolling-resistance coefficients of Eq. 4:
+	// F_roll = m·g·(c0 + c1·v²).
+	C0, C1 float64
+	// MaxMotorPowerW is the peak electrical motor power (motoring).
+	MaxMotorPowerW float64
+	// MaxRegenPowerW is the maximum electrical power recovered during
+	// regenerative braking (a positive number).
+	MaxRegenPowerW float64
+	// Efficiency maps operating point to motor efficiency η_m.
+	Efficiency *EfficiencyMap
+	// AccessoryW is the constant accessory load (infotainment, pumps,
+	// 12 V systems) the paper treats as fixed.
+	AccessoryW float64
+}
+
+// Validate reports structurally invalid parameters.
+func (p *Params) Validate() error {
+	switch {
+	case p.MassKg <= 0:
+		return fmt.Errorf("powertrain: mass %v must be positive", p.MassKg)
+	case p.Cx <= 0 || p.FrontalAreaM2 <= 0:
+		return fmt.Errorf("powertrain: drag parameters must be positive")
+	case p.AirDensity <= 0:
+		return fmt.Errorf("powertrain: air density %v must be positive", p.AirDensity)
+	case p.C0 < 0 || p.C1 < 0:
+		return errors.New("powertrain: rolling-resistance coefficients must be nonnegative")
+	case p.MaxMotorPowerW <= 0:
+		return errors.New("powertrain: max motor power must be positive")
+	case p.MaxRegenPowerW < 0:
+		return errors.New("powertrain: max regen power must be nonnegative")
+	case p.Efficiency == nil:
+		return errors.New("powertrain: efficiency map required")
+	}
+	return p.Efficiency.Validate()
+}
+
+// NissanLeaf returns the parameter set used throughout the paper's
+// experiments: a 2013 Nissan Leaf (1521 kg curb + 80 kg payload, Cx 0.29,
+// A 2.27 m², 80 kW motor) with a PM-synchronous-motor efficiency map.
+func NissanLeaf() Params {
+	return Params{
+		MassKg:         1601,
+		Cx:             0.29,
+		FrontalAreaM2:  2.27,
+		AirDensity:     units.AirDensity,
+		C0:             0.008,
+		C1:             1.6e-6,
+		MaxMotorPowerW: 80e3,
+		MaxRegenPowerW: 30e3,
+		Efficiency:     DefaultLeafEfficiency(),
+		AccessoryW:     300,
+	}
+}
+
+// Model evaluates the power-train equations for a parameter set.
+type Model struct {
+	p Params
+}
+
+// New builds a Model, validating the parameters.
+func New(p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{p: p}, nil
+}
+
+// Params returns the model parameters.
+func (m *Model) Params() Params { return m.p }
+
+// AeroDrag returns F_aero (Eq. 2) for vehicle speed v and headwind
+// vwind, both m/s.
+func (m *Model) AeroDrag(v, vwind float64) float64 {
+	rel := v + vwind
+	return 0.5 * m.p.AirDensity * m.p.Cx * m.p.FrontalAreaM2 * rel * rel * sign(rel)
+}
+
+// GravityForce returns F_gr (Eq. 3) for a road slope in percent.
+func (m *Model) GravityForce(slopePercent float64) float64 {
+	return m.p.MassKg * units.Gravity * math.Sin(units.SlopePercentToAngle(slopePercent))
+}
+
+// RollingResistance returns F_roll (Eq. 4); zero when the vehicle is
+// stationary.
+func (m *Model) RollingResistance(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return m.p.MassKg * units.Gravity * (m.p.C0 + m.p.C1*v*v)
+}
+
+// RoadLoad returns F_rd = F_gr + F_aero + F_roll (Eq. 1).
+func (m *Model) RoadLoad(v, slopePercent, vwind float64) float64 {
+	return m.GravityForce(slopePercent) + m.AeroDrag(v, vwind) + m.RollingResistance(v)
+}
+
+// TractiveForce returns F_tr = F_rd + m·a (Eq. 5).
+func (m *Model) TractiveForce(v, accel, slopePercent, vwind float64) float64 {
+	return m.RoadLoad(v, slopePercent, vwind) + m.p.MassKg*accel
+}
+
+// ElectricalPower returns the electrical motor power P_e (Eq. 6) in watts
+// for a driving state. Positive values drain the battery; negative values
+// (regenerative braking) charge it. Motoring power is limited to
+// MaxMotorPowerW and recovered power to MaxRegenPowerW; braking demand
+// beyond the regen limit is assumed to go to the friction brakes.
+func (m *Model) ElectricalPower(v, accel, slopePercent, vwind float64) float64 {
+	ftr := m.TractiveForce(v, accel, slopePercent, vwind)
+	pMech := ftr * v
+	eta := m.p.Efficiency.At(v, pMech)
+	if pMech >= 0 {
+		pe := pMech / eta
+		return math.Min(pe, m.p.MaxMotorPowerW)
+	}
+	// Generator mode: only a fraction η of the mechanical braking power
+	// comes back as electrical power.
+	pe := pMech * eta
+	if -pe > m.p.MaxRegenPowerW {
+		pe = -m.p.MaxRegenPowerW
+	}
+	return pe
+}
+
+// PowerAt evaluates P_e for one drive-profile sample, including its
+// headwind.
+func (m *Model) PowerAt(s drivecycle.Sample) float64 {
+	return m.ElectricalPower(s.Speed, s.Accel, s.SlopePercent, s.WindMs)
+}
+
+// PowerProfile returns P_e for every sample of a drive profile (paper
+// Algorithm 1, lines 3–5).
+func (m *Model) PowerProfile(p *drivecycle.Profile) []float64 {
+	out := make([]float64, p.Len())
+	for i, s := range p.Samples {
+		out[i] = m.PowerAt(s)
+	}
+	return out
+}
+
+// CycleEnergy summarizes the traction energy of a drive profile.
+type CycleEnergy struct {
+	// TractionKWh is the net electrical energy drawn by the motor
+	// (consumption minus regeneration).
+	TractionKWh float64
+	// RegenKWh is the recovered braking energy.
+	RegenKWh float64
+	// AccessoryKWh is the constant accessory energy.
+	AccessoryKWh float64
+	// DistanceKm is the driven distance.
+	DistanceKm float64
+	// ConsumptionWhKm is (traction + accessory) energy per km.
+	ConsumptionWhKm float64
+	// PeakPowerW is the maximum instantaneous motor draw.
+	PeakPowerW float64
+}
+
+// Energy integrates the motor power over a profile.
+func (m *Model) Energy(p *drivecycle.Profile) CycleEnergy {
+	var e CycleEnergy
+	if p.Len() == 0 {
+		return e
+	}
+	var tractionJ, regenJ float64
+	for i, s := range p.Samples {
+		pe := m.PowerAt(s)
+		dt := p.Dt
+		if i == p.Len()-1 {
+			dt = 0
+		}
+		if pe >= 0 {
+			tractionJ += pe * dt
+		} else {
+			regenJ += -pe * dt
+		}
+		if pe > e.PeakPowerW {
+			e.PeakPowerW = pe
+		}
+	}
+	dur := p.Duration()
+	e.TractionKWh = units.JToKWh(tractionJ - regenJ)
+	e.RegenKWh = units.JToKWh(regenJ)
+	e.AccessoryKWh = units.JToKWh(m.p.AccessoryW * dur)
+	e.DistanceKm = p.Stats().DistanceKm
+	if e.DistanceKm > 0 {
+		e.ConsumptionWhKm = (e.TractionKWh + e.AccessoryKWh) * 1000 / e.DistanceKm
+	}
+	return e
+}
+
+// RangeKm estimates driving range for a usable battery energy (kWh) plus
+// a constant auxiliary load auxW (e.g. HVAC) by prorating the profile's
+// per-km consumption, the estimation approach of [12].
+func (m *Model) RangeKm(p *drivecycle.Profile, usableKWh, auxW float64) float64 {
+	e := m.Energy(p)
+	if e.DistanceKm <= 0 {
+		return 0
+	}
+	avgSpeedMs := e.DistanceKm * 1000 / p.Duration()
+	if avgSpeedMs <= 0 {
+		return 0
+	}
+	auxWhKm := auxW / avgSpeedMs / 3.6 // W / (km/h) = Wh/km
+	whPerKm := e.ConsumptionWhKm + auxWhKm
+	if whPerKm <= 0 {
+		return 0
+	}
+	return usableKWh * 1000 / whPerKm
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

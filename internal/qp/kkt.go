@@ -1,0 +1,93 @@
+package qp
+
+import (
+	"errors"
+
+	"evclimate/internal/mat"
+)
+
+// kktFactor solves the interior-point Newton system
+//
+//	[ K    Aᵀ  ] [dx]   [r1]
+//	[ A   −δI  ] [dy] = [r2]
+//
+// with K symmetric positive definite, via block elimination: a Cholesky
+// factorization of K, the thick solve Y = K⁻¹Aᵀ, and a Cholesky
+// factorization of the (small) Schur complement S = A·Y + δI. This is
+// ~1.5× cheaper than an LU of the full (n+meq) system and reuses the
+// factorization across the predictor and corrector solves. When K is not
+// numerically SPD (extreme barrier weights), the caller falls back to the
+// dense LU path.
+type kktFactor struct {
+	chK   *mat.Cholesky
+	aeq   *mat.Dense // nil when meq == 0
+	y     *mat.Dense // K⁻¹Aᵀ, n×meq
+	chS   *mat.Cholesky
+	delta float64
+	n, mq int
+}
+
+// errNotSPD signals the caller to fall back to LU.
+var errNotSPD = errors.New("qp: KKT K-block not SPD")
+
+// newKKTFactor factorizes K (n×n, dense symmetric) and, when aeq is
+// non-nil, the Schur complement for the equality block.
+func newKKTFactor(k *mat.Dense, aeq *mat.Dense, delta float64) (*kktFactor, error) {
+	n, _ := k.Dims()
+	chK, err := mat.CholeskyFactorize(k)
+	if err != nil {
+		return nil, errNotSPD
+	}
+	f := &kktFactor{chK: chK, delta: delta, n: n}
+	if aeq == nil {
+		return f, nil
+	}
+	meq, _ := aeq.Dims()
+	f.aeq = aeq
+	f.mq = meq
+	// Y = K⁻¹Aᵀ, one triangular solve pair per equality row.
+	f.y = mat.NewDense(n, meq)
+	col := make([]float64, n)
+	for i := 0; i < meq; i++ {
+		for j := 0; j < n; j++ {
+			col[j] = aeq.At(i, j)
+		}
+		sol := chK.Solve(col)
+		for j := 0; j < n; j++ {
+			f.y.Set(j, i, sol[j])
+		}
+	}
+	// S = A·Y + δI (meq×meq, SPD for full-row-rank A).
+	s := aeq.Mul(f.y)
+	for i := 0; i < meq; i++ {
+		s.Add(i, i, delta)
+	}
+	chS, err := mat.CholeskyFactorize(s)
+	if err != nil {
+		return nil, errNotSPD
+	}
+	f.chS = chS
+	return f, nil
+}
+
+// solve returns dx, dy for right-hand sides r1 (length n) and r2
+// (length meq; ignored when there are no equalities).
+func (f *kktFactor) solve(r1, r2 []float64) (dx, dy []float64) {
+	x0 := f.chK.Solve(r1)
+	if f.aeq == nil {
+		return x0, nil
+	}
+	// S·dy = A·x0 − r2.
+	t := f.aeq.MulVec(x0)
+	for i := range t {
+		t[i] -= r2[i]
+	}
+	dy = f.chS.Solve(t)
+	// dx = x0 − Y·dy.
+	dx = x0
+	yd := f.y.MulVec(dy)
+	for i := range dx {
+		dx[i] -= yd[i]
+	}
+	return dx, dy
+}

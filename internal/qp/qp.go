@@ -1,0 +1,414 @@
+// Package qp solves convex quadratic programs
+//
+//	minimize    ½ xᵀH x + cᵀx
+//	subject to  Aeq·x = beq
+//	            Ain·x ≤ bin
+//
+// with a primal-dual interior-point method using Mehrotra's
+// predictor-corrector. This is the workhorse under the SQP solver: each SQP
+// iteration linearizes the HVAC dynamics and hands the resulting QP here.
+// An interior-point method was chosen over active-set because it needs no
+// feasible starting point — SQP subproblems are frequently infeasible at
+// the current iterate — and its iteration count is nearly independent of
+// the number of inequality constraints (the MPC has ten per horizon step).
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"evclimate/internal/mat"
+)
+
+// Status describes how Solve terminated.
+type Status int
+
+const (
+	// Optimal means all KKT residuals met the tolerance.
+	Optimal Status = iota
+	// MaxIterations means the iteration limit was hit; Result.X holds the
+	// best iterate and may still be useful as a warm start.
+	MaxIterations
+	// NumericalFailure means a linear solve failed irrecoverably.
+	NumericalFailure
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case MaxIterations:
+		return "max-iterations"
+	case NumericalFailure:
+		return "numerical-failure"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ErrBadProblem is returned for structurally invalid problems
+// (dimension mismatches, missing Hessian, non-finite data).
+var ErrBadProblem = errors.New("qp: invalid problem")
+
+// Problem is a convex QP. H must be symmetric positive semidefinite.
+// Aeq/Beq and Ain/Bin may be nil/empty for unconstrained directions.
+type Problem struct {
+	H   *mat.Dense
+	C   []float64
+	Aeq *mat.Dense
+	Beq []float64
+	Ain *mat.Dense
+	Bin []float64
+}
+
+// Options tunes the solver. The zero value selects defaults.
+type Options struct {
+	// MaxIter is the iteration limit (default 60).
+	MaxIter int
+	// Tol is the KKT residual and complementarity tolerance (default 1e-8).
+	Tol float64
+	// Reg is the static diagonal regularization added to the KKT system
+	// (default 1e-9) — it keeps the factorization well-posed when H is
+	// only positive semidefinite.
+	Reg float64
+}
+
+func (o *Options) fill() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 60
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.Reg <= 0 {
+		o.Reg = 1e-9
+	}
+}
+
+// Result is the solver output.
+type Result struct {
+	// X is the primal solution.
+	X []float64
+	// EqDuals are the multipliers of the equality constraints.
+	EqDuals []float64
+	// InDuals are the (nonnegative) multipliers of the inequalities.
+	InDuals []float64
+	// Objective is ½xᵀHx + cᵀx at X.
+	Objective float64
+	// Iterations is the number of interior-point iterations performed.
+	Iterations int
+	// Status reports the termination condition.
+	Status Status
+	// PrimalInfeas and DualInfeas are the final scaled residual norms.
+	PrimalInfeas, DualInfeas float64
+}
+
+func (p *Problem) validate() (n, meq, min int, err error) {
+	if p.H == nil {
+		return 0, 0, 0, fmt.Errorf("%w: nil Hessian", ErrBadProblem)
+	}
+	hr, hc := p.H.Dims()
+	if hr != hc {
+		return 0, 0, 0, fmt.Errorf("%w: Hessian %d×%d not square", ErrBadProblem, hr, hc)
+	}
+	n = hr
+	if len(p.C) != n {
+		return 0, 0, 0, fmt.Errorf("%w: len(C)=%d, want %d", ErrBadProblem, len(p.C), n)
+	}
+	if p.Aeq != nil {
+		r, c := p.Aeq.Dims()
+		if c != n || len(p.Beq) != r {
+			return 0, 0, 0, fmt.Errorf("%w: equality block %d×%d / %d", ErrBadProblem, r, c, len(p.Beq))
+		}
+		meq = r
+	} else if len(p.Beq) != 0 {
+		return 0, 0, 0, fmt.Errorf("%w: Beq without Aeq", ErrBadProblem)
+	}
+	if p.Ain != nil {
+		r, c := p.Ain.Dims()
+		if c != n || len(p.Bin) != r {
+			return 0, 0, 0, fmt.Errorf("%w: inequality block %d×%d / %d", ErrBadProblem, r, c, len(p.Bin))
+		}
+		min = r
+	} else if len(p.Bin) != 0 {
+		return 0, 0, 0, fmt.Errorf("%w: Bin without Ain", ErrBadProblem)
+	}
+	if !mat.AllFinite(p.C) || !mat.AllFinite(p.Beq) || !mat.AllFinite(p.Bin) {
+		return 0, 0, 0, fmt.Errorf("%w: non-finite data", ErrBadProblem)
+	}
+	return n, meq, min, nil
+}
+
+// Objective evaluates ½xᵀHx + cᵀx.
+func (p *Problem) objective(x []float64) float64 {
+	return 0.5*mat.Dot(x, p.H.MulVec(x)) + mat.Dot(p.C, x)
+}
+
+// Solve minimizes the QP. See the package comment for the method.
+func Solve(p *Problem, opt Options) (*Result, error) {
+	opt.fill()
+	n, meq, min, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+
+	// No inequalities: the problem reduces to a single KKT solve.
+	if min == 0 {
+		return solveEquality(p, n, meq, opt)
+	}
+
+	// Interior-point state.
+	x := make([]float64, n)
+	y := make([]float64, meq)
+	s := mat.Filled(min, 1.0) // slacks for Ain·x + s = bin
+	z := mat.Filled(min, 1.0) // inequality duals
+
+	// Warm-ish start: shift slacks so s = max(bin − Ain·x, 1).
+	ax := p.Ain.MulVec(x)
+	for i := 0; i < min; i++ {
+		if v := p.Bin[i] - ax[i]; v > 1 {
+			s[i] = v
+		}
+	}
+
+	scale := 1 + mat.NormInf(p.C) + p.H.MaxAbs()
+	bScale := 1 + mat.NormInf(p.Beq) + mat.NormInf(p.Bin)
+
+	rd := make([]float64, n)
+	rp := make([]float64, meq)
+	rc := make([]float64, min)
+	rsz := make([]float64, min)
+
+	res := &Result{Status: MaxIterations}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		res.Iterations = iter + 1
+
+		// Residuals.
+		hx := p.H.MulVec(x)
+		for i := 0; i < n; i++ {
+			rd[i] = hx[i] + p.C[i]
+		}
+		if meq > 0 {
+			mat.Axpy(1, p.Aeq.MulVecT(y), rd)
+			aeqx := p.Aeq.MulVec(x)
+			for i := 0; i < meq; i++ {
+				rp[i] = aeqx[i] - p.Beq[i]
+			}
+		}
+		mat.Axpy(1, p.Ain.MulVecT(z), rd)
+		ainx := p.Ain.MulVec(x)
+		for i := 0; i < min; i++ {
+			rc[i] = ainx[i] + s[i] - p.Bin[i]
+		}
+		mu := mat.Dot(s, z) / float64(min)
+
+		res.DualInfeas = mat.NormInf(rd) / scale
+		res.PrimalInfeas = math.Max(mat.NormInf(rp), mat.NormInf(rc)) / bScale
+		if res.DualInfeas < opt.Tol && res.PrimalInfeas < opt.Tol && mu < opt.Tol {
+			res.Status = Optimal
+			break
+		}
+
+		// Assemble the reduced KKT matrix
+		//   [ H + AinᵀD Ain + regI    Aeqᵀ      ] [dx]   [−r1]
+		//   [ Aeq                     −regI     ] [dy] = [−rp]
+		// with D = diag(z/s).
+		kBlock := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				kBlock.Set(i, j, p.H.At(i, j))
+			}
+			kBlock.Add(i, i, opt.Reg)
+		}
+		for k := 0; k < min; k++ {
+			d := z[k] / s[k]
+			if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				res.Status = NumericalFailure
+				break
+			}
+			for i := 0; i < n; i++ {
+				aki := p.Ain.At(k, i)
+				if aki == 0 {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					akj := p.Ain.At(k, j)
+					if akj != 0 {
+						kBlock.Add(i, j, d*aki*akj)
+					}
+				}
+			}
+		}
+		if res.Status == NumericalFailure {
+			break
+		}
+
+		// Preferred path: structured Cholesky + Schur factorization.
+		// Fallback: dense LU of the full saddle-point system when the
+		// K-block is not numerically SPD (extreme barrier weights).
+		kf, kerr := newKKTFactor(kBlock, p.Aeq, opt.Reg)
+		var lu *mat.LU
+		if kerr != nil {
+			kkt := mat.NewDense(n+meq, n+meq)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					kkt.Set(i, j, kBlock.At(i, j))
+				}
+			}
+			for i := 0; i < meq; i++ {
+				for j := 0; j < n; j++ {
+					v := p.Aeq.At(i, j)
+					kkt.Set(n+i, j, v)
+					kkt.Set(j, n+i, v)
+				}
+				kkt.Set(n+i, n+i, -opt.Reg)
+			}
+			var ferr error
+			lu, ferr = mat.Factorize(kkt)
+			if ferr != nil {
+				res.Status = NumericalFailure
+				break
+			}
+		}
+
+		solveStep := func(rszLocal []float64) (dx, dy, ds, dz []float64) {
+			// r1 = rd + Ainᵀ S⁻¹ (Z·rc − rsz)
+			tmp := make([]float64, min)
+			for k := 0; k < min; k++ {
+				tmp[k] = (z[k]*rc[k] - rszLocal[k]) / s[k]
+			}
+			r1 := mat.AddVec(rd, p.Ain.MulVecT(tmp))
+			if kf != nil {
+				rhs1 := mat.ScaleVec(-1, r1)
+				rhs2 := mat.ScaleVec(-1, rp)
+				dx, dy = kf.solve(rhs1, rhs2)
+			} else {
+				rhs := make([]float64, n+meq)
+				for i := 0; i < n; i++ {
+					rhs[i] = -r1[i]
+				}
+				for i := 0; i < meq; i++ {
+					rhs[n+i] = -rp[i]
+				}
+				sol := lu.Solve(rhs)
+				dx = sol[:n]
+				dy = sol[n:]
+			}
+			aindx := p.Ain.MulVec(dx)
+			ds = make([]float64, min)
+			dz = make([]float64, min)
+			for k := 0; k < min; k++ {
+				ds[k] = -rc[k] - aindx[k]
+				dz[k] = -(rszLocal[k] + z[k]*ds[k]) / s[k]
+			}
+			return dx, dy, ds, dz
+		}
+
+		// Affine (predictor) step: rsz = s∘z.
+		for k := 0; k < min; k++ {
+			rsz[k] = s[k] * z[k]
+		}
+		dxA, _, dsA, dzA := solveStep(rsz)
+		alphaP := maxStep(s, dsA)
+		alphaD := maxStep(z, dzA)
+		var muAff float64
+		for k := 0; k < min; k++ {
+			muAff += (s[k] + alphaP*dsA[k]) * (z[k] + alphaD*dzA[k])
+		}
+		muAff /= float64(min)
+		sigma := math.Pow(muAff/mu, 3)
+		if math.IsNaN(sigma) || sigma > 1 {
+			sigma = 1
+		}
+
+		// Corrector step: rsz = s∘z + dsA∘dzA − σμ.
+		for k := 0; k < min; k++ {
+			rsz[k] = s[k]*z[k] + dsA[k]*dzA[k] - sigma*mu
+		}
+		dx, dy, ds, dz := solveStep(rsz)
+		if !mat.AllFinite(dx) || !mat.AllFinite(ds) || !mat.AllFinite(dz) {
+			res.Status = NumericalFailure
+			break
+		}
+		_ = dxA
+
+		alphaP = 0.995 * maxStep(s, ds)
+		alphaD = 0.995 * maxStep(z, dz)
+		alphaP = math.Min(1, alphaP)
+		alphaD = math.Min(1, alphaD)
+
+		mat.Axpy(alphaP, dx, x)
+		mat.Axpy(alphaP, ds, s)
+		if meq > 0 {
+			mat.Axpy(alphaD, dy, y)
+		}
+		mat.Axpy(alphaD, dz, z)
+	}
+
+	res.X = x
+	res.EqDuals = y
+	res.InDuals = z
+	res.Objective = p.objective(x)
+	if res.Status == NumericalFailure {
+		return res, fmt.Errorf("qp: numerical failure after %d iterations", res.Iterations)
+	}
+	return res, nil
+}
+
+// maxStep returns the largest α in (0, 1e30] with v + α·dv ≥ 0 componentwise.
+func maxStep(v, dv []float64) float64 {
+	alpha := 1e30
+	for i, d := range dv {
+		if d < 0 {
+			if a := -v[i] / d; a < alpha {
+				alpha = a
+			}
+		}
+	}
+	return alpha
+}
+
+// solveEquality handles the inequality-free case by solving the KKT system
+//
+//	[H    Aeqᵀ] [x]   [−c ]
+//	[Aeq  0   ] [y] = [beq]
+func solveEquality(p *Problem, n, meq int, opt Options) (*Result, error) {
+	dim := n + meq
+	kkt := mat.NewDense(dim, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(i, j, p.H.At(i, j))
+		}
+		kkt.Add(i, i, opt.Reg)
+	}
+	for i := 0; i < meq; i++ {
+		for j := 0; j < n; j++ {
+			v := p.Aeq.At(i, j)
+			kkt.Set(n+i, j, v)
+			kkt.Set(j, n+i, v)
+		}
+		kkt.Set(n+i, n+i, -opt.Reg)
+	}
+	rhs := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		rhs[i] = -p.C[i]
+	}
+	for i := 0; i < meq; i++ {
+		rhs[n+i] = p.Beq[i]
+	}
+	sol, err := mat.Solve(kkt, rhs)
+	if err != nil {
+		return &Result{Status: NumericalFailure}, fmt.Errorf("qp: singular KKT system: %w", err)
+	}
+	res := &Result{
+		X:          sol[:n],
+		EqDuals:    sol[n:],
+		InDuals:    nil,
+		Iterations: 1,
+		Status:     Optimal,
+	}
+	res.Objective = p.objective(res.X)
+	return res, nil
+}

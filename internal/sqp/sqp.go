@@ -1,0 +1,593 @@
+// Package sqp implements a Sequential Quadratic Programming solver for
+// smooth nonlinear programs
+//
+//	minimize    f(x)
+//	subject to  ce(x) = 0
+//	            ci(x) ≤ 0
+//
+// using a damped-BFGS approximation of the Lagrangian Hessian, convex QP
+// subproblems (internal/qp), an ℓ₁ merit function with backtracking line
+// search, and an elastic (slack-penalized) fallback for infeasible
+// subproblems. The paper prescribes exactly this algorithm class for the
+// MPC step ("the best option might be to apply Sequential Quadratic
+// Programming (SQP) as the optimization algorithm for the MPC in each
+// time step", Sec. III, citing Kelman & Borrelli).
+package sqp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"evclimate/internal/mat"
+	"evclimate/internal/qp"
+)
+
+// Status describes how Solve terminated.
+type Status int
+
+const (
+	// Converged means the KKT conditions were met to tolerance.
+	Converged Status = iota
+	// MaxIterations means the iteration budget ran out; X holds the best
+	// iterate found.
+	MaxIterations
+	// Stalled means the line search could not make progress. The iterate
+	// is usually still useful (MPC treats it as a warm start).
+	Stalled
+	// Failed means a subproblem failed irrecoverably.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Converged:
+		return "converged"
+	case MaxIterations:
+		return "max-iterations"
+	case Stalled:
+		return "stalled"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ErrBadProblem reports a structurally invalid problem definition.
+var ErrBadProblem = errors.New("sqp: invalid problem")
+
+// Problem defines the NLP. Objective is required. Eq/Ineq may be nil when
+// MEq/MIneq are zero. Jacobian callbacks are optional; when nil, forward
+// finite differences are used.
+type Problem struct {
+	// N is the number of decision variables.
+	N int
+	// Objective evaluates f(x).
+	Objective func(x []float64) float64
+	// Gradient writes ∇f(x) into grad. Optional.
+	Gradient func(x []float64, grad []float64)
+	// MEq is the number of equality constraints ce(x) = 0.
+	MEq int
+	// Eq writes ce(x) into out (length MEq).
+	Eq func(x []float64, out []float64)
+	// EqJac writes the MEq×N Jacobian of Eq into jac. Optional.
+	EqJac func(x []float64, jac *mat.Dense)
+	// MIneq is the number of inequality constraints ci(x) ≤ 0.
+	MIneq int
+	// Ineq writes ci(x) into out (length MIneq).
+	Ineq func(x []float64, out []float64)
+	// IneqJac writes the MIneq×N Jacobian of Ineq into jac. Optional.
+	IneqJac func(x []float64, jac *mat.Dense)
+}
+
+// Options tunes the solver; the zero value selects defaults.
+type Options struct {
+	// MaxIter limits major (SQP) iterations. Default 100.
+	MaxIter int
+	// Tol is the KKT tolerance. Default 1e-6.
+	Tol float64
+	// FDStep is the finite-difference step scale. Default 1e-7.
+	FDStep float64
+	// PenaltyInit seeds the ℓ₁ merit penalty. Default 1.
+	PenaltyInit float64
+	// ElasticWeight is the slack penalty used when a subproblem is
+	// infeasible. Default 1e4.
+	ElasticWeight float64
+	// MinMeritDecrease, when positive, stops the iteration early once
+	// the relative merit-function decrease stays below it for two
+	// consecutive accepted steps AND the iterate is feasible to Tol.
+	// Real-time MPC sets this to trade optimality for speed; the default
+	// 0 disables it.
+	MinMeritDecrease float64
+}
+
+func (o *Options) fill() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.FDStep <= 0 {
+		o.FDStep = 1e-7
+	}
+	if o.PenaltyInit <= 0 {
+		o.PenaltyInit = 1
+	}
+	if o.ElasticWeight <= 0 {
+		o.ElasticWeight = 1e4
+	}
+}
+
+// Result is the solver output.
+type Result struct {
+	// X is the final iterate.
+	X []float64
+	// F is the objective at X.
+	F float64
+	// EqDuals and InDuals are the Lagrange multiplier estimates.
+	EqDuals, InDuals []float64
+	// Iterations counts major iterations performed.
+	Iterations int
+	// Status reports the termination condition.
+	Status Status
+	// KKTResidual is the final stationarity residual (∞-norm).
+	KKTResidual float64
+	// MaxViolation is the final constraint violation (∞-norm).
+	MaxViolation float64
+}
+
+type evaluator struct {
+	p   *Problem
+	opt *Options
+}
+
+func (e *evaluator) gradient(x []float64) []float64 {
+	g := make([]float64, e.p.N)
+	if e.p.Gradient != nil {
+		e.p.Gradient(x, g)
+		return g
+	}
+	// Central differences on the objective.
+	xt := mat.CloneVec(x)
+	for i := range x {
+		h := e.opt.FDStep * (1 + math.Abs(x[i]))
+		xt[i] = x[i] + h
+		fp := e.p.Objective(xt)
+		xt[i] = x[i] - h
+		fm := e.p.Objective(xt)
+		xt[i] = x[i]
+		g[i] = (fp - fm) / (2 * h)
+	}
+	return g
+}
+
+func (e *evaluator) eq(x []float64) []float64 {
+	if e.p.MEq == 0 {
+		return nil
+	}
+	out := make([]float64, e.p.MEq)
+	e.p.Eq(x, out)
+	return out
+}
+
+func (e *evaluator) ineq(x []float64) []float64 {
+	if e.p.MIneq == 0 {
+		return nil
+	}
+	out := make([]float64, e.p.MIneq)
+	e.p.Ineq(x, out)
+	return out
+}
+
+func (e *evaluator) eqJac(x []float64) *mat.Dense {
+	if e.p.MEq == 0 {
+		return nil
+	}
+	jac := mat.NewDense(e.p.MEq, e.p.N)
+	if e.p.EqJac != nil {
+		e.p.EqJac(x, jac)
+		return jac
+	}
+	e.fdJac(x, e.p.Eq, e.p.MEq, jac)
+	return jac
+}
+
+func (e *evaluator) ineqJac(x []float64) *mat.Dense {
+	if e.p.MIneq == 0 {
+		return nil
+	}
+	jac := mat.NewDense(e.p.MIneq, e.p.N)
+	if e.p.IneqJac != nil {
+		e.p.IneqJac(x, jac)
+		return jac
+	}
+	e.fdJac(x, e.p.Ineq, e.p.MIneq, jac)
+	return jac
+}
+
+func (e *evaluator) fdJac(x []float64, fn func([]float64, []float64), m int, jac *mat.Dense) {
+	base := make([]float64, m)
+	fn(x, base)
+	pert := make([]float64, m)
+	xt := mat.CloneVec(x)
+	for j := 0; j < e.p.N; j++ {
+		h := e.opt.FDStep * (1 + math.Abs(x[j]))
+		xt[j] = x[j] + h
+		fn(xt, pert)
+		xt[j] = x[j]
+		for i := 0; i < m; i++ {
+			jac.Set(i, j, (pert[i]-base[i])/h)
+		}
+	}
+}
+
+// violation returns the ℓ∞ constraint violation.
+func violation(ce, ci []float64) float64 {
+	v := mat.NormInf(ce)
+	for _, c := range ci {
+		if c > v {
+			v = c
+		}
+	}
+	return v
+}
+
+// merit evaluates the ℓ₁ exact penalty function f + ν·(‖ce‖₁ + Σ max(ci, 0)).
+func merit(f float64, ce, ci []float64, nu float64) float64 {
+	var pen float64
+	for _, c := range ce {
+		pen += math.Abs(c)
+	}
+	for _, c := range ci {
+		if c > 0 {
+			pen += c
+		}
+	}
+	return f + nu*pen
+}
+
+// Solve runs the SQP iteration from x0.
+func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
+	opt.fill()
+	if p.N <= 0 || p.Objective == nil {
+		return nil, fmt.Errorf("%w: need N > 0 and an Objective", ErrBadProblem)
+	}
+	if len(x0) != p.N {
+		return nil, fmt.Errorf("%w: len(x0)=%d, want %d", ErrBadProblem, len(x0), p.N)
+	}
+	if p.MEq > 0 && p.Eq == nil {
+		return nil, fmt.Errorf("%w: MEq=%d but Eq is nil", ErrBadProblem, p.MEq)
+	}
+	if p.MIneq > 0 && p.Ineq == nil {
+		return nil, fmt.Errorf("%w: MIneq=%d but Ineq is nil", ErrBadProblem, p.MIneq)
+	}
+	ev := &evaluator{p: p, opt: &opt}
+
+	x := mat.CloneVec(x0)
+	f := p.Objective(x)
+	g := ev.gradient(x)
+	ce := ev.eq(x)
+	ci := ev.ineq(x)
+	je := ev.eqJac(x)
+	ji := ev.ineqJac(x)
+
+	// Damped-BFGS Hessian approximation, seeded with a scaled identity.
+	b := mat.Identity(p.N)
+	hScale := 1 + mat.NormInf(g)
+	b.Scale(hScale)
+
+	lam := make([]float64, p.MEq)
+	mu := make([]float64, p.MIneq)
+	nu := opt.PenaltyInit
+
+	res := &Result{Status: MaxIterations}
+	stagnant := 0
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		res.Iterations = iter + 1
+
+		// Convergence check: KKT stationarity + feasibility + complementarity.
+		lagGrad := mat.CloneVec(g)
+		if je != nil {
+			mat.Axpy(1, je.MulVecT(lam), lagGrad)
+		}
+		if ji != nil {
+			mat.Axpy(1, ji.MulVecT(mu), lagGrad)
+		}
+		kkt := mat.NormInf(lagGrad)
+		viol := violation(ce, ci)
+		var comp float64
+		for i, m := range mu {
+			if c := math.Abs(m * ci[i]); c > comp {
+				comp = c
+			}
+		}
+		res.KKTResidual = kkt
+		res.MaxViolation = viol
+		gScale := 1 + mat.NormInf(g)
+		if kkt < opt.Tol*gScale && viol < opt.Tol && comp < opt.Tol*gScale {
+			res.Status = Converged
+			break
+		}
+
+		// QP subproblem: min ½dᵀBd + gᵀd  s.t.  Je·d = −ce, Ji·d ≤ −ci.
+		sub := &qp.Problem{H: b, C: g}
+		if je != nil {
+			sub.Aeq = je
+			sub.Beq = mat.ScaleVec(-1, ce)
+		}
+		if ji != nil {
+			sub.Ain = ji
+			sub.Bin = mat.ScaleVec(-1, ci)
+		}
+		// Subproblem tolerance: two orders tighter than the NLP tolerance
+		// is enough for SQP convergence; floor at 1e-8 for high-accuracy
+		// callers. (Solving subproblems to 1e-8 when the NLP only needs
+		// 1e-4 wastes interior-point iterations in the MPC hot path.)
+		qpTol := opt.Tol * 1e-2
+		if qpTol < 1e-8 {
+			qpTol = 1e-8
+		}
+		qr, err := qp.Solve(sub, qp.Options{Tol: qpTol})
+		if err != nil || qr.Status == qp.NumericalFailure || !mat.AllFinite(qr.X) {
+			// Elastic fallback: relax constraints with penalized slacks.
+			qr, err = solveElastic(sub, opt.ElasticWeight)
+			if err != nil {
+				res.Status = Failed
+				break
+			}
+		}
+		d := qr.X
+		newLam := qr.EqDuals
+		newMu := qr.InDuals
+
+		// Penalty update: ν must dominate the multipliers for the ℓ₁
+		// merit to be exact.
+		maxDual := mat.NormInf(newLam)
+		if m := mat.NormInf(newMu); m > maxDual {
+			maxDual = m
+		}
+		if nu < 1.1*maxDual {
+			nu = 1.5*maxDual + 1
+		}
+
+		// Directional derivative of the merit function.
+		dirDeriv := mat.Dot(g, d)
+		var pen float64
+		for _, c := range ce {
+			pen += math.Abs(c)
+		}
+		for _, c := range ci {
+			if c > 0 {
+				pen += c
+			}
+		}
+		dirDeriv -= nu * pen
+
+		// Backtracking Armijo line search on the merit function.
+		phi0 := merit(f, ce, ci, nu)
+		alpha := 1.0
+		var xNew []float64
+		var fNew float64
+		var ceNew, ciNew []float64
+		accepted := false
+		for ls := 0; ls < 30; ls++ {
+			xNew = mat.AddVec(x, mat.ScaleVec(alpha, d))
+			fNew = p.Objective(xNew)
+			ceNew = ev.eq(xNew)
+			ciNew = ev.ineq(xNew)
+			phi := merit(fNew, ceNew, ciNew, nu)
+			if phi <= phi0+1e-4*alpha*dirDeriv || phi < phi0-1e-12*math.Abs(phi0) {
+				accepted = true
+				break
+			}
+			alpha *= 0.5
+		}
+		if !accepted {
+			res.Status = Stalled
+			break
+		}
+		stepNorm := alpha * mat.Norm2(d)
+
+		// Early exit for real-time callers: two consecutive steps with
+		// negligible merit progress at a feasible iterate mean further
+		// polishing is not worth the time budget.
+		if opt.MinMeritDecrease > 0 {
+			phiNew := merit(fNew, ceNew, ciNew, nu)
+			relDec := (phi0 - phiNew) / math.Max(1, math.Abs(phi0))
+			if relDec < opt.MinMeritDecrease && violation(ceNew, ciNew) < opt.Tol {
+				stagnant++
+				if stagnant >= 2 {
+					res.Status = Converged
+					x, f, ce, ci = xNew, fNew, ceNew, ciNew
+					lam, mu = newLam, newMu
+					if lam == nil {
+						lam = make([]float64, p.MEq)
+					}
+					if mu == nil {
+						mu = make([]float64, p.MIneq)
+					}
+					break
+				}
+			} else {
+				stagnant = 0
+			}
+		}
+
+		// BFGS update with Powell damping on the Lagrangian gradient.
+		gNew := ev.gradient(xNew)
+		jeNew := ev.eqJac(xNew)
+		jiNew := ev.ineqJac(xNew)
+		yVec := mat.SubVec(gNew, g)
+		if jeNew != nil {
+			mat.Axpy(1, jeNew.MulVecT(newLam), yVec)
+			mat.Axpy(-1, je.MulVecT(newLam), yVec)
+		}
+		if jiNew != nil {
+			mat.Axpy(1, jiNew.MulVecT(newMu), yVec)
+			mat.Axpy(-1, ji.MulVecT(newMu), yVec)
+		}
+		sVec := mat.SubVec(xNew, x)
+		updateBFGS(b, sVec, yVec)
+
+		x, f, g, ce, ci, je, ji = xNew, fNew, gNew, ceNew, ciNew, jeNew, jiNew
+		lam, mu = newLam, newMu
+		if lam == nil {
+			lam = make([]float64, p.MEq)
+		}
+		if mu == nil {
+			mu = make([]float64, p.MIneq)
+		}
+
+		// Tiny accepted steps near feasibility mean we are done to the
+		// achievable precision.
+		if stepNorm < 1e-12*(1+mat.Norm2(x)) && viol < opt.Tol {
+			res.Status = Converged
+			break
+		}
+	}
+
+	res.X = x
+	res.F = p.Objective(x)
+	res.EqDuals = lam
+	res.InDuals = mu
+	ceF := ev.eq(x)
+	ciF := ev.ineq(x)
+	res.MaxViolation = violation(ceF, ciF)
+	if res.Status == Failed {
+		return res, fmt.Errorf("sqp: subproblem failure at iteration %d", res.Iterations)
+	}
+	return res, nil
+}
+
+// updateBFGS applies the damped BFGS update (Powell 1978) to b in place,
+// keeping it positive definite.
+func updateBFGS(b *mat.Dense, s, y []float64) {
+	bs := b.MulVec(s)
+	sBs := mat.Dot(s, bs)
+	if sBs <= 0 {
+		return
+	}
+	sy := mat.Dot(s, y)
+	theta := 1.0
+	if sy < 0.2*sBs {
+		theta = 0.8 * sBs / (sBs - sy)
+	}
+	// r = θ·y + (1−θ)·B·s guarantees sᵀr ≥ 0.2·sᵀBs > 0.
+	r := make([]float64, len(s))
+	for i := range r {
+		r[i] = theta*y[i] + (1-theta)*bs[i]
+	}
+	sr := mat.Dot(s, r)
+	if sr <= 1e-14*mat.Norm2(s)*mat.Norm2(r) {
+		return
+	}
+	n, _ := b.Dims()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Add(i, j, r[i]*r[j]/sr-bs[i]*bs[j]/sBs)
+		}
+	}
+}
+
+// solveElastic relaxes the QP with slacks: equalities become
+// Je·d + sp − sm = beq with sp, sm ≥ 0, inequalities get a slack t ≥ 0,
+// all slacks penalized linearly by weight w. The elastic problem is always
+// feasible, so the SQP step degrades gracefully into a feasibility-
+// restoration direction.
+func solveElastic(sub *qp.Problem, w float64) (*qp.Result, error) {
+	n, _ := sub.H.Dims()
+	meq, min := 0, 0
+	if sub.Aeq != nil {
+		meq, _ = sub.Aeq.Dims()
+	}
+	if sub.Ain != nil {
+		min, _ = sub.Ain.Dims()
+	}
+	nTot := n + 2*meq + min
+
+	h := mat.NewDense(nTot, nTot)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			h.Set(i, j, sub.H.At(i, j))
+		}
+	}
+	// Small quadratic regularization keeps the elastic Hessian PD in the
+	// slack directions.
+	for i := n; i < nTot; i++ {
+		h.Set(i, i, 1e-8*w)
+	}
+	c := make([]float64, nTot)
+	copy(c, sub.C)
+	for i := n; i < nTot; i++ {
+		c[i] = w
+	}
+
+	var aeq *mat.Dense
+	var beq []float64
+	if meq > 0 {
+		aeq = mat.NewDense(meq, nTot)
+		for i := 0; i < meq; i++ {
+			for j := 0; j < n; j++ {
+				aeq.Set(i, j, sub.Aeq.At(i, j))
+			}
+			aeq.Set(i, n+2*i, 1)
+			aeq.Set(i, n+2*i+1, -1)
+		}
+		beq = sub.Beq
+	}
+
+	// Inequalities: Ain·d − t ≤ bin, plus nonnegativity of all slacks.
+	rows := min + 2*meq + min
+	ain := mat.NewDense(maxInt(rows, 1), nTot)
+	bin := make([]float64, maxInt(rows, 1))
+	r := 0
+	for i := 0; i < min; i++ {
+		for j := 0; j < n; j++ {
+			ain.Set(r, j, sub.Ain.At(i, j))
+		}
+		ain.Set(r, n+2*meq+i, -1)
+		bin[r] = sub.Bin[i]
+		r++
+	}
+	for i := 0; i < 2*meq; i++ { // −sp ≤ 0, −sm ≤ 0
+		ain.Set(r, n+i, -1)
+		bin[r] = 0
+		r++
+	}
+	for i := 0; i < min; i++ { // −t ≤ 0
+		ain.Set(r, n+2*meq+i, -1)
+		bin[r] = 0
+		r++
+	}
+
+	ep := &qp.Problem{H: h, C: c, Aeq: aeq, Beq: beq}
+	if r > 0 {
+		ep.Ain = ain
+		ep.Bin = bin
+	}
+	er, err := qp.Solve(ep, qp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// Project the result back to the original variable space.
+	out := &qp.Result{
+		X:          er.X[:n],
+		EqDuals:    er.EqDuals,
+		Iterations: er.Iterations,
+		Status:     er.Status,
+	}
+	if min > 0 {
+		out.InDuals = er.InDuals[:min]
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
