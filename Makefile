@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep engine's concurrency guarantees run under the race detector;
+# everything else gets the plain run (race-instrumenting the full MPC
+# suite takes too long for a default target).
+race:
+	$(GO) test -race ./internal/runner/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -9,6 +9,8 @@
 package evclimate_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"evclimate/internal/cabin"
@@ -19,6 +21,7 @@ import (
 	"evclimate/internal/mat"
 	"evclimate/internal/powertrain"
 	"evclimate/internal/qp"
+	"evclimate/internal/runner"
 	"evclimate/internal/sim"
 )
 
@@ -285,3 +288,44 @@ func BenchmarkAblateControlPeriod(b *testing.B) {
 		}
 	}
 }
+
+// sweepSpec16 is a 16-scenario grid (4 ambients × 2 solar loads × 2
+// targets, On/Off thermostat) over a truncated ECE_EUDC — the workload
+// for the worker-scaling benchmarks below.
+func sweepSpec16() runner.Spec {
+	return runner.Spec{
+		Controllers: []runner.ControllerSpec{runner.OnOffSpec(1)},
+		Cycles:      []runner.CycleSpec{{Name: "ECE_EUDC"}},
+		Envs: []runner.Env{
+			{AmbientC: 0}, {AmbientC: 0, SolarW: 400},
+			{AmbientC: 15}, {AmbientC: 15, SolarW: 400},
+			{AmbientC: 25}, {AmbientC: 25, SolarW: 400},
+			{AmbientC: 35}, {AmbientC: 35, SolarW: 400},
+		},
+		Targets:     []float64{22, 26},
+		MaxProfileS: benchProfileS,
+	}
+}
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	spec := sweepSpec16()
+	for i := 0; i < b.N; i++ {
+		sw, err := runner.Run(context.Background(), spec, runner.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.FirstErr(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(16/b.Elapsed().Seconds()*float64(b.N), "scenarios/s")
+}
+
+// BenchmarkSweep16Sequential and BenchmarkSweep16Parallel measure the
+// sweep engine on the same 16-scenario grid with one worker and with one
+// worker per CPU; their ratio is the parallel speedup (≈ 1 on a
+// single-core host, approaching min(16, NumCPU) otherwise).
+func BenchmarkSweep16Sequential(b *testing.B) { benchSweep(b, 1) }
+
+func BenchmarkSweep16Parallel(b *testing.B) { benchSweep(b, runtime.NumCPU()) }

@@ -7,6 +7,12 @@
 //	evbench -exp fig7       # run one experiment (fig1|fig5|fig6|fig7|fig8|table1)
 //	evbench -ambient 30     # override the hot-day ambient temperature
 //	evbench -quick          # truncate profiles to 200 s for a fast smoke run
+//	evbench -workers 8      # sweep worker-pool size (default GOMAXPROCS)
+//
+// All scenario grids execute on the internal/runner worker pool; results
+// are deterministic for any worker count. One result cache is shared
+// across the whole invocation, so experiments that evaluate the same
+// scenario (e.g. Fig. 5 and Fig. 6) simulate it once.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"time"
 
 	"evclimate/internal/experiments"
+	"evclimate/internal/runner"
 )
 
 func main() {
@@ -24,9 +31,11 @@ func main() {
 	ambient := flag.Float64("ambient", 35, "hot-day ambient temperature (°C) for figs 5-8")
 	solar := flag.Float64("solar", 400, "solar thermal load (W)")
 	quick := flag.Bool("quick", false, "truncate profiles to 200 s for a fast smoke run")
+	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	opts := experiments.Options{AmbientC: *ambient, SolarW: *solar}
+	cache := runner.NewCache()
+	opts := experiments.Options{AmbientC: *ambient, SolarW: *solar, Workers: *workers, Cache: cache}
 	if *quick {
 		opts.MaxProfileS = 200
 	}
@@ -131,7 +140,7 @@ func main() {
 	})
 
 	runExplicit("fleet", func() error {
-		summary, err := experiments.RunFleet(experiments.FleetConfig{Trips: 10})
+		summary, err := experiments.RunFleet(experiments.FleetConfig{Trips: 10, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -142,5 +151,9 @@ func main() {
 	if !strings.Contains("all fig1 fig5 fig6 fig7 fig8 table1 ablate fleet", *exp) {
 		fmt.Fprintf(os.Stderr, "evbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if hits, misses, entries := cache.Stats(); hits > 0 {
+		fmt.Printf("[sweep cache: %d hits, %d misses, %d scenarios]\n", hits, misses, entries)
 	}
 }

@@ -10,8 +10,13 @@
 // Entry points:
 //
 //   - internal/core: the MPC climate controller (the paper's contribution)
-//   - internal/sim: the closed-loop co-simulation engine
-//   - internal/experiments: Fig. 1/5/6/7/8 and Table I harnesses
+//   - internal/sim: the closed-loop co-simulation engine and the
+//     conformance invariants every controller must satisfy
+//   - internal/runner: the parallel scenario-sweep engine (declarative
+//     controller × cycle × environment grids, deterministic replay at any
+//     worker count, per-job derived seeds, opt-in result cache)
+//   - internal/experiments: Fig. 1/5/6/7/8 and Table I harnesses, all
+//     executing on internal/runner
 //   - cmd/evbench: regenerate the full evaluation
 //   - cmd/evsim: run a single cycle/controller/ambient combination
 //   - cmd/cyclegen: inspect and export drive cycles

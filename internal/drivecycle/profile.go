@@ -212,6 +212,23 @@ func (p *Profile) WithAmbientFunc(temp func(t float64) float64) *Profile {
 	return out
 }
 
+// Truncate returns the profile limited to maxS seconds; maxS ≤ 0 (or a
+// bound past the end) keeps the full profile. The receiver is returned
+// unchanged when no truncation is needed.
+func (p *Profile) Truncate(maxS float64) *Profile {
+	if maxS <= 0 || p.Duration() <= maxS {
+		return p
+	}
+	out := &Profile{Name: p.Name, Dt: p.Dt}
+	for _, s := range p.Samples {
+		if s.Time > maxS {
+			break
+		}
+		out.Samples = append(out.Samples, s)
+	}
+	return out
+}
+
 // Repeat returns the profile concatenated n times (n ≥ 1).
 func (p *Profile) Repeat(n int) *Profile {
 	if n < 1 {

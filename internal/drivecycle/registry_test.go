@@ -1,0 +1,156 @@
+package drivecycle
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRegistryCycles table-drives every registered cycle through the full
+// load path: ByName (including case/dash alias forms), structural
+// validation, and resampling into a Profile.
+func TestRegistryCycles(t *testing.T) {
+	names := Names()
+	// The seven core cycles must always be present; extensions (WLTP)
+	// self-register on top.
+	for _, want := range []string{"ECE15", "EUDC", "NEDC", "ECE_EUDC", "US06", "SC03", "UDDS"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("core cycle %s missing from registry %v", want, names)
+		}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("cycle invalid: %v", err)
+			}
+			if c.Duration() <= 0 {
+				t.Errorf("duration %v not positive", c.Duration())
+			}
+			if c.DistanceKm() <= 0 {
+				t.Errorf("distance %v not positive", c.DistanceKm())
+			}
+
+			// Alias forms resolve to the same cycle.
+			for _, alias := range []string{
+				strings.ToLower(name),
+				strings.ReplaceAll(name, "_", "-"),
+			} {
+				a, err := ByName(alias)
+				if err != nil {
+					t.Errorf("alias %q: %v", alias, err)
+					continue
+				}
+				if a.Name != c.Name {
+					t.Errorf("alias %q resolved to %q, want %q", alias, a.Name, c.Name)
+				}
+			}
+
+			// Resampling round-trip.
+			p := c.Profile(1)
+			if p.Dt <= 0 {
+				t.Fatalf("profile Dt %v not positive", p.Dt)
+			}
+			if p.Len() == 0 {
+				t.Fatal("profile has no samples")
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("profile invalid: %v", err)
+			}
+			if math.Abs(p.Duration()-c.Duration()) > p.Dt {
+				t.Errorf("profile duration %v vs cycle %v", p.Duration(), c.Duration())
+			}
+			for i := range p.Samples {
+				s := &p.Samples[i]
+				if got := c.SpeedAt(s.Time); math.Abs(s.Speed-got) > 1e-9 {
+					t.Fatalf("sample %d: profile speed %v != SpeedAt(%v) = %v",
+						i, s.Speed, s.Time, got)
+				}
+			}
+
+			// Distance agrees between breakpoint integration and the
+			// trapezoid over the resampled profile (coarse: 1 s grid).
+			var distM float64
+			for i := 1; i < p.Len(); i++ {
+				distM += 0.5 * (p.Samples[i-1].Speed + p.Samples[i].Speed) * p.Dt
+			}
+			if rel := math.Abs(distM/1000-c.DistanceKm()) / c.DistanceKm(); rel > 0.01 {
+				t.Errorf("profile distance %.3f km vs cycle %.3f km (%.2f%% off)",
+					distM/1000, c.DistanceKm(), 100*rel)
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	_, err := ByName("HIGHWAY9000")
+	if err == nil {
+		t.Fatal("unknown cycle accepted")
+	}
+	// The error enumerates the registry for discoverability.
+	if !strings.Contains(err.Error(), "ECE_EUDC") {
+		t.Errorf("error does not list available cycles: %v", err)
+	}
+}
+
+func TestByNameReturnsFreshInstances(t *testing.T) {
+	a, _ := ByName("NEDC")
+	b, _ := ByName("NEDC")
+	if a == b {
+		t.Fatal("ByName returned a shared instance")
+	}
+	a.Breakpoints[0].SpeedKmh = 999
+	if b.Breakpoints[0].SpeedKmh == 999 {
+		t.Fatal("mutating one instance leaked into the other")
+	}
+}
+
+func TestEvaluationCyclesFresh(t *testing.T) {
+	cycles := EvaluationCycles()
+	if len(cycles) != 5 {
+		t.Fatalf("evaluation set has %d cycles, want 5", len(cycles))
+	}
+	again := EvaluationCycles()
+	for i := range cycles {
+		if cycles[i] == again[i] {
+			t.Errorf("evaluation cycle %d shared between calls", i)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	p := ECEEUDC().Profile(1)
+	fullS := p.Duration()
+	short := p.Truncate(200)
+	if d := short.Duration(); d > 200 {
+		t.Errorf("truncated duration %v > 200", d)
+	}
+	if short.Len() >= p.Len() {
+		t.Errorf("truncation did not drop samples: %d vs %d", short.Len(), p.Len())
+	}
+	if err := short.Validate(); err != nil {
+		t.Errorf("truncated profile invalid: %v", err)
+	}
+	// Truncation copies; the original stays intact.
+	if p.Duration() != fullS {
+		t.Errorf("original was mutated: duration %v, was %v", p.Duration(), fullS)
+	}
+	// No-op cases return the receiver unchanged.
+	if q := p.Truncate(0); q != p {
+		t.Error("Truncate(0) did not return the receiver")
+	}
+	if q := p.Truncate(p.Duration() + 10); q != p {
+		t.Error("Truncate beyond the end did not return the receiver")
+	}
+}

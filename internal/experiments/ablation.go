@@ -3,11 +3,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"evclimate/internal/core"
-	"evclimate/internal/drivecycle"
-	"evclimate/internal/sim"
+	"evclimate/internal/runner"
 	"evclimate/internal/sqp"
 )
 
@@ -29,42 +27,49 @@ type AblationRow struct {
 	SolveTimeMs float64
 }
 
-// runMPCConfig simulates one MPC configuration on the hot-day ECE_EUDC
-// profile and collects metrics.
-func (o *Options) runMPCConfig(label string, mcfg core.Config) (AblationRow, error) {
-	p := o.prepare(drivecycle.ECEEUDC(), o.AmbientC, o.SolarW)
-	cfg := sim.DefaultConfig(p)
-	cfg.TargetC = o.TargetC
-	cfg.ComfortBandC = o.ComfortBandC
-	cfg.InitialCabinC = o.TargetC
-	cfg.ControlDt = o.MPCControlDt
-	cfg.ForecastSteps = mcfg.Horizon
-	runner, err := sim.New(cfg)
+// solveCounter is the diagnostics surface the MPC exposes; the ablation
+// uses it to normalize wall-clock time per solve.
+type solveCounter interface {
+	Stats() core.Stats
+}
+
+// runMPCSpecs simulates one MPC configuration per spec on the hot-day
+// ECE_EUDC profile — all configurations in parallel on the sweep engine —
+// and collects one ablation row per spec, in spec order.
+func (o *Options) runMPCSpecs(specs []runner.ControllerSpec) ([]AblationRow, error) {
+	sw, err := o.sweep(specs,
+		[]runner.CycleSpec{{Name: "ECE_EUDC"}},
+		[]runner.Env{{AmbientC: o.AmbientC, SolarW: o.SolarW}})
 	if err != nil {
-		return AblationRow{}, err
+		return nil, err
 	}
-	mpc, err := core.New(mcfg)
-	if err != nil {
-		return AblationRow{}, err
+	rows := make([]AblationRow, 0, len(specs))
+	for i := range sw.Jobs {
+		jr := &sw.Jobs[i]
+		res := jr.Result
+		row := AblationRow{
+			Label:                jr.Job.Controller.Label,
+			AvgHVACW:             res.AvgHVACW,
+			DeltaSoH:             res.DeltaSoH,
+			SoCDev:               res.SoCDev,
+			RMSTrackingErrC:      res.RMSTrackingErrC,
+			ComfortViolationFrac: res.ComfortViolationFrac,
+		}
+		if mpc, ok := jr.Instance.(solveCounter); ok {
+			if solves := mpc.Stats().Solves; solves > 0 {
+				row.SolveTimeMs = float64(jr.Elapsed.Milliseconds()) / float64(solves)
+			}
+		}
+		rows = append(rows, row)
 	}
-	start := time.Now()
-	res, err := runner.Run(mpc)
-	if err != nil {
-		return AblationRow{}, fmt.Errorf("experiments: ablation %s: %w", label, err)
-	}
-	elapsed := time.Since(start)
-	row := AblationRow{
-		Label:                label,
-		AvgHVACW:             res.AvgHVACW,
-		DeltaSoH:             res.DeltaSoH,
-		SoCDev:               res.SoCDev,
-		RMSTrackingErrC:      res.RMSTrackingErrC,
-		ComfortViolationFrac: res.ComfortViolationFrac,
-	}
-	if solves := mpc.Stats().Solves; solves > 0 {
-		row.SolveTimeMs = float64(elapsed.Milliseconds()) / float64(solves)
-	}
-	return row, nil
+	return rows, nil
+}
+
+// mpcSpec labels one MPC configuration for the ablation sweep.
+func (o *Options) mpcSpec(label string, mcfg core.Config, controlDt float64) runner.ControllerSpec {
+	spec := runner.MPCSpec(mcfg, controlDt)
+	spec.Label = label
+	return spec
 }
 
 // AblateHorizon sweeps the MPC horizon length N.
@@ -73,17 +78,13 @@ func AblateHorizon(opts Options, horizons []int) ([]AblationRow, error) {
 	if len(horizons) == 0 {
 		horizons = []int{4, 8, 12, 20}
 	}
-	rows := make([]AblationRow, 0, len(horizons))
+	specs := make([]runner.ControllerSpec, 0, len(horizons))
 	for _, n := range horizons {
 		mcfg := opts.mpcConfig()
 		mcfg.Horizon = n
-		row, err := opts.runMPCConfig(fmt.Sprintf("N=%d", n), mcfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		specs = append(specs, opts.mpcSpec(fmt.Sprintf("N=%d", n), mcfg, opts.MPCControlDt))
 	}
-	return rows, nil
+	return opts.runMPCSpecs(specs)
 }
 
 // AblateSoCDevWeight sweeps w2. w2 = 0 reduces the controller to a plain
@@ -94,17 +95,13 @@ func AblateSoCDevWeight(opts Options, weights []float64) ([]AblationRow, error) 
 	if len(weights) == 0 {
 		weights = []float64{0, 10, 50, 200}
 	}
-	rows := make([]AblationRow, 0, len(weights))
+	specs := make([]runner.ControllerSpec, 0, len(weights))
 	for _, w2 := range weights {
 		mcfg := opts.mpcConfig()
 		mcfg.Weights.SoCDev = w2
-		row, err := opts.runMPCConfig(fmt.Sprintf("w2=%g", w2), mcfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		specs = append(specs, opts.mpcSpec(fmt.Sprintf("w2=%g", w2), mcfg, opts.MPCControlDt))
 	}
-	return rows, nil
+	return opts.runMPCSpecs(specs)
 }
 
 // AblateSQPBudget sweeps the per-step SQP iteration limit. MaxIter = 1 is
@@ -115,17 +112,13 @@ func AblateSQPBudget(opts Options, budgets []int) ([]AblationRow, error) {
 	if len(budgets) == 0 {
 		budgets = []int{1, 5, 15, 30}
 	}
-	rows := make([]AblationRow, 0, len(budgets))
+	specs := make([]runner.ControllerSpec, 0, len(budgets))
 	for _, it := range budgets {
 		mcfg := opts.mpcConfig()
 		mcfg.SQP = sqp.Options{MaxIter: it, Tol: 1e-4}
-		row, err := opts.runMPCConfig(fmt.Sprintf("sqp=%d", it), mcfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		specs = append(specs, opts.mpcSpec(fmt.Sprintf("sqp=%d", it), mcfg, opts.MPCControlDt))
 	}
-	return rows, nil
+	return opts.runMPCSpecs(specs)
 }
 
 // AblateControlPeriod sweeps the controller period against the fixed
@@ -136,19 +129,13 @@ func AblateControlPeriod(opts Options, periods []float64) ([]AblationRow, error)
 	if len(periods) == 0 {
 		periods = []float64{2, 5, 10}
 	}
-	rows := make([]AblationRow, 0, len(periods))
+	specs := make([]runner.ControllerSpec, 0, len(periods))
 	for _, dt := range periods {
-		o := opts
-		o.MPCControlDt = dt
-		mcfg := o.mpcConfig()
+		mcfg := opts.mpcConfig()
 		mcfg.Dt = dt
-		row, err := o.runMPCConfig(fmt.Sprintf("dt=%gs", dt), mcfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		specs = append(specs, opts.mpcSpec(fmt.Sprintf("dt=%gs", dt), mcfg, dt))
 	}
-	return rows, nil
+	return opts.runMPCSpecs(specs)
 }
 
 // RenderAblation formats ablation rows under a title.

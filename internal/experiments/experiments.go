@@ -8,12 +8,10 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
-	"evclimate/internal/cabin"
-	"evclimate/internal/control"
 	"evclimate/internal/core"
-	"evclimate/internal/drivecycle"
+	"evclimate/internal/runner"
 	"evclimate/internal/sim"
 )
 
@@ -38,6 +36,12 @@ type Options struct {
 	// MaxProfileS truncates drive profiles to this many seconds
 	// (0 = full length) — used to keep unit tests fast.
 	MaxProfileS float64
+	// Workers is the scenario-sweep worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// Cache, when non-nil, reuses simulation results across harnesses
+	// keyed by scenario fingerprint (cmd/evbench shares one cache so
+	// e.g. Fig. 5 and Fig. 6 run their common scenarios once).
+	Cache *runner.Cache
 }
 
 func (o *Options) fill() {
@@ -68,28 +72,6 @@ func (o *Options) mpcConfig() core.Config {
 	return core.DefaultConfig()
 }
 
-// truncate limits a profile to maxS seconds.
-func truncate(p *drivecycle.Profile, maxS float64) *drivecycle.Profile {
-	if maxS <= 0 || p.Duration() <= maxS {
-		return p
-	}
-	out := &drivecycle.Profile{Name: p.Name, Dt: p.Dt}
-	for _, s := range p.Samples {
-		if s.Time > maxS {
-			break
-		}
-		out.Samples = append(out.Samples, s)
-	}
-	return out
-}
-
-// prepare builds the experiment profile for a cycle at the options'
-// ambient conditions.
-func (o *Options) prepare(c *drivecycle.Cycle, ambientC, solarW float64) *drivecycle.Profile {
-	p := c.Profile(1).WithAmbient(ambientC).WithSolar(solarW)
-	return truncate(p, o.MaxProfileS)
-}
-
 // ControllerName identifies the three compared methodologies.
 const (
 	NameOnOff = "On/Off"
@@ -97,53 +79,48 @@ const (
 	NameMPC   = "Battery Lifetime-aware"
 )
 
-// runAll simulates the three controllers on one profile and returns the
-// results keyed by controller name. Baselines run at the fine control
-// period; the MPC at its own period with preview enabled.
-func (o *Options) runAll(p *drivecycle.Profile) (map[string]*sim.Result, error) {
-	hvac, err := cabin.New(cabin.Default())
-	if err != nil {
-		return nil, err
+// controllerSpecs returns the paper's three methodologies for the sweep
+// engine: baselines at the fine control period, the MPC at its own period
+// with preview enabled.
+func (o *Options) controllerSpecs() []runner.ControllerSpec {
+	return []runner.ControllerSpec{
+		runner.OnOffSpec(o.BaselineControlDt),
+		runner.FuzzySpec(o.BaselineControlDt),
+		runner.MPCSpec(o.mpcConfig(), o.MPCControlDt),
 	}
+}
 
-	out := make(map[string]*sim.Result, 3)
+// sweep executes one scenario grid — the given cycles × environments
+// under the given controllers — on the options' worker pool and cache,
+// failing on the first job error.
+func (o *Options) sweep(controllers []runner.ControllerSpec, cycles []runner.CycleSpec, envs []runner.Env) (*runner.Sweep, error) {
+	spec := runner.Spec{
+		Controllers:  controllers,
+		Cycles:       cycles,
+		Envs:         envs,
+		Targets:      []float64{o.TargetC},
+		ComfortBandC: o.ComfortBandC,
+		MaxProfileS:  o.MaxProfileS,
+	}
+	sw, err := runner.Run(context.Background(), spec, runner.Options{Workers: o.Workers, Cache: o.Cache})
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.FirstErr(); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
 
-	baseCfg := sim.DefaultConfig(p)
-	baseCfg.TargetC = o.TargetC
-	baseCfg.ComfortBandC = o.ComfortBandC
-	baseCfg.InitialCabinC = o.TargetC
-	baseCfg.ControlDt = o.BaselineControlDt
-	baseRunner, err := sim.New(baseCfg)
+// runStandard runs the three controllers on one registry cycle at the
+// given ambient conditions and returns the results keyed by controller
+// name.
+func (o *Options) runStandard(cycleName string, ambientC, solarW float64) (map[string]*sim.Result, error) {
+	sw, err := o.sweep(o.controllerSpecs(),
+		[]runner.CycleSpec{{Name: cycleName}},
+		[]runner.Env{{AmbientC: ambientC, SolarW: solarW}})
 	if err != nil {
 		return nil, err
 	}
-	for _, ctrl := range []control.Controller{control.NewOnOff(hvac), control.NewFuzzy(hvac)} {
-		res, err := baseRunner.Run(ctrl)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s: %w", ctrl.Name(), p.Name, err)
-		}
-		out[ctrl.Name()] = res
-	}
-
-	mcfg := o.mpcConfig()
-	mpcSimCfg := baseCfg
-	mpcSimCfg.ControlDt = o.MPCControlDt
-	mpcSimCfg.ForecastSteps = mcfg.Horizon * int(mcfg.Dt/o.MPCControlDt+0.5)
-	if mpcSimCfg.ForecastSteps < mcfg.Horizon {
-		mpcSimCfg.ForecastSteps = mcfg.Horizon
-	}
-	mpcRunner, err := sim.New(mpcSimCfg)
-	if err != nil {
-		return nil, err
-	}
-	mpc, err := core.New(mcfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := mpcRunner.Run(mpc)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: MPC on %s: %w", p.Name, err)
-	}
-	out[NameMPC] = res
-	return out, nil
+	return runner.CellMap(sw.Jobs), nil
 }

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"evclimate/internal/core"
-	"evclimate/internal/drivecycle"
 	"evclimate/internal/sqp"
 )
 
@@ -217,20 +216,6 @@ func TestTable1HotAndCold(t *testing.T) {
 	out := RenderTable1(rows)
 	if !strings.Contains(out, "Table I") || strings.Count(out, "°C") < 2 {
 		t.Errorf("render malformed:\n%s", out)
-	}
-}
-
-func TestTruncateProfile(t *testing.T) {
-	p := drivecycle.ECE15().Profile(1)
-	q := truncate(p, 50)
-	if q.Duration() > 50 {
-		t.Errorf("truncated duration %v", q.Duration())
-	}
-	if got := truncate(p, 0); got.Len() != p.Len() {
-		t.Error("maxS=0 should keep the full profile")
-	}
-	if got := truncate(p, 1e9); got.Len() != p.Len() {
-		t.Error("long maxS should keep the full profile")
 	}
 }
 

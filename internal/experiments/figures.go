@@ -6,6 +6,7 @@ import (
 
 	"evclimate/internal/comfort"
 	"evclimate/internal/drivecycle"
+	"evclimate/internal/runner"
 	"evclimate/internal/sim"
 )
 
@@ -28,8 +29,7 @@ type Trace struct {
 // flat, and the MPC shows small controlled modulation.
 func Fig5(opts Options) ([]Trace, error) {
 	opts.fill()
-	p := opts.prepare(drivecycle.ECEEUDC(), opts.AmbientC, opts.SolarW)
-	results, err := opts.runAll(p)
+	results, err := opts.runStandard("ECE_EUDC", opts.AmbientC, opts.SolarW)
 	if err != nil {
 		return nil, err
 	}
@@ -118,8 +118,7 @@ type Fig6Point struct {
 // (precooling) during valleys.
 func Fig6(opts Options) ([]Fig6Point, error) {
 	opts.fill()
-	p := opts.prepare(drivecycle.ECEEUDC(), opts.AmbientC, opts.SolarW)
-	results, err := opts.runAll(p)
+	results, err := opts.runStandard("ECE_EUDC", opts.AmbientC, opts.SolarW)
 	if err != nil {
 		return nil, err
 	}
@@ -198,22 +197,34 @@ func RenderFig6(pts []Fig6Point) string {
 type CycleResult struct {
 	// Cycle is the drive-profile name.
 	Cycle string
+	// Profile is the evaluated drive profile (ambient applied, possibly
+	// truncated).
+	Profile *drivecycle.Profile
 	// Results holds the per-controller outcomes.
 	Results map[string]*sim.Result
 }
 
 // RunCycles runs the three controllers over the paper's five evaluation
 // profiles (NEDC, US06, ECE_EUDC, SC03, UDDS) at the options' conditions.
+// The 15 scenario cells execute in parallel on the sweep engine.
 func RunCycles(opts Options) ([]CycleResult, error) {
 	opts.fill()
-	out := make([]CycleResult, 0, 5)
+	cycles := make([]runner.CycleSpec, 0, 5)
 	for _, c := range drivecycle.EvaluationCycles() {
-		p := opts.prepare(c, opts.AmbientC, opts.SolarW)
-		results, err := opts.runAll(p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, CycleResult{Cycle: c.Name, Results: results})
+		cycles = append(cycles, runner.CycleSpec{Name: c.Name})
+	}
+	sw, err := opts.sweep(opts.controllerSpecs(), cycles,
+		[]runner.Env{{AmbientC: opts.AmbientC, SolarW: opts.SolarW}})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CycleResult, 0, len(cycles))
+	for _, cell := range sw.Cells() {
+		out = append(out, CycleResult{
+			Cycle:   cell[0].Job.Cycle,
+			Profile: cell[0].Job.Config.Profile,
+			Results: runner.CellMap(cell),
+		})
 	}
 	return out, nil
 }

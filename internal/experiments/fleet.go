@@ -1,16 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
 
-	"evclimate/internal/cabin"
-	"evclimate/internal/control"
 	"evclimate/internal/core"
+	"evclimate/internal/drivecycle"
 	"evclimate/internal/geodata"
-	"evclimate/internal/sim"
+	"evclimate/internal/runner"
 )
 
 // This file adds a fleet-scale Monte-Carlo evaluation beyond the paper's
@@ -20,6 +20,12 @@ import (
 // of the SoH and power savings. This answers the robustness question the
 // paper's fixed-cycle evaluation leaves open: how does the improvement
 // distribute over realistic usage, not just regulatory cycles?
+//
+// Trip parameters are sampled up front from the config seed; the route
+// synthesis and both controller runs of every trip then execute as
+// independent jobs on the parallel sweep engine, with each trip's terrain
+// seeded from the runner's derived per-cycle seed (no RNG shared between
+// jobs).
 
 // FleetConfig parameterizes the Monte-Carlo sweep.
 type FleetConfig struct {
@@ -33,6 +39,8 @@ type FleetConfig struct {
 	MaxProfileS float64
 	// MPC overrides the controller configuration.
 	MPC *core.Config
+	// Workers sets the sweep parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // FleetTrip is one sampled commute's outcome.
@@ -59,7 +67,18 @@ type FleetSummary struct {
 	WinFraction float64
 }
 
-// RunFleet executes the Monte-Carlo sweep.
+// fleetTripParams is one pre-sampled commute description; the route
+// itself is synthesized inside the trip's sweep job.
+type fleetTripParams struct {
+	zone    geodata.ClimateZone
+	month   int
+	hour    float64
+	reliefM float64
+	wps     []geodata.Waypoint
+	totalKm float64
+}
+
+// RunFleet executes the Monte-Carlo sweep on the parallel runner.
 func RunFleet(cfg FleetConfig) (*FleetSummary, error) {
 	if cfg.Trips <= 0 {
 		cfg.Trips = 12
@@ -72,77 +91,84 @@ func RunFleet(cfg FleetConfig) (*FleetSummary, error) {
 			geodata.Temperate, geodata.Desert, geodata.Coastal, geodata.Continental,
 		}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	hvac, err := cabin.New(cabin.Default())
-	if err != nil {
-		return nil, err
+	// Phase 1: sample every trip's parameters sequentially from the
+	// config seed (cheap and reproducible).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trips := make([]fleetTripParams, cfg.Trips)
+	for i := range trips {
+		tp := fleetTripParams{
+			zone:    cfg.Zones[rng.Intn(len(cfg.Zones))],
+			month:   1 + rng.Intn(12),
+			hour:    []float64{7.5, 8, 12, 17.5, 22}[rng.Intn(5)],
+			reliefM: 60 + rng.Float64()*180,
+		}
+		// A commute of 2–5 legs, 5–25 km total.
+		legs := 2 + rng.Intn(4)
+		tp.wps = make([]geodata.Waypoint, legs)
+		for j := range tp.wps {
+			tp.wps[j] = geodata.Waypoint{
+				LengthKm:    1 + rng.Float64()*7,
+				FreeFlowKmh: []float64{40, 60, 80, 110}[rng.Intn(4)],
+				Stop:        rng.Float64() < 0.5,
+			}
+			tp.totalKm += tp.wps[j].LengthKm
+		}
+		trips[i] = tp
 	}
+
 	mpcCfg := core.DefaultConfig()
 	if cfg.MPC != nil {
 		mpcCfg = *cfg.MPC
 	}
 
+	// Phase 2: one sweep cycle per trip; the Gen hook plans the route
+	// from the runner's derived per-trip seed.
+	cycles := make([]runner.CycleSpec, cfg.Trips)
+	for i := range cycles {
+		tp := trips[i]
+		name := fmt.Sprintf("fleet-%d", i)
+		cycles[i] = runner.CycleSpec{
+			Label: name,
+			Gen: func(seed int64) (*drivecycle.Profile, error) {
+				planner := &geodata.Planner{
+					Terrain: &geodata.Terrain{Seed: seed, ReliefM: tp.reliefM},
+					Climate: &geodata.Climate{Zone: tp.zone},
+					Traffic: &geodata.Traffic{},
+				}
+				route, err := planner.Plan(name, tp.wps, tp.month, tp.hour)
+				if err != nil {
+					return nil, err
+				}
+				return route.Profile(1)
+			},
+		}
+	}
+	spec := runner.Spec{
+		Controllers: []runner.ControllerSpec{
+			runner.OnOffSpec(0),
+			runner.MPCSpec(mpcCfg, 0),
+		},
+		Cycles:      cycles,
+		MaxProfileS: cfg.MaxProfileS,
+		BaseSeed:    cfg.Seed,
+	}
+	sw, err := runner.Run(context.Background(), spec, runner.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.FirstErr(); err != nil {
+		return nil, err
+	}
+
 	summary := &FleetSummary{MinSoHSavingPct: 1e9, MaxSoHSavingPct: -1e9}
-	for trip := 0; trip < cfg.Trips; trip++ {
-		zone := cfg.Zones[rng.Intn(len(cfg.Zones))]
-		month := 1 + rng.Intn(12)
-		hour := []float64{7.5, 8, 12, 17.5, 22}[rng.Intn(5)]
-		planner := &geodata.Planner{
-			Terrain: &geodata.Terrain{Seed: rng.Int63(), ReliefM: 60 + rng.Float64()*180},
-			Climate: &geodata.Climate{Zone: zone},
-			Traffic: &geodata.Traffic{},
-		}
-		// A commute of 2–5 legs, 5–25 km total.
-		legs := 2 + rng.Intn(4)
-		wps := make([]geodata.Waypoint, legs)
-		var totalKm float64
-		for i := range wps {
-			wps[i] = geodata.Waypoint{
-				LengthKm:    1 + rng.Float64()*7,
-				FreeFlowKmh: []float64{40, 60, 80, 110}[rng.Intn(4)],
-				Stop:        rng.Float64() < 0.5,
-			}
-			totalKm += wps[i].LengthKm
-		}
-		route, err := planner.Plan(fmt.Sprintf("fleet-%d", trip), wps, month, hour)
-		if err != nil {
-			return nil, err
-		}
-		profile, err := route.Profile(1)
-		if err != nil {
-			return nil, err
-		}
-		profile = truncate(profile, cfg.MaxProfileS)
-
-		base := sim.DefaultConfig(profile)
-		runner, err := sim.New(base)
-		if err != nil {
-			return nil, err
-		}
-		onoff, err := runner.Run(control.NewOnOff(hvac))
-		if err != nil {
-			return nil, err
-		}
-		mpcSim := base
-		mpcSim.ControlDt = mpcCfg.Dt
-		mpcSim.ForecastSteps = mpcCfg.Horizon
-		mpcRunner, err := sim.New(mpcSim)
-		if err != nil {
-			return nil, err
-		}
-		mpc, err := core.New(mpcCfg)
-		if err != nil {
-			return nil, err
-		}
-		aware, err := mpcRunner.Run(mpc)
-		if err != nil {
-			return nil, err
-		}
-
+	for i, cell := range sw.Cells() {
+		results := runner.CellMap(cell)
+		onoff, aware := results[NameOnOff], results[NameMPC]
+		tp := trips[i]
 		saving := 100 * (1 - aware.DeltaSoH/onoff.DeltaSoH)
 		ft := FleetTrip{
-			Label:         fmt.Sprintf("%s m%02d h%04.1f %4.1fkm", zone, month, hour, totalKm),
+			Label:         fmt.Sprintf("%s m%02d h%04.1f %4.1fkm", tp.zone, tp.month, tp.hour, tp.totalKm),
 			OnOffDeltaSoH: onoff.DeltaSoH,
 			MPCDeltaSoH:   aware.DeltaSoH,
 			OnOffHVACW:    onoff.AvgHVACW,

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"evclimate/internal/drivecycle"
 	"evclimate/internal/powertrain"
 )
 
@@ -31,7 +30,8 @@ type RangeRow struct {
 }
 
 // RangeComparison derives range rows from cycle runs, using the given
-// usable battery energy in kWh.
+// usable battery energy in kWh. Ranges are estimated on the profiles the
+// sweep actually evaluated (post-processing only; no re-simulation).
 func RangeComparison(cycles []CycleResult, usableKWh float64) ([]RangeRow, error) {
 	pt, err := powertrain.New(powertrain.NissanLeaf())
 	if err != nil {
@@ -39,11 +39,7 @@ func RangeComparison(cycles []CycleResult, usableKWh float64) ([]RangeRow, error
 	}
 	rows := make([]RangeRow, 0, len(cycles))
 	for _, c := range cycles {
-		cyc, err := drivecycle.ByName(c.Cycle)
-		if err != nil {
-			return nil, err
-		}
-		p := cyc.Profile(1)
+		p := c.Profile
 		row := RangeRow{
 			Cycle:    c.Cycle,
 			NoHVACKm: pt.RangeKm(p, usableKWh, 0),

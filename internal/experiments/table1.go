@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"evclimate/internal/drivecycle"
+	"evclimate/internal/runner"
 )
 
 // Table1Row is one ambient-temperature row of Table I.
@@ -30,20 +30,24 @@ func Table1(opts Options, ambients []float64) ([]Table1Row, error) {
 	if len(ambients) == 0 {
 		ambients = Table1Ambients
 	}
-	rows := make([]Table1Row, 0, len(ambients))
-	for _, amb := range ambients {
-		solar := opts.SolarW
+	envs := make([]runner.Env, len(ambients))
+	for i, amb := range ambients {
+		envs[i] = runner.Env{AmbientC: amb, SolarW: opts.SolarW}
 		if amb < 15 {
-			solar = 0
+			envs[i].SolarW = 0
 		}
-		p := opts.prepare(drivecycle.ECEEUDC(), amb, solar)
-		results, err := opts.runAll(p)
-		if err != nil {
-			return nil, err
-		}
+	}
+	sw, err := opts.sweep(opts.controllerSpecs(),
+		[]runner.CycleSpec{{Name: "ECE_EUDC"}}, envs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(ambients))
+	for i, cell := range sw.Cells() {
+		results := runner.CellMap(cell)
 		oo, fz, mpc := results[NameOnOff], results[NameFuzzy], results[NameMPC]
 		row := Table1Row{
-			AmbientC: amb,
+			AmbientC: ambients[i],
 			OnOffKW:  oo.AvgHVACW / 1000,
 			FuzzyKW:  fz.AvgHVACW / 1000,
 			MPCKW:    mpc.AvgHVACW / 1000,

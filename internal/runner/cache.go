@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sync"
+
+	"evclimate/internal/sim"
+)
+
+// Cache is an opt-in, concurrency-safe result cache keyed by a hash of
+// the full scenario configuration (controller identity, sim parameters,
+// seed, and profile contents). Repeated sweeps — e.g. re-rendering
+// Table I after a weights change — skip unchanged cells. Cached results
+// are shared pointers and must be treated as read-only.
+type Cache struct {
+	mu           sync.Mutex
+	m            map[uint64]*sim.Result
+	hits, misses int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[uint64]*sim.Result)}
+}
+
+func (c *Cache) get(key uint64) (*sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return res, ok
+}
+
+func (c *Cache) put(key uint64, res *sim.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = res
+}
+
+// Stats returns the hit/miss counters and the number of cached cells.
+func (c *Cache) Stats() (hits, misses, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.m)
+}
+
+// Fingerprint hashes everything that determines the job's outcome: the
+// controller label/key, the derived seed, every scalar field of the sim
+// configuration, and the complete profile contents. Two jobs with equal
+// fingerprints simulate identical scenarios.
+func (j *Job) Fingerprint() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, j.Controller.Label)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, j.Controller.Key)
+	// The scalar configuration, minus pointer-valued fields: pointers
+	// would print as addresses and change on every expansion, so their
+	// contents are hashed separately below.
+	cfg := j.Config
+	cfg.Profile = nil
+	eff := cfg.Powertrain.Efficiency
+	cfg.Powertrain.Efficiency = nil
+	fmt.Fprintf(h, "\x00%d\x00%+v", j.Seed, cfg)
+
+	var buf [8]byte
+	word := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	if eff != nil {
+		word(eff.RatedPowerW)
+		for _, v := range eff.SpeedsMs {
+			word(v)
+		}
+		for _, v := range eff.LoadFracs {
+			word(v)
+		}
+		for _, row := range eff.Eta {
+			for _, v := range row {
+				word(v)
+			}
+		}
+	}
+
+	p := j.Config.Profile
+	fmt.Fprintf(h, "\x00%s\x00%d\x00", p.Name, len(p.Samples))
+	word(p.Dt)
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		word(s.Time)
+		word(s.Speed)
+		word(s.Accel)
+		word(s.SlopePercent)
+		word(s.AmbientC)
+		word(s.SolarW)
+		word(s.WindMs)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"evclimate/internal/core"
+)
+
+// Golden regression pin: the three controllers on the first 600 s of the
+// ECE_EUDC cycle, hot day (35 °C, 400 W solar), soaked cabin, default
+// configurations. The
+// committed values were produced by this exact scenario; a change beyond
+// tolerance means the simulation physics, a controller, or the sweep
+// engine changed behaviour — bump the goldens only when that change is
+// intended and understood.
+//
+// Tolerances are relative (1e-3) for the power and degradation metrics to
+// absorb cross-architecture FMA/rounding differences, and absolute for
+// the comfort violation fraction (a ratio of step counts).
+
+type goldenRow struct {
+	label                string
+	avgHVACW             float64
+	deltaSoH             float64
+	comfortViolationFrac float64
+}
+
+func goldenControllers() []ControllerSpec {
+	return []ControllerSpec{
+		OnOffSpec(1),
+		FuzzySpec(1),
+		MPCSpec(core.DefaultConfig(), 0),
+	}
+}
+
+var goldens = []goldenRow{
+	{"On/Off", 6232.32, 0.01262321064, 0.4736842105},
+	{"Fuzzy-based", 3953.730325, 0.01028015854, 0.8989473684},
+	{"Battery Lifetime-aware", 4845.478201, 0.01166565266, 0.3263157895},
+}
+
+func TestGoldenRegression(t *testing.T) {
+	spec := Spec{
+		Controllers:      goldenControllers(),
+		Cycles:           []CycleSpec{{Name: "ECE_EUDC"}},
+		Envs:             []Env{{AmbientC: 35, SolarW: 400}},
+		MaxProfileS:      600,
+		StartFromAmbient: true,
+	}
+	sw, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Jobs) != len(goldens) {
+		t.Fatalf("jobs = %d, want %d", len(sw.Jobs), len(goldens))
+	}
+	relClose := func(got, want, tol float64) bool {
+		return math.Abs(got-want) <= tol*math.Abs(want)
+	}
+	for i, g := range goldens {
+		jr := &sw.Jobs[i]
+		if jr.Job.Controller.Label != g.label {
+			t.Errorf("job %d: controller %q, want %q", i, jr.Job.Controller.Label, g.label)
+			continue
+		}
+		res := jr.Result
+		if !relClose(res.AvgHVACW, g.avgHVACW, 1e-3) {
+			t.Errorf("%s: AvgHVACW = %.10g, golden %.10g", g.label, res.AvgHVACW, g.avgHVACW)
+		}
+		if !relClose(res.DeltaSoH, g.deltaSoH, 1e-3) {
+			t.Errorf("%s: DeltaSoH = %.10g, golden %.10g", g.label, res.DeltaSoH, g.deltaSoH)
+		}
+		if math.Abs(res.ComfortViolationFrac-g.comfortViolationFrac) > 5e-3 {
+			t.Errorf("%s: ComfortViolationFrac = %.10g, golden %.10g",
+				g.label, res.ComfortViolationFrac, g.comfortViolationFrac)
+		}
+	}
+}

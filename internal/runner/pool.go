@@ -1,0 +1,215 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"evclimate/internal/control"
+	"evclimate/internal/sim"
+)
+
+// Options tunes sweep execution.
+type Options struct {
+	// Workers is the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// Cache, when non-nil, skips jobs whose scenario fingerprint already
+	// holds a result (opt-in; see Cache).
+	Cache *Cache
+	// Progress, when non-nil, is called after each job completes with
+	// the number of finished jobs, the total, and the finished job's
+	// result. Calls are serialized; done is strictly increasing.
+	Progress func(done, total int, jr *JobResult)
+}
+
+// JobResult is one executed job's outcome.
+type JobResult struct {
+	// Job is the scenario that ran.
+	Job Job
+	// Result is the simulation outcome (nil on error). Cached results
+	// are shared between sweeps and must be treated as read-only.
+	Result *sim.Result
+	// Err is the job's failure, including captured panics; other jobs
+	// are unaffected.
+	Err error
+	// Elapsed is the job's wall-clock execution time (0 on cache hit).
+	Elapsed time.Duration
+	// Cached reports that the result came from the cache.
+	Cached bool
+	// Instance is the controller instance that produced Result (nil on
+	// cache hit), for post-run diagnostics such as solver statistics.
+	Instance control.Controller
+}
+
+// Sweep is an executed spec: results in expansion (spec) order.
+type Sweep struct {
+	// Spec is the expanded specification.
+	Spec Spec
+	// Jobs holds one result per job, in expansion order regardless of
+	// scheduling.
+	Jobs []JobResult
+}
+
+// FirstErr returns the first failed job's error, or nil.
+func (s *Sweep) FirstErr() error {
+	for i := range s.Jobs {
+		if err := s.Jobs[i].Err; err != nil {
+			return fmt.Errorf("runner: job %d (%s on %s): %w",
+				s.Jobs[i].Job.Index, s.Jobs[i].Job.Controller.Label, s.Jobs[i].Job.Cycle, err)
+		}
+	}
+	return nil
+}
+
+// Cells groups the results into scenario cells: one block per
+// (cycle, env, target) combination holding every controller's result, in
+// expansion order. Controllers are the innermost dimension, so cells are
+// contiguous blocks of len(Spec.Controllers).
+func (s *Sweep) Cells() [][]JobResult {
+	n := len(s.Spec.Controllers)
+	if n == 0 {
+		return nil
+	}
+	cells := make([][]JobResult, 0, len(s.Jobs)/n)
+	for i := 0; i+n <= len(s.Jobs); i += n {
+		cells = append(cells, s.Jobs[i:i+n])
+	}
+	return cells
+}
+
+// CellMap keys one cell's results by controller label.
+func CellMap(cell []JobResult) map[string]*sim.Result {
+	out := make(map[string]*sim.Result, len(cell))
+	for i := range cell {
+		out[cell[i].Job.Controller.Label] = cell[i].Result
+	}
+	return out
+}
+
+// Run expands the spec and executes it on the worker pool. The returned
+// error covers spec problems only; per-job failures (including captured
+// panics) are reported in JobResult.Err — check Sweep.FirstErr.
+func Run(ctx context.Context, spec Spec, opts Options) (*Sweep, error) {
+	jobs, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	results, err := RunJobs(ctx, jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Sweep{Spec: spec, Jobs: results}, nil
+}
+
+// RunJobs executes an explicit job list across the worker pool and
+// returns results in job order.
+func RunJobs(ctx context.Context, jobs []Job, opts Options) ([]JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]JobResult, len(jobs))
+	ran := make([]bool, len(jobs))
+
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range jobs {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var mu sync.Mutex // serializes progress callbacks and the done count
+	done := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				if ctx.Err() != nil {
+					return
+				}
+				out[i] = execute(&jobs[i], opts.Cache)
+				ran[i] = true
+				if opts.Progress != nil {
+					mu.Lock()
+					done++
+					opts.Progress(done, len(jobs), &out[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range out {
+		if !ran[i] {
+			out[i] = JobResult{Job: jobs[i], Err: ctx.Err()}
+		}
+	}
+	return out, nil
+}
+
+// execute runs one job, capturing panics into the result error so one
+// diverging scenario cannot kill the sweep.
+func execute(job *Job, cache *Cache) (jr JobResult) {
+	jr.Job = *job
+	defer func() {
+		if r := recover(); r != nil {
+			jr.Result = nil
+			jr.Err = fmt.Errorf("runner: job %d (%s on %s) panicked: %v",
+				job.Index, job.Controller.Label, job.Cycle, r)
+		}
+	}()
+
+	var key uint64
+	if cache != nil {
+		key = job.Fingerprint()
+		if res, ok := cache.get(key); ok {
+			jr.Result = res
+			jr.Cached = true
+			return jr
+		}
+	}
+
+	start := time.Now()
+	r, err := sim.New(job.Config)
+	if err != nil {
+		jr.Err = err
+		return jr
+	}
+	if job.Controller.New == nil {
+		jr.Err = fmt.Errorf("runner: controller %q has no constructor", job.Controller.Label)
+		return jr
+	}
+	ctrl, err := job.Controller.New()
+	if err != nil {
+		jr.Err = err
+		return jr
+	}
+	res, err := r.Run(ctrl)
+	if err != nil {
+		jr.Err = err
+		return jr
+	}
+	jr.Result = res
+	jr.Instance = ctrl
+	jr.Elapsed = time.Since(start)
+	if cache != nil {
+		cache.put(key, res)
+	}
+	return jr
+}

@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"fmt"
+
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+	"evclimate/internal/core"
+)
+
+// Canned controller specs for the paper's three methodologies. Labels
+// match the controllers' Name() strings, so Result.Controller and
+// Job.Controller.Label agree.
+
+// OnOffSpec is the switching thermostat baseline at the given control
+// period (0 = the sweep template's period).
+func OnOffSpec(controlDt float64) ControllerSpec {
+	return ControllerSpec{
+		Label:     "On/Off",
+		ControlDt: controlDt,
+		New: func() (control.Controller, error) {
+			m, err := cabin.New(cabin.Default())
+			if err != nil {
+				return nil, err
+			}
+			return control.NewOnOff(m), nil
+		},
+	}
+}
+
+// FuzzySpec is the fuzzy-based baseline at the given control period.
+func FuzzySpec(controlDt float64) ControllerSpec {
+	return ControllerSpec{
+		Label:     "Fuzzy-based",
+		ControlDt: controlDt,
+		New: func() (control.Controller, error) {
+			m, err := cabin.New(cabin.Default())
+			if err != nil {
+				return nil, err
+			}
+			return control.NewFuzzy(m), nil
+		},
+	}
+}
+
+// MPCSpec is the battery lifetime-aware MPC with the given configuration,
+// running at controlDt (0 = the MPC's own prediction period cfg.Dt). The
+// preview window covers the MPC horizon even when the controller is
+// called more often than it predicts.
+func MPCSpec(cfg core.Config, controlDt float64) ControllerSpec {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = core.DefaultConfig().Horizon
+	}
+	if cfg.Dt <= 0 {
+		cfg.Dt = core.DefaultConfig().Dt
+	}
+	if controlDt <= 0 {
+		controlDt = cfg.Dt
+	}
+	steps := cfg.Horizon * int(cfg.Dt/controlDt+0.5)
+	if steps < cfg.Horizon {
+		steps = cfg.Horizon
+	}
+	return ControllerSpec{
+		Label:         "Battery Lifetime-aware",
+		Key:           fmt.Sprintf("%+v", cfg),
+		ControlDt:     controlDt,
+		ForecastSteps: steps,
+		New: func() (control.Controller, error) {
+			return core.New(cfg)
+		},
+	}
+}

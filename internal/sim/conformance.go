@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the conformance layer: the shared physical invariants
+// every climate controller — On/Off, fuzzy, MPC, or any future one —
+// must satisfy on every drive cycle. The checks run over a completed
+// Result against its Config; sim and runner tests apply them to all
+// controllers on the standard cycles.
+
+// Tolerances parameterizes CheckInvariants.
+type Tolerances struct {
+	// MaxComfortViolationFrac bounds the fraction of post-settling time
+	// the cabin may spend outside the comfort zone.
+	MaxComfortViolationFrac float64
+	// EnergyClosureRel bounds the relative mismatch between the
+	// integrated battery power and the energy drawn from the pack. The
+	// plant applies Peukert rate-capacity accounting and a charge
+	// efficiency, so the nominal balance closes only within a margin.
+	EnergyClosureRel float64
+	// ActuatorSlack is the absolute slack (W) allowed on the actuator
+	// power limits and on the heater/cooler mutual exclusion, absorbing
+	// clamp round-off and optimizer dust (the MPC's SQP can leave a few
+	// watts on the inactive actuator).
+	ActuatorSlack float64
+}
+
+// DefaultTolerances returns the conformance defaults: 35 % comfort
+// violation budget (the On/Off baseline rides the band edges by design),
+// 15 % energy closure, 10 W actuator slack (0.2 % of the actuator
+// limits — far below any physically meaningful simultaneous operation).
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		MaxComfortViolationFrac: 0.35,
+		EnergyClosureRel:        0.15,
+		ActuatorSlack:           10,
+	}
+}
+
+// CheckInvariants verifies the shared physical invariants on a completed
+// run and returns an error describing the first violation:
+//
+//  1. All traces are finite, equal length, and non-empty.
+//  2. SoC stays within [0, 100] and is monotonically consumed whenever
+//     the battery is discharging (it may rise only on regen steps, i.e.
+//     when the total power is negative).
+//  3. HVAC powers respect the actuator bounds C8–C10 and are never
+//     negative; heater and cooler never run simultaneously beyond the
+//     clamp slack.
+//  4. The cabin temperature settles into the comfort band: the
+//     post-settling violation fraction stays within tolerance and the
+//     final temperature is inside the band.
+//  5. Energy bookkeeping closes: ∫ TotalW dt matches the energy drawn
+//     from the battery (ΔSoC × nominal pack energy) within tolerance.
+func CheckInvariants(cfg Config, res *Result, tol Tolerances) error {
+	// Normalize the defaulted fields the same way New does, so a raw
+	// (pre-validation) config checks correctly.
+	if cfg.ControlDt <= 0 && cfg.Profile != nil {
+		cfg.ControlDt = cfg.Profile.Dt
+	}
+	if cfg.ComfortBandC <= 0 {
+		cfg.ComfortBandC = 3
+	}
+
+	tr := &res.Trace
+	n := len(tr.Time)
+	if n == 0 {
+		return fmt.Errorf("sim: conformance: empty trace")
+	}
+	if len(tr.Inputs) != n {
+		return fmt.Errorf("sim: conformance: inputs length %d != %d", len(tr.Inputs), n)
+	}
+	for name, s := range map[string][]float64{
+		"CabinC": tr.CabinC, "OutsideC": tr.OutsideC, "MotorW": tr.MotorW,
+		"HeaterW": tr.HeaterW, "CoolerW": tr.CoolerW, "FanW": tr.FanW,
+		"HVACW": tr.HVACW, "TotalW": tr.TotalW, "SoC": tr.SoC,
+	} {
+		if len(s) != n {
+			return fmt.Errorf("sim: conformance: trace %s length %d != %d", name, len(s), n)
+		}
+		for i, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("sim: conformance: trace %s[%d] not finite: %v", name, i, v)
+			}
+		}
+	}
+
+	// SoC window and conditional monotonicity.
+	prev := cfg.BMS.InitialSoC
+	for i, soc := range tr.SoC {
+		if soc < 0 || soc > 100 {
+			return fmt.Errorf("sim: conformance: SoC[%d] = %v outside [0, 100]", i, soc)
+		}
+		if tr.TotalW[i] >= 0 && soc > prev+1e-12 {
+			return fmt.Errorf("sim: conformance: SoC rose %v → %v at step %d while discharging (%.1f W)",
+				prev, soc, i, tr.TotalW[i])
+		}
+		prev = soc
+	}
+	if res.FinalSoC >= cfg.BMS.InitialSoC {
+		return fmt.Errorf("sim: conformance: final SoC %v did not consume charge from %v",
+			res.FinalSoC, cfg.BMS.InitialSoC)
+	}
+
+	// Actuator bounds.
+	p := cfg.Cabin
+	for i := 0; i < n; i++ {
+		switch {
+		case tr.HeaterW[i] < 0 || tr.HeaterW[i] > p.MaxHeaterPowerW+tol.ActuatorSlack:
+			return fmt.Errorf("sim: conformance: heater power %v W outside [0, %v] at step %d",
+				tr.HeaterW[i], p.MaxHeaterPowerW, i)
+		case tr.CoolerW[i] < 0 || tr.CoolerW[i] > p.MaxCoolerPowerW+tol.ActuatorSlack:
+			return fmt.Errorf("sim: conformance: cooler power %v W outside [0, %v] at step %d",
+				tr.CoolerW[i], p.MaxCoolerPowerW, i)
+		case tr.FanW[i] < 0 || tr.FanW[i] > p.MaxFanPowerW+tol.ActuatorSlack:
+			return fmt.Errorf("sim: conformance: fan power %v W outside [0, %v] at step %d",
+				tr.FanW[i], p.MaxFanPowerW, i)
+		case tr.HeaterW[i] > tol.ActuatorSlack && tr.CoolerW[i] > tol.ActuatorSlack:
+			return fmt.Errorf("sim: conformance: heater (%v W) and cooler (%v W) both active at step %d",
+				tr.HeaterW[i], tr.CoolerW[i], i)
+		}
+		in := tr.Inputs[i]
+		if in.AirFlowKgS < p.MinAirFlowKgS-1e-9 || in.AirFlowKgS > p.MaxAirFlowKgS+1e-9 {
+			return fmt.Errorf("sim: conformance: air flow %v outside [%v, %v] at step %d",
+				in.AirFlowKgS, p.MinAirFlowKgS, p.MaxAirFlowKgS, i)
+		}
+		if in.Recirc < -1e-9 || in.Recirc > p.MaxRecirc+1e-9 {
+			return fmt.Errorf("sim: conformance: recirculation %v outside [0, %v] at step %d",
+				in.Recirc, p.MaxRecirc, i)
+		}
+	}
+
+	// Comfort settling.
+	if res.ComfortViolationFrac > tol.MaxComfortViolationFrac {
+		return fmt.Errorf("sim: conformance: comfort violation fraction %.3f exceeds %.3f",
+			res.ComfortViolationFrac, tol.MaxComfortViolationFrac)
+	}
+	final := tr.CabinC[n-1]
+	lo, hi := cfg.TargetC-cfg.ComfortBandC, cfg.TargetC+cfg.ComfortBandC
+	if final < lo-0.5 || final > hi+0.5 {
+		return fmt.Errorf("sim: conformance: final cabin temperature %.2f °C outside comfort band [%v, %v]",
+			final, lo, hi)
+	}
+
+	// Energy bookkeeping: ∫ TotalW dt vs energy drawn from the pack.
+	var drawnJ float64
+	for i := 0; i < n; i++ {
+		drawnJ += tr.TotalW[i] * cfg.ControlDt
+	}
+	packJ := (cfg.BMS.InitialSoC - res.FinalSoC) / 100 * cfg.BMS.Pack.EnergyKWh() * 3.6e6
+	if drawnJ <= 0 {
+		return fmt.Errorf("sim: conformance: non-positive integrated battery energy %v J", drawnJ)
+	}
+	if rel := math.Abs(drawnJ-packJ) / drawnJ; rel > tol.EnergyClosureRel {
+		return fmt.Errorf("sim: conformance: energy bookkeeping open by %.1f%%: ∫P dt = %.0f J, pack ΔSoC energy = %.0f J",
+			100*rel, drawnJ, packJ)
+	}
+	return nil
+}

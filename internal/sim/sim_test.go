@@ -318,3 +318,36 @@ func TestMildAmbientUsesLittlePower(t *testing.T) {
 		t.Errorf("avg HVAC at 21 °C = %v W, want ≲ 1 kW", res.AvgHVACW)
 	}
 }
+
+func TestRunDeterministic(t *testing.T) {
+	// Two fresh runner+controller pairs on identical configs must produce
+	// bit-identical trajectories — the property the parallel sweep engine
+	// builds its replay guarantee on.
+	run := func() *Result {
+		p := hotProfile().Truncate(300)
+		r := newRunner(t, p, nil)
+		res, err := r.Run(control.NewFuzzy(hvacModel(t)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Trace.Time) != len(b.Trace.Time) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace.Time), len(b.Trace.Time))
+	}
+	for i := range a.Trace.Time {
+		for name, pair := range map[string][2]float64{
+			"CabinC": {a.Trace.CabinC[i], b.Trace.CabinC[i]},
+			"HVACW":  {a.Trace.HVACW[i], b.Trace.HVACW[i]},
+			"SoC":    {a.Trace.SoC[i], b.Trace.SoC[i]},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("%s diverges at step %d: %v vs %v", name, i, pair[0], pair[1])
+			}
+		}
+	}
+	if math.Float64bits(a.DeltaSoH) != math.Float64bits(b.DeltaSoH) {
+		t.Errorf("DeltaSoH differs: %v vs %v", a.DeltaSoH, b.DeltaSoH)
+	}
+}
