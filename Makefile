@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet bench clean test-faults fuzz-qp check
 
 all: build vet test
 
@@ -22,5 +22,21 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-clean:
-	$(GO) clean ./...
+# Fault-injection conformance under the race detector: the injector and
+# supervisor unit tests, the fault-axis sweep determinism proof, and the
+# closed-loop safety property / ladder golden. The long fault-conformance
+# sweep (TestFaultConformance) is excluded via -short where it self-skips.
+test-faults:
+	$(GO) test -race ./internal/faults/... ./internal/control/... ./internal/sqp/...
+	$(GO) test -race -short -run 'Fault' ./internal/runner/...
+	$(GO) test -race -run 'TestSupervised' ./internal/sim/...
+
+# Coverage-guided fuzzing of the QP interior-point solver (open-ended;
+# interrupt when satisfied).
+fuzz-qp:
+	$(GO) test -fuzz=FuzzSolve -fuzztime=2m ./internal/qp/
+
+# Pre-merge gate: full build + vet + tests, fault suite under -race, and
+# a short fuzz smoke of the QP solver.
+check: all test-faults
+	$(GO) test -fuzz=FuzzSolve -fuzztime=10s ./internal/qp/

@@ -8,6 +8,8 @@
 //	evbench -ambient 30     # override the hot-day ambient temperature
 //	evbench -quick          # truncate profiles to 200 s for a fast smoke run
 //	evbench -workers 8      # sweep worker-pool size (default GOMAXPROCS)
+//	evbench -exp faults     # fault-injection sweep (opt-in, like ablate)
+//	evbench -exp faults -fault-scenarios stuck,noisy   # a subset
 //
 // All scenario grids execute on the internal/runner worker pool; results
 // are deterministic for any worker count. One result cache is shared
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"evclimate/internal/experiments"
+	"evclimate/internal/faults"
 	"evclimate/internal/runner"
 )
 
@@ -32,6 +35,9 @@ func main() {
 	solar := flag.Float64("solar", 400, "solar thermal load (W)")
 	quick := flag.Bool("quick", false, "truncate profiles to 200 s for a fast smoke run")
 	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	scenarios := flag.String("fault-scenarios", "",
+		"comma-separated fault scenarios for -exp faults (default: all of "+
+			strings.Join(faults.BuiltinNames(), ",")+")")
 	flag.Parse()
 
 	cache := runner.NewCache()
@@ -139,6 +145,19 @@ func main() {
 		return nil
 	})
 
+	runExplicit("faults", func() error {
+		var names []string
+		if *scenarios != "" {
+			names = strings.Split(*scenarios, ",")
+		}
+		rows, err := experiments.FaultSweep(opts, names)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFaultSweep(rows))
+		return nil
+	})
+
 	runExplicit("fleet", func() error {
 		summary, err := experiments.RunFleet(experiments.FleetConfig{Trips: 10, Workers: *workers})
 		if err != nil {
@@ -148,7 +167,7 @@ func main() {
 		return nil
 	})
 
-	if !strings.Contains("all fig1 fig5 fig6 fig7 fig8 table1 ablate fleet", *exp) {
+	if !strings.Contains("all fig1 fig5 fig6 fig7 fig8 table1 ablate fleet faults", *exp) {
 		fmt.Fprintf(os.Stderr, "evbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}

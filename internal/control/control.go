@@ -49,6 +49,10 @@ type StepContext struct {
 	ComfortLowC, ComfortHighC float64
 	// Forecast is the preview over the control window (may be empty).
 	Forecast Forecast
+	// SolverIterBudget, when positive, caps the iterations an optimizing
+	// controller may spend on this step (an overloaded ECU or an injected
+	// solver-budget fault). Non-optimizing controllers ignore it.
+	SolverIterBudget int
 }
 
 // Controller decides the HVAC inputs for the next control period.
@@ -60,6 +64,18 @@ type Controller interface {
 	// Reset clears internal state (integrators, hysteresis latches)
 	// before a new run.
 	Reset()
+}
+
+// HealthReporter is implemented by controllers that can report whether
+// their last Decide was internally healthy — e.g. the MPC reports a
+// solver that fell back to safe ventilation or ran out of budget. The
+// Supervisor treats a non-nil report as a soft fault: the output is
+// still used (it passed validation), but repeated reports walk the
+// degradation ladder.
+type HealthReporter interface {
+	// Healthy returns nil when the last Decide was internally sound, or
+	// an error describing the internal failure.
+	Healthy() error
 }
 
 // coolingNeeded reports whether the environment pushes the cabin above

@@ -121,8 +121,12 @@ type Controller struct {
 
 	prevZ []float64 // previous solution for warm starting
 	// Diagnostics aggregated over a run.
-	solves, converged, stalled, failed int
-	totalSQPIters                      int
+	solves, converged, stalled, failed, budget int
+	totalSQPIters                              int
+	// lastErr is the previous Decide's internal failure (nil when the
+	// solve was healthy), surfaced through Healthy for supervisory
+	// layers.
+	lastErr error
 }
 
 // New validates the configuration and builds the controller.
@@ -169,9 +173,16 @@ func (c *Controller) Name() string { return "Battery Lifetime-aware" }
 // Reset implements control.Controller.
 func (c *Controller) Reset() {
 	c.prevZ = nil
-	c.solves, c.converged, c.stalled, c.failed = 0, 0, 0, 0
+	c.solves, c.converged, c.stalled, c.failed, c.budget = 0, 0, 0, 0, 0
 	c.totalSQPIters = 0
+	c.lastErr = nil
 }
+
+// Healthy implements control.HealthReporter: it reports the last
+// Decide's internal failure — a solver that fell back to safe
+// ventilation or ran out of budget — even when the emitted inputs were
+// clamped into a valid range.
+func (c *Controller) Healthy() error { return c.lastErr }
 
 // Stats reports solver diagnostics since the last Reset.
 type Stats struct {
@@ -181,13 +192,17 @@ type Stats struct {
 	// remainder hit the iteration cap, which is normal for real-time
 	// MPC).
 	Converged, Stalled, Failed int
+	// BudgetExceeded counts solves cut short by a hard iteration or
+	// wall-clock budget (Options.HardIterCap / MaxTime, including
+	// injected solver-budget faults).
+	BudgetExceeded int
 	// AvgSQPIters is the mean SQP iteration count per solve.
 	AvgSQPIters float64
 }
 
 // Stats returns the diagnostics.
 func (c *Controller) Stats() Stats {
-	s := Stats{Solves: c.solves, Converged: c.converged, Stalled: c.stalled, Failed: c.failed}
+	s := Stats{Solves: c.solves, Converged: c.converged, Stalled: c.stalled, Failed: c.failed, BudgetExceeded: c.budget}
 	if c.solves > 0 {
 		s.AvgSQPIters = float64(c.totalSQPIters) / float64(c.solves)
 	}
@@ -585,7 +600,14 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 		z0 = c.initialGuess(h)
 	}
 
-	res, err := sqp.Solve(prob, z0, c.cfg.SQP)
+	// A per-step budget (supervisor watchdog or injected solver-budget
+	// fault) tightens the configured solver options for this call only.
+	opt := c.cfg.SQP
+	if ctx.SolverIterBudget > 0 && (opt.HardIterCap <= 0 || ctx.SolverIterBudget < opt.HardIterCap) {
+		opt.HardIterCap = ctx.SolverIterBudget
+	}
+
+	res, err := sqp.Solve(prob, z0, opt)
 	c.solves++
 	if res != nil {
 		c.totalSQPIters += res.Iterations
@@ -596,19 +618,37 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 			c.stalled++
 		case sqp.Failed:
 			c.failed++
+		case sqp.BudgetExceeded:
+			c.budget++
 		}
 	}
 
+	// A budget-truncated iterate is still usable when finite: it is the
+	// warm-started previous plan improved for as many iterations as the
+	// budget allowed. It is reported unhealthy either way.
+	budgeted := errors.Is(err, sqp.ErrBudgetExceeded)
 	var in cabin.Inputs
-	if err != nil || res == nil || !mat.AllFinite(res.X) {
+	if (err != nil && !budgeted) || res == nil || !mat.AllFinite(res.X) {
 		// Optimizer broke down: fall back to a safe ventilation move and
-		// drop the warm start.
-		c.failed++
+		// drop the warm start. The termination-status switch above
+		// already counted solves that returned a result; only a nil
+		// result (never classified) is counted here.
+		if res == nil {
+			c.failed++
+		}
 		c.prevZ = nil
+		if err == nil {
+			err = errors.New("core: non-finite solver iterate")
+		}
+		c.lastErr = fmt.Errorf("core: safe-ventilation fallback: %w", err)
 		mixFallback := c.model.MixTemp(ctx.OutsideC, ctx.CabinTempC, 0.5)
 		in = cabin.Inputs{SupplyTempC: mixFallback, CoilTempC: mixFallback, Recirc: 0.5, AirFlowKgS: c.cfg.Cabin.MinAirFlowKgS}
 	} else {
 		c.prevZ = res.X
+		c.lastErr = nil
+		if budgeted {
+			c.lastErr = err
+		}
 		in = cabin.Inputs{
 			SupplyTempC: res.X[c.idxTs(0)],
 			CoilTempC:   res.X[c.idxTc(0)],

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+)
+
+// SupervisedConfig assembles the canonical degradation ladder around the
+// battery lifetime-aware MPC.
+type SupervisedConfig struct {
+	// MPC configures the top stage (zero value → DefaultConfig).
+	MPC Config
+	// ShortHorizon is the fallback MPC's horizon (default max(4, N/3)).
+	// The fallback also halves the SQP iteration budget: it exists to
+	// keep optimizing when the full problem became too expensive or
+	// unstable, not to match the full controller's quality.
+	ShortHorizon int
+	// Supervisor tunes the watchdog; its Cabin parameter set defaults to
+	// the MPC's.
+	Supervisor control.SupervisorConfig
+}
+
+// NewSupervised builds the paper controller wrapped in the full
+// degradation ladder:
+//
+//	0. full-horizon battery lifetime-aware MPC
+//	1. cold-restart MPC with a shortened horizon and halved SQP budget
+//	2. fuzzy controller (no optimizer to break)
+//	3. on/off thermostat safe mode (no model at all)
+//
+// Each demotion trades optimality for robustness; the Supervisor
+// re-promotes one stage at a time after sustained clean operation.
+func NewSupervised(cfg SupervisedConfig) (*control.Supervisor, error) {
+	if cfg.MPC == (Config{}) {
+		cfg.MPC = DefaultConfig()
+	}
+	full, err := New(cfg.MPC)
+	if err != nil {
+		return nil, err
+	}
+
+	shortCfg := cfg.MPC
+	shortCfg.Horizon = cfg.ShortHorizon
+	if shortCfg.Horizon <= 0 {
+		shortCfg.Horizon = cfg.MPC.Horizon / 3
+	}
+	if shortCfg.Horizon < 4 {
+		shortCfg.Horizon = 4
+	}
+	if shortCfg.SQP.MaxIter > 1 {
+		shortCfg.SQP.MaxIter /= 2
+	}
+	short, err := New(shortCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	model, err := cabin.New(cfg.MPC.Cabin)
+	if err != nil {
+		return nil, err
+	}
+
+	sup := cfg.Supervisor
+	if sup.Cabin == (cabin.Params{}) {
+		sup.Cabin = cfg.MPC.Cabin
+	}
+	return control.NewSupervisor("Supervised MPC", sup,
+		control.Stage{Name: "mpc-full", Controller: full},
+		control.Stage{Name: "mpc-short", Controller: short},
+		control.Stage{Name: "fuzzy", Controller: control.NewFuzzy(model)},
+		control.Stage{Name: "onoff-safe", Controller: control.NewOnOff(model)},
+	)
+}

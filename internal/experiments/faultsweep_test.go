@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep runs supervised MPC simulations")
+	}
+	opts := quickOpts()
+	rows, err := FaultSweep(opts, []string{"stuck"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 scenarios (none + stuck) × 3 controllers.
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	scenarios := map[string]int{}
+	for _, r := range rows {
+		scenarios[r.Scenario]++
+		if r.AvgHVACKW <= 0 {
+			t.Errorf("%s/%s: non-positive HVAC power %v", r.Scenario, r.Controller, r.AvgHVACKW)
+		}
+		if r.DeltaSoH <= 0 {
+			t.Errorf("%s/%s: non-positive SoH degradation %v", r.Scenario, r.Controller, r.DeltaSoH)
+		}
+	}
+	if scenarios["none"] != 3 || scenarios["stuck"] != 3 {
+		t.Fatalf("scenario grouping wrong: %v", scenarios)
+	}
+
+	out := RenderFaultSweep(rows)
+	for _, want := range []string{"Fault sweep", "stuck", NameSupervisedMPC} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered sweep missing %q:\n%s", want, out)
+		}
+	}
+
+	if _, err := FaultSweep(opts, []string{"no-such"}); err == nil {
+		t.Fatal("unknown scenario name accepted")
+	}
+}

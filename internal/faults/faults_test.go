@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"evclimate/internal/control"
+)
+
+// mkCtx builds a clean step context at time t with a 3-step preview.
+func mkCtx(step int, dt float64) control.StepContext {
+	t := float64(step) * dt
+	return control.StepContext{
+		Time: t, Dt: dt,
+		CabinTempC: 24 + 0.1*float64(step),
+		OutsideC:   35,
+		SoC:        90 - 0.01*float64(step),
+		TargetC:    24,
+		Forecast: control.Forecast{
+			Dt:          dt,
+			MotorPowerW: []float64{1000, 2000, 3000},
+			OutsideC:    []float64{35, 35, 35},
+			SolarW:      []float64{400, 400, 400},
+		},
+	}
+}
+
+func TestReplayBitIdentical(t *testing.T) {
+	spec := Spec{
+		Name: "mix",
+		Sensor: []SensorFault{
+			{Signal: CabinTemp, Mode: Noise, Value: 0.5, Window: Window{StartS: 2, EndS: 50}},
+			{Signal: OutsideTemp, Mode: Dropout, Rate: 0.4, Window: Window{StartS: 5, EndS: 60}},
+			{Signal: SoC, Mode: Quantize, Value: 1, Window: Window{StartS: 0, EndS: 100}},
+		},
+		Forecast: []ForecastFault{{Mode: ForecastCorrupt, SigmaW: 500, Window: Window{StartS: 10, EndS: 80}}},
+		Solver:   []SolverFault{{MaxIter: 2, Window: Window{StartS: 20, EndS: 40}}},
+	}
+	run := func() []control.StepContext {
+		inj := spec.New(42)
+		out := make([]control.StepContext, 100)
+		for k := 0; k < 100; k++ {
+			ctx := mkCtx(k, 1)
+			inj.Apply(k, &ctx)
+			out[k] = ctx
+		}
+		return out
+	}
+	a, b := run(), run()
+	for k := range a {
+		if a[k].CabinTempC != b[k].CabinTempC || a[k].OutsideC != b[k].OutsideC ||
+			a[k].SoC != b[k].SoC || a[k].SolverIterBudget != b[k].SolverIterBudget {
+			t.Fatalf("step %d: replay diverged: %+v vs %+v", k, a[k], b[k])
+		}
+		for i := range a[k].Forecast.MotorPowerW {
+			if a[k].Forecast.MotorPowerW[i] != b[k].Forecast.MotorPowerW[i] {
+				t.Fatalf("step %d: forecast replay diverged", k)
+			}
+		}
+	}
+
+	// A different seed must produce a different noise sequence.
+	inj := spec.New(43)
+	diff := false
+	for k := 0; k < 100; k++ {
+		ctx := mkCtx(k, 1)
+		inj.Apply(k, &ctx)
+		if ctx.CabinTempC != a[k].CabinTempC {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical noise")
+	}
+}
+
+func TestSensorModes(t *testing.T) {
+	t.Run("stuck-at", func(t *testing.T) {
+		inj := Spec{Sensor: []SensorFault{{Signal: CabinTemp, Mode: StuckAt, Value: 10, Window: Window{StartS: 2, EndS: 4}}}}.New(1)
+		for k := 0; k < 6; k++ {
+			ctx := mkCtx(k, 1)
+			true_ := ctx.CabinTempC
+			inj.Apply(k, &ctx)
+			if k >= 2 && k < 4 {
+				if ctx.CabinTempC != 10 {
+					t.Fatalf("step %d: got %v, want stuck 10", k, ctx.CabinTempC)
+				}
+			} else if ctx.CabinTempC != true_ {
+				t.Fatalf("step %d: fault active outside window", k)
+			}
+		}
+	})
+
+	t.Run("bias", func(t *testing.T) {
+		inj := Spec{Sensor: []SensorFault{{Signal: OutsideTemp, Mode: Bias, Value: -3}}}.New(1)
+		ctx := mkCtx(0, 1)
+		inj.Apply(0, &ctx)
+		if ctx.OutsideC != 32 {
+			t.Fatalf("bias: got %v, want 32", ctx.OutsideC)
+		}
+	})
+
+	t.Run("quantize", func(t *testing.T) {
+		inj := Spec{Sensor: []SensorFault{{Signal: CabinTemp, Mode: Quantize, Value: 0.5}}}.New(1)
+		ctx := mkCtx(1, 1) // cabin 24.1
+		inj.Apply(1, &ctx)
+		if ctx.CabinTempC != 24.0 {
+			t.Fatalf("quantize: got %v, want 24.0", ctx.CabinTempC)
+		}
+	})
+
+	t.Run("dropout-holds-last", func(t *testing.T) {
+		inj := Spec{Sensor: []SensorFault{{Signal: CabinTemp, Mode: Dropout, Window: Window{StartS: 3, EndS: 6}}}}.New(1)
+		var lastGood float64
+		for k := 0; k < 8; k++ {
+			ctx := mkCtx(k, 1)
+			true_ := ctx.CabinTempC
+			inj.Apply(k, &ctx)
+			switch {
+			case k < 3:
+				lastGood = true_
+				if ctx.CabinTempC != true_ {
+					t.Fatalf("step %d: corrupted before window", k)
+				}
+			case k < 6:
+				if ctx.CabinTempC != lastGood {
+					t.Fatalf("step %d: got %v, want held %v", k, ctx.CabinTempC, lastGood)
+				}
+			default:
+				if ctx.CabinTempC != true_ {
+					t.Fatalf("step %d: still holding after window", k)
+				}
+			}
+		}
+	})
+
+	t.Run("noise-is-zero-mean", func(t *testing.T) {
+		inj := Spec{Sensor: []SensorFault{{Signal: CabinTemp, Mode: Noise, Value: 1}}}.New(7)
+		var sum, sumSq float64
+		n := 5000
+		for k := 0; k < n; k++ {
+			ctx := mkCtx(0, 1)
+			inj.Apply(k, &ctx)
+			d := ctx.CabinTempC - 24
+			sum += d
+			sumSq += d * d
+		}
+		mean := sum / float64(n)
+		sd := math.Sqrt(sumSq/float64(n) - mean*mean)
+		if math.Abs(mean) > 0.05 || math.Abs(sd-1) > 0.05 {
+			t.Fatalf("noise stats off: mean %v, sd %v", mean, sd)
+		}
+	})
+}
+
+func TestForecastModes(t *testing.T) {
+	t.Run("loss", func(t *testing.T) {
+		inj := Spec{Forecast: []ForecastFault{{Mode: ForecastLoss}}}.New(1)
+		ctx := mkCtx(0, 1)
+		inj.Apply(0, &ctx)
+		if ctx.Forecast.Len() != 0 {
+			t.Fatalf("forecast not removed: %d steps", ctx.Forecast.Len())
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		inj := Spec{Forecast: []ForecastFault{{Mode: ForecastTruncate, Keep: 1}}}.New(1)
+		ctx := mkCtx(0, 1)
+		inj.Apply(0, &ctx)
+		if ctx.Forecast.Len() != 1 || len(ctx.Forecast.OutsideC) != 1 || len(ctx.Forecast.SolarW) != 1 {
+			t.Fatalf("truncate: got %d motor / %d outside / %d solar steps",
+				ctx.Forecast.Len(), len(ctx.Forecast.OutsideC), len(ctx.Forecast.SolarW))
+		}
+	})
+	t.Run("corrupt-copies", func(t *testing.T) {
+		inj := Spec{Forecast: []ForecastFault{{Mode: ForecastCorrupt, SigmaW: 100}}}.New(1)
+		orig := []float64{1000, 2000, 3000}
+		ctx := mkCtx(0, 1)
+		ctx.Forecast.MotorPowerW = orig
+		inj.Apply(0, &ctx)
+		if &ctx.Forecast.MotorPowerW[0] == &orig[0] {
+			t.Fatal("corrupt mutated the shared preview slice")
+		}
+		same := true
+		for i, v := range ctx.Forecast.MotorPowerW {
+			if v != orig[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("corrupt changed nothing")
+		}
+	})
+}
+
+func TestSolverBudgetTightestWins(t *testing.T) {
+	inj := Spec{Solver: []SolverFault{
+		{MaxIter: 5, Window: Window{StartS: 0, EndS: 10}},
+		{MaxIter: 2, Window: Window{StartS: 0, EndS: 10}},
+	}}.New(1)
+	ctx := mkCtx(0, 1)
+	inj.Apply(0, &ctx)
+	if ctx.SolverIterBudget != 2 {
+		t.Fatalf("budget: got %d, want 2", ctx.SolverIterBudget)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	names := BuiltinNames()
+	if len(names) == 0 {
+		t.Fatal("no built-in scenarios")
+	}
+	for _, n := range names {
+		s, err := Builtin(n)
+		if err != nil {
+			t.Fatalf("Builtin(%q): %v", n, err)
+		}
+		if s.Empty() {
+			t.Fatalf("built-in %q schedules nothing", n)
+		}
+	}
+	if _, err := Builtin("no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+}

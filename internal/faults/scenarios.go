@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Built-in fault scenarios: the canonical broken-sensing regimes the
+// conformance suite and `evbench -exp faults` sweep every controller
+// through. Windows are phrased as fractions of a nominal 600 s run so the
+// scenarios stress both the transient and the settled phase on the
+// truncated test cycles.
+
+// Builtin returns the named scenario. Names are case-insensitive.
+func Builtin(name string) (Spec, error) {
+	for _, s := range Builtins() {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("faults: unknown scenario %q (have %s)", name, strings.Join(BuiltinNames(), ", "))
+}
+
+// BuiltinNames lists the built-in scenario names, sorted.
+func BuiltinNames() []string {
+	bs := Builtins()
+	names := make([]string, len(bs))
+	for i, s := range bs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtins returns the built-in scenario set.
+func Builtins() []Spec {
+	return []Spec{
+		{
+			// The cabin sensor bus freezes for two minutes mid-run, then
+			// recovers; the ambient sensor drops intermittently.
+			Name: "dropout",
+			Sensor: []SensorFault{
+				{Signal: CabinTemp, Mode: Dropout, Window: Window{StartS: 180, EndS: 300}},
+				{Signal: OutsideTemp, Mode: Dropout, Rate: 0.5, Window: Window{StartS: 120, EndS: 420}},
+			},
+		},
+		{
+			// The cabin sensor sticks at a plausible-but-wrong reading —
+			// the nastiest sensor failure, because nothing looks broken.
+			Name: "stuck",
+			Sensor: []SensorFault{
+				{Signal: CabinTemp, Mode: StuckAt, Value: 24, Window: Window{StartS: 200, EndS: 320}},
+			},
+		},
+		{
+			// Measurement-quality degradation: biased ambient, noisy and
+			// coarsely quantized cabin reading, noisy SoC telemetry.
+			Name: "noisy",
+			Sensor: []SensorFault{
+				{Signal: OutsideTemp, Mode: Bias, Value: 4, Window: Window{StartS: 60, EndS: 480}},
+				{Signal: CabinTemp, Mode: Noise, Value: 0.4, Window: Window{StartS: 60, EndS: 480}},
+				{Signal: CabinTemp, Mode: Quantize, Value: 0.5, Window: Window{StartS: 60, EndS: 480}},
+				{Signal: SoC, Mode: Noise, Value: 0.05, Window: Window{StartS: 60, EndS: 480}},
+			},
+		},
+		{
+			// The preview chain degrades: corrupted motor-power prediction,
+			// then a truncated horizon, then total loss of the preview.
+			Name: "forecast",
+			Forecast: []ForecastFault{
+				{Mode: ForecastCorrupt, SigmaW: 8000, Window: Window{StartS: 60, EndS: 240}},
+				{Mode: ForecastTruncate, Keep: 3, Window: Window{StartS: 240, EndS: 360}},
+				{Mode: ForecastLoss, Window: Window{StartS: 360, EndS: 480}},
+			},
+		},
+		{
+			// The ECU is overloaded: the optimizer gets a near-zero
+			// iteration budget for two minutes.
+			Name: "solver-budget",
+			Solver: []SolverFault{
+				{MaxIter: 1, Window: Window{StartS: 150, EndS: 270}},
+			},
+		},
+	}
+}

@@ -269,6 +269,16 @@ func (m *Dense) IsSymmetric(tol float64) bool {
 	return true
 }
 
+// AllFinite reports whether every element is finite (no NaN or ±Inf).
+func (m *Dense) AllFinite() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // MaxAbs returns the largest absolute element value (the max norm).
 func (m *Dense) MaxAbs() float64 {
 	var mx float64

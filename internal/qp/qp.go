@@ -138,6 +138,18 @@ func (p *Problem) validate() (n, meq, min int, err error) {
 	if !mat.AllFinite(p.C) || !mat.AllFinite(p.Beq) || !mat.AllFinite(p.Bin) {
 		return 0, 0, 0, fmt.Errorf("%w: non-finite data", ErrBadProblem)
 	}
+	// Matrix data must be finite too: a NaN in H or a constraint row
+	// poisons the KKT factorization and surfaces as a confusing
+	// NumericalFailure deep in the iteration loop.
+	if !p.H.AllFinite() {
+		return 0, 0, 0, fmt.Errorf("%w: non-finite Hessian", ErrBadProblem)
+	}
+	if p.Aeq != nil && !p.Aeq.AllFinite() {
+		return 0, 0, 0, fmt.Errorf("%w: non-finite equality matrix", ErrBadProblem)
+	}
+	if p.Ain != nil && !p.Ain.AllFinite() {
+		return 0, 0, 0, fmt.Errorf("%w: non-finite inequality matrix", ErrBadProblem)
+	}
 	return n, meq, min, nil
 }
 

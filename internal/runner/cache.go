@@ -68,7 +68,13 @@ func (j *Job) Fingerprint() uint64 {
 	cfg.Profile = nil
 	eff := cfg.Powertrain.Efficiency
 	cfg.Powertrain.Efficiency = nil
+	flt := cfg.Faults
+	cfg.Faults = nil
 	fmt.Fprintf(h, "\x00%d\x00%+v", j.Seed, cfg)
+	if !flt.Empty() {
+		// The fault spec is pure data; its %+v prints the full schedule.
+		fmt.Fprintf(h, "\x00faults:%+v", *flt)
+	}
 
 	var buf [8]byte
 	word := func(v float64) {

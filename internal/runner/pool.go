@@ -64,9 +64,9 @@ func (s *Sweep) FirstErr() error {
 }
 
 // Cells groups the results into scenario cells: one block per
-// (cycle, env, target) combination holding every controller's result, in
-// expansion order. Controllers are the innermost dimension, so cells are
-// contiguous blocks of len(Spec.Controllers).
+// (cycle, env, target, fault) combination holding every controller's
+// result, in expansion order. Controllers are the innermost dimension, so
+// cells are contiguous blocks of len(Spec.Controllers).
 func (s *Sweep) Cells() [][]JobResult {
 	n := len(s.Spec.Controllers)
 	if n == 0 {

@@ -18,9 +18,9 @@
 //     ran carry the context error.
 //
 // The expansion order is cycles (outermost), then environments, then
-// targets, then controllers (innermost), so one "cell" — every controller
-// on one scenario — occupies a contiguous block of the output (see
-// Sweep.Cells).
+// targets, then fault scenarios, then controllers (innermost), so one
+// "cell" — every controller on one scenario — occupies a contiguous block
+// of the output (see Sweep.Cells).
 package runner
 
 import (
@@ -28,6 +28,7 @@ import (
 
 	"evclimate/internal/control"
 	"evclimate/internal/drivecycle"
+	"evclimate/internal/faults"
 	"evclimate/internal/sim"
 )
 
@@ -92,6 +93,11 @@ type Spec struct {
 	// Targets are the cabin target temperatures. Empty inherits the
 	// template's target (24 °C by default).
 	Targets []float64
+	// Faults are the fault scenarios swept over each scenario cell
+	// (between targets and controllers in the expansion). Empty runs
+	// fault-free; include faults.Spec{} (the empty scenario) alongside
+	// real ones to compare faulted against clean runs in one sweep.
+	Faults []faults.Spec
 	// ComfortBandC is the comfort-zone half width (0 = template value).
 	ComfortBandC float64
 	// MaxProfileS truncates every profile (0 = full length).
@@ -122,6 +128,9 @@ type Job struct {
 	Env Env
 	// TargetC is the cabin target temperature.
 	TargetC float64
+	// Fault is the injected fault scenario (nil when Spec.Faults was
+	// empty or the cell is the empty scenario).
+	Fault *faults.Spec
 	// Seed is the job's derived deterministic seed (never a shared RNG):
 	// mixed from Spec.BaseSeed and Index with splitmix64.
 	Seed int64
@@ -199,35 +208,47 @@ func Expand(spec Spec) ([]Job, error) {
 				targets = []float64{templateTarget(spec.Base, p)}
 			}
 			for _, target := range targets {
-				for _, ctrl := range spec.Controllers {
-					cfg := templateConfig(spec.Base, p)
-					cfg.TargetC = target
-					if spec.ComfortBandC > 0 {
-						cfg.ComfortBandC = spec.ComfortBandC
-					}
-					if spec.StartFromAmbient {
-						cfg.UseAmbientStart = true
-					} else {
-						cfg.InitialCabinC = target
-					}
-					if ctrl.ControlDt > 0 {
-						cfg.ControlDt = ctrl.ControlDt
-					}
-					cfg.ForecastSteps = ctrl.ForecastSteps
+				fltSpecs := spec.Faults
+				if len(fltSpecs) == 0 {
+					fltSpecs = []faults.Spec{{}}
+				}
+				for _, flt := range fltSpecs {
+					for _, ctrl := range spec.Controllers {
+						cfg := templateConfig(spec.Base, p)
+						cfg.TargetC = target
+						if spec.ComfortBandC > 0 {
+							cfg.ComfortBandC = spec.ComfortBandC
+						}
+						if spec.StartFromAmbient {
+							cfg.UseAmbientStart = true
+						} else {
+							cfg.InitialCabinC = target
+						}
+						if ctrl.ControlDt > 0 {
+							cfg.ControlDt = ctrl.ControlDt
+						}
+						cfg.ForecastSteps = ctrl.ForecastSteps
 
-					job := Job{
-						Index:      len(jobs),
-						Cycle:      label,
-						Controller: ctrl,
-						Env:        env,
-						TargetC:    target,
-						Seed:       deriveSeed(spec.BaseSeed, len(jobs)),
-						Config:     cfg,
+						job := Job{
+							Index:      len(jobs),
+							Cycle:      label,
+							Controller: ctrl,
+							Env:        env,
+							TargetC:    target,
+							Seed:       deriveSeed(spec.BaseSeed, len(jobs)),
+							Config:     cfg,
+						}
+						if !flt.Empty() {
+							f := flt
+							job.Fault = &f
+							job.Config.Faults = &f
+							job.Config.FaultSeed = job.Seed
+						}
+						if spec.Mutate != nil {
+							spec.Mutate(&job.Config, &job)
+						}
+						jobs = append(jobs, job)
 					}
-					if spec.Mutate != nil {
-						spec.Mutate(&job.Config, &job)
-					}
-					jobs = append(jobs, job)
 				}
 			}
 		}

@@ -71,3 +71,35 @@ func MPCSpec(cfg core.Config, controlDt float64) ControllerSpec {
 		},
 	}
 }
+
+// SupervisedMPCSpec is the battery lifetime-aware MPC wrapped in the full
+// degradation ladder (full MPC → short-horizon MPC → fuzzy → on/off safe
+// mode) behind the control.Supervisor watchdog. This is the controller
+// fault sweeps exercise: the bare MPC spec has no recovery structure.
+func SupervisedMPCSpec(cfg core.SupervisedConfig, controlDt float64) ControllerSpec {
+	// Mirror the defaulting core.New applies, without mutating cfg (a
+	// zero cfg.MPC means "use core.DefaultConfig" to NewSupervised).
+	horizon, dt := cfg.MPC.Horizon, cfg.MPC.Dt
+	if horizon <= 0 {
+		horizon = core.DefaultConfig().Horizon
+	}
+	if dt <= 0 {
+		dt = core.DefaultConfig().Dt
+	}
+	if controlDt <= 0 {
+		controlDt = dt
+	}
+	steps := horizon * int(dt/controlDt+0.5)
+	if steps < horizon {
+		steps = horizon
+	}
+	return ControllerSpec{
+		Label:         "Supervised MPC",
+		Key:           fmt.Sprintf("%+v", cfg),
+		ControlDt:     controlDt,
+		ForecastSteps: steps,
+		New: func() (control.Controller, error) {
+			return core.NewSupervised(cfg)
+		},
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"evclimate/internal/cabin"
 	"evclimate/internal/control"
 	"evclimate/internal/drivecycle"
+	"evclimate/internal/faults"
 	"evclimate/internal/ode"
 	"evclimate/internal/powertrain"
 )
@@ -53,6 +54,14 @@ type Config struct {
 	// SettleS excludes the initial pull-down transient from the comfort
 	// statistics (default 300 s).
 	SettleS float64
+	// Faults, when non-nil and non-empty, is the fault scenario injected
+	// between the plant and the controller: every control step's
+	// StepContext is corrupted per the schedule before the controller
+	// sees it, while the plant keeps integrating the true signals.
+	Faults *faults.Spec
+	// FaultSeed seeds the fault schedule's random draws; runs with equal
+	// configs and seeds replay bit-identically.
+	FaultSeed int64
 }
 
 // Trace records the closed-loop trajectories.
@@ -207,6 +216,13 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 	var hvacJ, motorJ, totalJ float64
 	var comfortViol, comfortCount, trackSq float64
 
+	// The fault injector sits between the plant and the controller: it
+	// corrupts what the controller observes, never what the plant does.
+	var inj *faults.Injector
+	if !cfg.Faults.Empty() {
+		inj = cfg.Faults.New(cfg.FaultSeed)
+	}
+
 	for k := 0; k < n; k++ {
 		t := float64(k) * cfg.ControlDt
 		s := cfg.Profile.At(t)
@@ -224,6 +240,9 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 			ComfortLowC:  cfg.TargetC - cfg.ComfortBandC,
 			ComfortHighC: cfg.TargetC + cfg.ComfortBandC,
 			Forecast:     r.forecast(t, cfg.ForecastSteps),
+		}
+		if inj != nil {
+			inj.Apply(k, &ctx)
 		}
 		in, mix := r.hvac.ClampForEnvironment(ctrl.Decide(ctx), s.AmbientC, tz)
 		pw := r.hvac.PowersFor(in, mix)

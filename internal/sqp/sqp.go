@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"evclimate/internal/mat"
 	"evclimate/internal/qp"
@@ -37,6 +38,10 @@ const (
 	Stalled
 	// Failed means a subproblem failed irrecoverably.
 	Failed
+	// BudgetExceeded means the wall-clock or hard iteration budget ran
+	// out (Options.MaxTime / Options.HardIterCap); X holds the best
+	// iterate found and Solve additionally returns ErrBudgetExceeded.
+	BudgetExceeded
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +55,8 @@ func (s Status) String() string {
 		return "stalled"
 	case Failed:
 		return "failed"
+	case BudgetExceeded:
+		return "budget-exceeded"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -57,6 +64,13 @@ func (s Status) String() string {
 
 // ErrBadProblem reports a structurally invalid problem definition.
 var ErrBadProblem = errors.New("sqp: invalid problem")
+
+// ErrBudgetExceeded reports that Solve stopped because the wall-clock or
+// hard iteration budget ran out. The accompanying Result still holds the
+// best iterate, so real-time callers can decide whether the partial
+// solution is usable; supervisory layers get a typed watchdog signal
+// instead of inferring overload from Stalled.
+var ErrBudgetExceeded = errors.New("sqp: budget exceeded")
 
 // Problem defines the NLP. Objective is required. Eq/Ineq may be nil when
 // MEq/MIneq are zero. Jacobian callbacks are optional; when nil, forward
@@ -101,6 +115,18 @@ type Options struct {
 	// Real-time MPC sets this to trade optimality for speed; the default
 	// 0 disables it.
 	MinMeritDecrease float64
+	// MaxTime, when positive, bounds Solve's wall clock. The deadline is
+	// honored mid-iteration (before the QP subproblem and inside the line
+	// search), so a single expensive iteration cannot blow far past the
+	// budget. Exceeding it stops with Status BudgetExceeded and
+	// ErrBudgetExceeded. Wall-clock budgets are inherently
+	// nondeterministic; deterministic replay must use HardIterCap.
+	MaxTime time.Duration
+	// HardIterCap, when positive, is a hard major-iteration budget:
+	// unlike MaxIter (a normal real-time truncation, Status
+	// MaxIterations), exceeding it reports Status BudgetExceeded and
+	// ErrBudgetExceeded. When both are set the tighter one applies.
+	HardIterCap int
 }
 
 func (o *Options) fill() {
@@ -283,9 +309,19 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	mu := make([]float64, p.MIneq)
 	nu := opt.PenaltyInit
 
+	var deadline time.Time
+	if opt.MaxTime > 0 {
+		deadline = time.Now().Add(opt.MaxTime)
+	}
+	overTime := func() bool { return opt.MaxTime > 0 && time.Now().After(deadline) }
+
 	res := &Result{Status: MaxIterations}
 	stagnant := 0
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		if opt.HardIterCap > 0 && iter >= opt.HardIterCap {
+			res.Status = BudgetExceeded
+			break
+		}
 		res.Iterations = iter + 1
 
 		// Convergence check: KKT stationarity + feasibility + complementarity.
@@ -309,6 +345,11 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		gScale := 1 + mat.NormInf(g)
 		if kkt < opt.Tol*gScale && viol < opt.Tol && comp < opt.Tol*gScale {
 			res.Status = Converged
+			break
+		}
+
+		if overTime() {
+			res.Status = BudgetExceeded
 			break
 		}
 
@@ -373,6 +414,7 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		var fNew float64
 		var ceNew, ciNew []float64
 		accepted := false
+		timedOut := false
 		for ls := 0; ls < 30; ls++ {
 			xNew = mat.AddVec(x, mat.ScaleVec(alpha, d))
 			fNew = p.Objective(xNew)
@@ -383,7 +425,17 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 				accepted = true
 				break
 			}
+			// Honor the wall-clock budget mid-iteration: abandoning the
+			// backtracking search keeps the last accepted iterate.
+			if overTime() {
+				timedOut = true
+				break
+			}
 			alpha *= 0.5
+		}
+		if timedOut {
+			res.Status = BudgetExceeded
+			break
 		}
 		if !accepted {
 			res.Status = Stalled
@@ -458,6 +510,9 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	res.MaxViolation = violation(ceF, ciF)
 	if res.Status == Failed {
 		return res, fmt.Errorf("sqp: subproblem failure at iteration %d", res.Iterations)
+	}
+	if res.Status == BudgetExceeded {
+		return res, fmt.Errorf("%w after %d iterations", ErrBudgetExceeded, res.Iterations)
 	}
 	return res, nil
 }
