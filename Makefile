@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench clean test-faults fuzz-qp check
+.PHONY: all build test race vet bench bench-json clean test-faults fuzz-qp check
 
 all: build vet test
 
@@ -22,13 +22,24 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# Fault-injection conformance under the race detector: the injector and
-# supervisor unit tests, the fault-axis sweep determinism proof, and the
-# closed-loop safety property / ladder golden. The long fault-conformance
-# sweep (TestFaultConformance) is excluded via -short where it self-skips.
+# Machine-readable benchmark snapshot: the sweep-engine scaling benches
+# plus the co-simulation hot-path benches, parsed into BENCH_sweep.json
+# so regressions diff across commits. The telemetry pair (RunOnOff vs
+# RunOnOffTelemetry) bounds the observability overhead.
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'Sweep16|CoSimOnOff' -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'Forecast|RunOnOff' -benchmem ./internal/sim ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_sweep.json
+
+# Fault-injection and observability conformance under the race detector:
+# the injector and supervisor unit tests, the telemetry registry/trace
+# suite, the fault-axis and telemetry worker-count determinism proofs,
+# the golden manifest, and the closed-loop safety property / ladder
+# golden. The long fault-conformance sweep (TestFaultConformance) is
+# excluded via -short where it self-skips.
 test-faults:
-	$(GO) test -race ./internal/faults/... ./internal/control/... ./internal/sqp/...
-	$(GO) test -race -short -run 'Fault' ./internal/runner/...
+	$(GO) test -race ./internal/faults/... ./internal/control/... ./internal/sqp/... ./internal/telemetry/...
+	$(GO) test -race -short -run 'Fault|Telemetry|GoldenManifest' ./internal/runner/...
 	$(GO) test -race -run 'TestSupervised' ./internal/sim/...
 
 # Coverage-guided fuzzing of the QP interior-point solver (open-ended;

@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON snapshot, so benchmark results can be committed and diffed across
+// commits by machines instead of eyeballs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Sweep16' -benchmem . | benchjson -o BENCH_sweep.json
+//
+// The parser understands the standard benchmark line format — name with
+// -GOMAXPROCS suffix, iteration count, then (value, unit) pairs — and
+// keeps custom b.ReportMetric units alongside ns/op, B/op, and
+// allocs/op. Header lines (goos, goarch, pkg, cpu) are carried into the
+// snapshot; pkg scopes the benchmark names that follow it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Pkg is the import path of the package that declared the benchmark.
+	Pkg string `json:"pkg"`
+	// Name is the benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is GOMAXPROCS while the benchmark ran (1 when unsuffixed).
+	Procs int `json:"procs"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value: ns/op, B/op, allocs/op, and any custom
+	// b.ReportMetric units. encoding/json sorts the keys, keeping the
+	// snapshot diff-stable.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole snapshot.
+type Report struct {
+	// Goos, Goarch, and CPU echo the `go test` environment header.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks are the parsed results in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)"))
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks written to %s\n", len(rep.Benchmarks), *out)
+	}
+}
+
+// Parse reads `go test -bench` output and collects the report. Non-
+// benchmark lines (PASS, ok, test logs) are ignored, so the full test
+// output can be piped in unfiltered.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			b.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8   	    183	   6321207 ns/op	 2152865 B/op	  2.5 scenarios/s
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Procs: 1, Metrics: make(map[string]float64, (len(f)-2)/2)}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = n
+	for i := 2; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: evclimate
+cpu: AMD EPYC 7B13
+BenchmarkSweep16Sequential-8   	     183	   6321207 ns/op	         2.531 scenarios/s	 2152865 B/op	   30920 allocs/op
+BenchmarkSweep16Parallel-8     	    1024	   1100000 ns/op	        14.50 scenarios/s
+PASS
+ok  	evclimate	4.211s
+pkg: evclimate/internal/sim
+BenchmarkForecast	 4954735	       238.4 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	evclimate/internal/sim	1.902s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = (%q, %q, %q)", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	seq := rep.Benchmarks[0]
+	if seq.Name != "BenchmarkSweep16Sequential" || seq.Procs != 8 || seq.Pkg != "evclimate" {
+		t.Errorf("bench 0 = %+v", seq)
+	}
+	if seq.Iterations != 183 {
+		t.Errorf("bench 0 iterations = %d, want 183", seq.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 6321207, "scenarios/s": 2.531, "B/op": 2152865, "allocs/op": 30920,
+	} {
+		if got := seq.Metrics[unit]; got != want {
+			t.Errorf("bench 0 %s = %v, want %v", unit, got, want)
+		}
+	}
+
+	fc := rep.Benchmarks[2]
+	if fc.Name != "BenchmarkForecast" || fc.Procs != 1 || fc.Pkg != "evclimate/internal/sim" {
+		t.Errorf("bench 2 = %+v", fc)
+	}
+	if fc.Metrics["ns/op"] != 238.4 || fc.Metrics["allocs/op"] != 0 {
+		t.Errorf("bench 2 metrics = %v", fc.Metrics)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	rep, err := Parse(strings.NewReader("random line\nBenchmarkBroken abc\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from noise, want 0", len(rep.Benchmarks))
+	}
+}

@@ -17,13 +17,22 @@ import (
 
 	"evclimate/internal/drivecycle"
 	"evclimate/internal/powertrain"
+	"evclimate/internal/telemetry"
 )
 
 func main() {
 	name := flag.String("cycle", "", "cycle name (empty: list all)")
 	csvPath := flag.String("csv", "", "export the 1 Hz profile to this CSV file")
 	dt := flag.Float64("dt", 1, "sample period for export (s)")
+	pprofAddr := flag.String("pprof", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		dbg, err := telemetry.StartDebugServer(*pprofAddr, nil)
+		fatalIf(err)
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s\n", dbg.Addr)
+	}
 
 	pt, err := powertrain.New(powertrain.NissanLeaf())
 	fatalIf(err)

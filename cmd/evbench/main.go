@@ -27,6 +27,7 @@ import (
 	"evclimate/internal/experiments"
 	"evclimate/internal/faults"
 	"evclimate/internal/runner"
+	"evclimate/internal/telemetry"
 )
 
 func main() {
@@ -38,12 +39,42 @@ func main() {
 	scenarios := flag.String("fault-scenarios", "",
 		"comma-separated fault scenarios for -exp faults (default: all of "+
 			strings.Join(faults.BuiltinNames(), ",")+")")
+	traceOut := flag.String("trace", "", "write a deterministic JSONL step trace to this file")
+	traceSteps := flag.Int("trace-steps", 0, "per-job step-trace ring capacity (0 = default 4096)")
+	metricsOut := flag.String("metrics", "", "write a deterministic Prometheus text metrics dump to this file (wall-clock series excluded; -pprof's /metrics serves them live)")
+	manifestOut := flag.String("manifest", "", "write the deterministic run manifest to this file")
+	pprofAddr := flag.String("pprof", "", "serve pprof, expvar, and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	cache := runner.NewCache()
 	opts := experiments.Options{AmbientC: *ambient, SolarW: *solar, Workers: *workers, Cache: cache}
 	if *quick {
 		opts.MaxProfileS = 200
+	}
+
+	// Observability wiring: one registry and trace log shared by every
+	// sweep of the invocation. The cache is disabled when tracing or
+	// collecting metrics — a cache hit skips the simulation, which would
+	// make the emitted series depend on job duplication.
+	if *metricsOut != "" || *manifestOut != "" || *pprofAddr != "" || *traceOut != "" {
+		opts.Telemetry = telemetry.NewRegistry()
+		opts.Cache = nil
+	}
+	if *traceOut != "" {
+		opts.TraceLog = &telemetry.TraceLog{}
+		opts.TraceSteps = *traceSteps
+	}
+	if *manifestOut != "" {
+		opts.Manifest = telemetry.NewManifest("evbench")
+	}
+	if *pprofAddr != "" {
+		dbg, err := telemetry.StartDebugServer(*pprofAddr, opts.Telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evbench: pprof listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("[debug server on http://%s — /debug/pprof, /debug/vars, /metrics]\n\n", dbg.Addr)
 	}
 
 	run := func(name string, fn func() error) {
@@ -173,6 +204,48 @@ func main() {
 	}
 
 	if hits, misses, entries := cache.Stats(); hits > 0 {
-		fmt.Printf("[sweep cache: %d hits, %d misses, %d scenarios]\n", hits, misses, entries)
+		fmt.Printf("[sweep cache: %d hits, %d misses, %d scenarios — %s of simulation re-use]\n",
+			hits, misses, entries, cache.Saved().Truncate(time.Millisecond))
+	}
+
+	if *traceOut != "" {
+		fatalIf("trace", writeFileWith(*traceOut, func(f *os.File) error {
+			return opts.TraceLog.WriteJSONL(f, false)
+		}))
+		fmt.Printf("[step trace: %d spans written to %s]\n", opts.TraceLog.Len(), *traceOut)
+	}
+	if *metricsOut != "" {
+		// The file dump is the deterministic subset — byte-identical at
+		// any worker count. Wall-clock series stay on the live /metrics
+		// endpoint and in JobResult.Elapsed.
+		fatalIf("metrics", writeFileWith(*metricsOut, func(f *os.File) error {
+			return opts.Telemetry.Snapshot(telemetry.DeterministicFilter).WritePrometheus(f)
+		}))
+		fmt.Printf("[metrics written to %s]\n", *metricsOut)
+	}
+	if *manifestOut != "" {
+		opts.Manifest.Finalize(telemetry.GitDescribe(""), opts.Telemetry.Snapshot(telemetry.DeterministicFilter))
+		fatalIf("manifest", opts.Manifest.WriteFile(*manifestOut))
+		fmt.Printf("[run manifest written to %s]\n", *manifestOut)
+	}
+}
+
+// writeFileWith creates path and hands it to fn, closing on all paths.
+func writeFileWith(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatalIf(what string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evbench: %s: %v\n", what, err)
+		os.Exit(1)
 	}
 }

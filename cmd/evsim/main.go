@@ -21,7 +21,9 @@ import (
 	"evclimate/internal/control"
 	"evclimate/internal/core"
 	"evclimate/internal/drivecycle"
+	"evclimate/internal/runner"
 	"evclimate/internal/sim"
+	"evclimate/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +35,11 @@ func main() {
 	band := flag.Float64("comfort", 3, "comfort-zone half width (°C)")
 	soak := flag.Bool("soak", false, "start with a heat-soaked cabin at ambient temperature")
 	csvPath := flag.String("csv", "", "write the full trace to this CSV file")
+	traceOut := flag.String("trace", "", "write a JSONL step trace to this file")
+	traceTiming := flag.Bool("trace-timing", false, "keep wall-clock latency in the step trace (nondeterministic)")
+	metricsOut := flag.String("metrics", "", "write a deterministic Prometheus text metrics dump to this file (wall-clock series excluded; -pprof's /metrics serves them live)")
+	manifestOut := flag.String("manifest", "", "write the deterministic run manifest to this file")
+	pprofAddr := flag.String("pprof", "", "serve pprof, expvar, and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	cyc, err := drivecycle.ByName(*cycleName)
@@ -75,9 +82,29 @@ func main() {
 		fatalIf(fmt.Errorf("unknown controller %q (want onoff|fuzzy|pid|mpc|mpc-economy|mpc-comfort)", *ctrlName))
 	}
 
-	runner, err := sim.New(cfg)
+	// Observability wiring: a registry plus (for -trace) a step-trace
+	// ring feeding one sink for the run.
+	var reg *telemetry.Registry
+	var rec *telemetry.StepTrace
+	if *traceOut != "" || *metricsOut != "" || *manifestOut != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+		if *traceOut != "" {
+			rec = telemetry.NewStepTrace(0)
+		}
+		cfg.Telemetry = telemetry.NewSink(reg, rec,
+			telemetry.L("cycle", *cycleName),
+			telemetry.L("controller", strings.ToLower(*ctrlName)))
+	}
+	if *pprofAddr != "" {
+		dbg, err := telemetry.StartDebugServer(*pprofAddr, reg)
+		fatalIf(err)
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s — /debug/pprof, /debug/vars, /metrics\n", dbg.Addr)
+	}
+
+	eng, err := sim.New(cfg)
 	fatalIf(err)
-	res, err := runner.Run(ctrl)
+	res, err := eng.Run(ctrl)
 	fatalIf(err)
 
 	st := profile.Stats()
@@ -97,6 +124,51 @@ func main() {
 		fatalIf(writeCSV(*csvPath, res))
 		fmt.Printf("trace        written to %s\n", *csvPath)
 	}
+
+	if *traceOut != "" {
+		fatalIf(writeFileWith(*traceOut, func(f *os.File) error {
+			return telemetry.WriteJSONL(f, rec.Spans(), *traceTiming)
+		}))
+		fmt.Printf("step trace   %d spans written to %s\n", len(rec.Spans()), *traceOut)
+	}
+	if *metricsOut != "" {
+		fatalIf(writeFileWith(*metricsOut, func(f *os.File) error {
+			return reg.Snapshot(telemetry.DeterministicFilter).WritePrometheus(f)
+		}))
+		fmt.Printf("metrics      written to %s\n", *metricsOut)
+	}
+	if *manifestOut != "" {
+		// The manifest reuses the sweep engine's scenario fingerprint so a
+		// single evsim run and the equivalent sweep job hash identically.
+		job := runner.Job{Cycle: *cycleName, Controller: runner.ControllerSpec{Label: res.Controller}, Config: cfg}
+		fp := telemetry.FormatFingerprint(job.Fingerprint())
+		man := telemetry.NewManifest("evsim")
+		man.AddRun(telemetry.RunInfo{
+			Label:       "run",
+			Fingerprint: fp,
+			Jobs: []telemetry.JobInfo{{
+				Cycle:       *cycleName,
+				Controller:  res.Controller,
+				Fingerprint: fp,
+			}},
+		})
+		man.Finalize(telemetry.GitDescribe(""), reg.Snapshot(telemetry.DeterministicFilter))
+		fatalIf(man.WriteFile(*manifestOut))
+		fmt.Printf("manifest     written to %s\n", *manifestOut)
+	}
+}
+
+// writeFileWith creates path and hands it to fn, closing on all paths.
+func writeFileWith(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(path string, res *sim.Result) error {

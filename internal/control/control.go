@@ -5,7 +5,10 @@
 // an additional reference point.
 package control
 
-import "evclimate/internal/cabin"
+import (
+	"evclimate/internal/cabin"
+	"evclimate/internal/telemetry"
+)
 
 // Forecast carries the preview information a predictive controller gets
 // from the drive profile (paper Sec. II-A: route, traffic, and climate
@@ -64,6 +67,50 @@ type Controller interface {
 	// Reset clears internal state (integrators, hysteresis latches)
 	// before a new run.
 	Reset()
+}
+
+// SolveInfo is one Decide call's optimizer diagnostics, for telemetry
+// step spans and solver-iteration histograms.
+type SolveInfo struct {
+	// Iterations is the SQP major-iteration count of the solve.
+	Iterations int
+	// QPIterations is the accumulated interior-point iteration count of
+	// the solve's QP subproblems.
+	QPIterations int
+	// Status is the solver termination status ("converged", "stalled",
+	// ...); empty for controllers without an optimizer.
+	Status string
+}
+
+// SolveReporter is implemented by optimizing controllers that can
+// report the most recent Decide's solver work. The sim engine uses it
+// to fill step spans and iteration histograms without knowing the
+// controller's concrete type; wrappers (the Supervisor) delegate to the
+// stage that produced the applied output.
+type SolveReporter interface {
+	// LastSolve returns the diagnostics of the last Decide call (the
+	// zero value before the first call, or when the active stage has no
+	// optimizer).
+	LastSolve() SolveInfo
+}
+
+// LadderReporter is implemented by supervisory controllers that expose
+// which rung of a degradation ladder produced the applied output.
+type LadderReporter interface {
+	// Level is the active stage index (0 = most capable).
+	Level() int
+	// ActiveStage is the active stage's name.
+	ActiveStage() string
+}
+
+// TelemetryBinder is implemented by controllers that can late-bind a
+// telemetry sink after construction. The sweep engine builds controllers
+// through zero-argument constructors, so it cannot pass each job's
+// labeled sink at construction time; the sim engine injects it through
+// this interface before the run starts. Binding nil or an inactive sink
+// detaches the controller's instruments.
+type TelemetryBinder interface {
+	BindTelemetry(tel telemetry.Sink)
 }
 
 // HealthReporter is implemented by controllers that can report whether

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"evclimate/internal/cabin"
+	"evclimate/internal/telemetry"
 )
 
 // Supervisor wraps a ladder of controllers with a watchdog: every output
@@ -50,6 +51,13 @@ type Supervisor struct {
 	stats       []StageStats
 	lastGood    [3]float64 // last finite CabinTempC, OutsideC, SoC
 	haveGood    bool
+
+	// Telemetry instruments, resolved once at construction (nil = no-op
+	// when no sink is configured).
+	telHard, telSoft []*telemetry.Counter // per stage
+	telDemote        *telemetry.Counter
+	telPromote       *telemetry.Counter
+	telLevel         *telemetry.Gauge
 }
 
 // Stage is one rung of the degradation ladder, most capable first.
@@ -78,6 +86,10 @@ type SupervisorConfig struct {
 	// exclusion check, mirroring sim.Tolerances.ActuatorSlack
 	// (default 10 W).
 	ExclusionSlackW float64
+	// Telemetry, when non-nil and active, receives ladder metrics:
+	// per-stage hard/soft fault counters, demote/promote transition
+	// counters, and the active-level gauge.
+	Telemetry telemetry.Sink
 }
 
 func (c *SupervisorConfig) fill() {
@@ -165,8 +177,51 @@ func NewSupervisor(name string, cfg SupervisorConfig, stages ...Stage) (*Supervi
 		name = "Supervised " + stages[0].Controller.Name()
 	}
 	s := &Supervisor{name: name, stages: stages, model: m, cfg: cfg}
+	s.bindInstruments(cfg.Telemetry)
 	s.resetState()
 	return s, nil
+}
+
+// bindInstruments (re)resolves the ladder's instruments on the given
+// sink, detaching them when the sink is nil or inactive.
+func (s *Supervisor) bindInstruments(tel telemetry.Sink) {
+	s.telHard, s.telSoft = nil, nil
+	s.telDemote, s.telPromote, s.telLevel = nil, nil, nil
+	if tel == nil || !tel.Active() {
+		return
+	}
+	s.telHard = make([]*telemetry.Counter, len(s.stages))
+	s.telSoft = make([]*telemetry.Counter, len(s.stages))
+	for i := range s.stages {
+		stage := telemetry.L("stage", s.stages[i].Name)
+		s.telHard[i] = tel.Counter("supervisor_hard_faults_total", stage)
+		s.telSoft[i] = tel.Counter("supervisor_soft_faults_total", stage)
+	}
+	s.telDemote = tel.Counter("supervisor_transitions_total", telemetry.L("kind", "demote"))
+	s.telPromote = tel.Counter("supervisor_transitions_total", telemetry.L("kind", "promote"))
+	s.telLevel = tel.Gauge("supervisor_level")
+}
+
+// BindTelemetry implements TelemetryBinder: the ladder's metrics move to
+// the given sink, and every stage that can itself bind telemetry is
+// rebound under its stage label.
+func (s *Supervisor) BindTelemetry(tel telemetry.Sink) {
+	s.cfg.Telemetry = tel
+	s.bindInstruments(tel)
+	for i := range s.stages {
+		if b, ok := s.stages[i].Controller.(TelemetryBinder); ok {
+			b.BindTelemetry(telemetry.WithLabels(tel, telemetry.L("stage", s.stages[i].Name)))
+		}
+	}
+}
+
+// LastSolve implements SolveReporter by delegating to the stage that is
+// currently active (the zero value when that stage has no optimizer).
+func (s *Supervisor) LastSolve() SolveInfo {
+	if sr, ok := s.stages[s.level].Controller.(SolveReporter); ok {
+		return sr.LastSolve()
+	}
+	return SolveInfo{}
 }
 
 // Name implements Controller.
@@ -298,8 +353,12 @@ func (s *Supervisor) move(to int, ctx *StepContext, reason string) {
 	})
 	if to < s.level {
 		s.stages[to].Controller.Reset()
+		s.telPromote.Inc()
+	} else {
+		s.telDemote.Inc()
 	}
 	s.level = to
+	s.telLevel.Set(float64(to))
 	s.softStreak = 0
 	s.cleanStreak = 0
 }
@@ -324,6 +383,9 @@ func (s *Supervisor) Decide(ctx StepContext) cabin.Inputs {
 			break
 		}
 		s.stats[s.level].HardFaults++
+		if s.telHard != nil {
+			s.telHard[s.level].Inc()
+		}
 		if s.level == len(s.stages)-1 {
 			// Bottom of the ladder: clamp its output into the envelope
 			// (or synthesize safe ventilation if it was non-finite).
@@ -344,6 +406,9 @@ func (s *Supervisor) Decide(ctx StepContext) cabin.Inputs {
 	}
 	if soft != nil {
 		st.SoftFaults++
+		if s.telSoft != nil {
+			s.telSoft[s.level].Inc()
+		}
 		s.softStreak++
 		s.cleanStreak = 0
 		if s.softStreak >= s.cfg.DemoteAfter && s.level < len(s.stages)-1 {

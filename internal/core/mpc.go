@@ -35,6 +35,7 @@ import (
 	"evclimate/internal/control"
 	"evclimate/internal/mat"
 	"evclimate/internal/sqp"
+	"evclimate/internal/telemetry"
 	"evclimate/internal/units"
 )
 
@@ -98,6 +99,10 @@ type Config struct {
 	// funnel when the cabin starts outside the comfort zone, at this
 	// pull-down rate in K/s (default 0.04).
 	FunnelRateKps float64
+	// Telemetry, when non-nil and active, receives per-solve counters and
+	// iteration histograms (mpc_solves_total{status}, mpc_sqp_iterations,
+	// mpc_qp_iterations). Nil or Nop adds no overhead to Decide.
+	Telemetry telemetry.Sink
 }
 
 // DefaultConfig returns the configuration used in the experiments.
@@ -127,6 +132,15 @@ type Controller struct {
 	// solve was healthy), surfaced through Healthy for supervisory
 	// layers.
 	lastErr error
+	// lastSolve is the previous Decide's optimizer diagnostics, exposed
+	// through control.SolveReporter for telemetry step spans.
+	lastSolve control.SolveInfo
+
+	// Telemetry instruments, nil unless the config carried an active
+	// sink; nil instruments are no-ops so Decide never branches on them.
+	telSolves  map[string]*telemetry.Counter
+	telIters   *telemetry.Histogram
+	telQPIters *telemetry.Histogram
 }
 
 // New validates the configuration and builds the controller.
@@ -164,7 +178,33 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{cfg: cfg, model: m}, nil
+	c := &Controller{cfg: cfg, model: m}
+	c.bindInstruments()
+	return c, nil
+}
+
+// bindInstruments (re)resolves the solver instruments on the config's
+// sink, detaching them when it is nil or inactive.
+func (c *Controller) bindInstruments() {
+	c.telSolves, c.telIters, c.telQPIters = nil, nil, nil
+	tel := c.cfg.Telemetry
+	if tel == nil || !tel.Active() {
+		return
+	}
+	c.telSolves = make(map[string]*telemetry.Counter)
+	for _, st := range []sqp.Status{sqp.Converged, sqp.MaxIterations, sqp.Stalled, sqp.Failed, sqp.BudgetExceeded} {
+		c.telSolves[st.String()] = tel.Counter("mpc_solves_total", telemetry.L("status", st.String()))
+	}
+	c.telSolves["fallback"] = tel.Counter("mpc_solves_total", telemetry.L("status", "fallback"))
+	c.telIters = tel.Histogram("mpc_sqp_iterations", telemetry.IterationBuckets)
+	c.telQPIters = tel.Histogram("mpc_qp_iterations", telemetry.IterationBuckets)
+}
+
+// BindTelemetry implements control.TelemetryBinder: solver counters and
+// iteration histograms move to the given sink.
+func (c *Controller) BindTelemetry(tel telemetry.Sink) {
+	c.cfg.Telemetry = tel
+	c.bindInstruments()
 }
 
 // Name implements control.Controller.
@@ -176,7 +216,11 @@ func (c *Controller) Reset() {
 	c.solves, c.converged, c.stalled, c.failed, c.budget = 0, 0, 0, 0, 0
 	c.totalSQPIters = 0
 	c.lastErr = nil
+	c.lastSolve = control.SolveInfo{}
 }
+
+// LastSolve implements control.SolveReporter.
+func (c *Controller) LastSolve() control.SolveInfo { return c.lastSolve }
 
 // Healthy implements control.HealthReporter: it reports the last
 // Decide's internal failure — a solver that fell back to safe
@@ -609,7 +653,13 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 
 	res, err := sqp.Solve(prob, z0, opt)
 	c.solves++
+	c.lastSolve = control.SolveInfo{Status: "fallback"}
 	if res != nil {
+		c.lastSolve = control.SolveInfo{
+			Iterations:   res.Iterations,
+			QPIterations: res.QPIterations,
+			Status:       res.Status.String(),
+		}
 		c.totalSQPIters += res.Iterations
 		switch res.Status {
 		case sqp.Converged:
@@ -641,6 +691,7 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 			err = errors.New("core: non-finite solver iterate")
 		}
 		c.lastErr = fmt.Errorf("core: safe-ventilation fallback: %w", err)
+		c.lastSolve.Status = "fallback"
 		mixFallback := c.model.MixTemp(ctx.OutsideC, ctx.CabinTempC, 0.5)
 		in = cabin.Inputs{SupplyTempC: mixFallback, CoilTempC: mixFallback, Recirc: 0.5, AirFlowKgS: c.cfg.Cabin.MinAirFlowKgS}
 	} else {
@@ -655,6 +706,11 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 			Recirc:      res.X[c.idxDr(0)],
 			AirFlowKgS:  res.X[c.idxMz(0)],
 		}
+	}
+	if c.telIters != nil {
+		c.telIters.Observe(float64(c.lastSolve.Iterations))
+		c.telQPIters.Observe(float64(c.lastSolve.QPIterations))
+		c.telSolves[c.lastSolve.Status].Inc()
 	}
 	out, _ := c.model.ClampForEnvironment(in, ctx.OutsideC, ctx.CabinTempC)
 	return out

@@ -3,6 +3,7 @@ package core
 import (
 	"evclimate/internal/cabin"
 	"evclimate/internal/control"
+	"evclimate/internal/telemetry"
 )
 
 // SupervisedConfig assembles the canonical degradation ladder around the
@@ -23,10 +24,10 @@ type SupervisedConfig struct {
 // NewSupervised builds the paper controller wrapped in the full
 // degradation ladder:
 //
-//	0. full-horizon battery lifetime-aware MPC
-//	1. cold-restart MPC with a shortened horizon and halved SQP budget
-//	2. fuzzy controller (no optimizer to break)
-//	3. on/off thermostat safe mode (no model at all)
+//  0. full-horizon battery lifetime-aware MPC
+//  1. cold-restart MPC with a shortened horizon and halved SQP budget
+//  2. fuzzy controller (no optimizer to break)
+//  3. on/off thermostat safe mode (no model at all)
 //
 // Each demotion trades optimality for robustness; the Supervisor
 // re-promotes one stage at a time after sustained clean operation.
@@ -34,12 +35,20 @@ func NewSupervised(cfg SupervisedConfig) (*control.Supervisor, error) {
 	if cfg.MPC == (Config{}) {
 		cfg.MPC = DefaultConfig()
 	}
+	// The supervisor's sink is the ladder's: each MPC stage reports its
+	// solver counters under its own stage label.
+	if tel := cfg.Supervisor.Telemetry; tel != nil && cfg.MPC.Telemetry == nil {
+		cfg.MPC.Telemetry = telemetry.WithLabels(tel, telemetry.L("stage", "mpc-full"))
+	}
 	full, err := New(cfg.MPC)
 	if err != nil {
 		return nil, err
 	}
 
 	shortCfg := cfg.MPC
+	if tel := cfg.Supervisor.Telemetry; tel != nil {
+		shortCfg.Telemetry = telemetry.WithLabels(tel, telemetry.L("stage", "mpc-short"))
+	}
 	shortCfg.Horizon = cfg.ShortHorizon
 	if shortCfg.Horizon <= 0 {
 		shortCfg.Horizon = cfg.MPC.Horizon / 3

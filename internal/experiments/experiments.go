@@ -13,6 +13,7 @@ import (
 	"evclimate/internal/core"
 	"evclimate/internal/runner"
 	"evclimate/internal/sim"
+	"evclimate/internal/telemetry"
 )
 
 // Options configures an experiment run. The zero value reproduces the
@@ -42,6 +43,31 @@ type Options struct {
 	// keyed by scenario fingerprint (cmd/evbench shares one cache so
 	// e.g. Fig. 5 and Fig. 6 run their common scenarios once).
 	Cache *runner.Cache
+	// Telemetry, when non-nil, is the metric registry shared by every
+	// sweep the harnesses run (cmd/evbench wires it from -metrics).
+	Telemetry *telemetry.Registry
+	// TraceLog, when non-nil, accumulates per-step trace spans across
+	// the harnesses' sweeps, in job order within each sweep.
+	TraceLog *telemetry.TraceLog
+	// TraceSteps caps each job's trace ring (0 = telemetry default).
+	TraceSteps int
+	// Manifest, when non-nil, records every sweep's seeds and scenario
+	// fingerprints for the deterministic run manifest.
+	Manifest *telemetry.Manifest
+}
+
+// runnerOptions assembles the sweep-engine options for one labeled
+// harness sweep, carrying the shared cache and telemetry wiring.
+func (o *Options) runnerOptions(label string) runner.Options {
+	return runner.Options{
+		Workers:       o.Workers,
+		Cache:         o.Cache,
+		Telemetry:     o.Telemetry,
+		TraceLog:      o.TraceLog,
+		TraceSteps:    o.TraceSteps,
+		Manifest:      o.Manifest,
+		ManifestLabel: label,
+	}
 }
 
 func (o *Options) fill() {
@@ -102,7 +128,15 @@ func (o *Options) sweep(controllers []runner.ControllerSpec, cycles []runner.Cyc
 		ComfortBandC: o.ComfortBandC,
 		MaxProfileS:  o.MaxProfileS,
 	}
-	sw, err := runner.Run(context.Background(), spec, runner.Options{Workers: o.Workers, Cache: o.Cache})
+	label := "sweep"
+	if len(cycles) > 0 {
+		if cycles[0].Label != "" {
+			label = cycles[0].Label
+		} else if cycles[0].Name != "" {
+			label = cycles[0].Name
+		}
+	}
+	sw, err := runner.Run(context.Background(), spec, o.runnerOptions(label))
 	if err != nil {
 		return nil, err
 	}

@@ -70,7 +70,7 @@ func FaultSweep(opts Options, names []string) ([]FaultRow, error) {
 		MaxProfileS:  opts.MaxProfileS,
 		Faults:       fltSpecs,
 	}
-	sw, err := runner.Run(context.Background(), spec, runner.Options{Workers: opts.Workers, Cache: opts.Cache})
+	sw, err := runner.Run(context.Background(), spec, opts.runnerOptions("faultsweep"))
 	if err != nil {
 		return nil, err
 	}

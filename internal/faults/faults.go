@@ -206,6 +206,33 @@ type Injector struct {
 // Spec returns the scenario the injector applies.
 func (inj *Injector) Spec() Spec { return inj.spec }
 
+// ActiveAt counts the scheduled faults whose windows contain simulation
+// time t — the telemetry step span's "faults active" figure. It counts
+// scheduled activity, not effect: a Dropout that happens to pass this
+// step still counts while its window is open.
+func (inj *Injector) ActiveAt(t float64) int {
+	if inj == nil {
+		return 0
+	}
+	n := 0
+	for i := range inj.spec.Sensor {
+		if inj.spec.Sensor[i].Window.Contains(t) {
+			n++
+		}
+	}
+	for i := range inj.spec.Forecast {
+		if inj.spec.Forecast[i].Window.Contains(t) {
+			n++
+		}
+	}
+	for i := range inj.spec.Solver {
+		if inj.spec.Solver[i].Window.Contains(t) {
+			n++
+		}
+	}
+	return n
+}
+
 // Reset clears the hold-last state before a new run.
 func (inj *Injector) Reset() {
 	inj.held = [3]float64{}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"evclimate/internal/sim"
 )
@@ -18,31 +19,40 @@ import (
 // are shared pointers and must be treated as read-only.
 type Cache struct {
 	mu           sync.Mutex
-	m            map[uint64]*sim.Result
+	m            map[uint64]cacheEntry
 	hits, misses int
+	saved        time.Duration
+}
+
+// cacheEntry pairs a result with the wall-clock its simulation cost, so
+// hits can report how much time they saved.
+type cacheEntry struct {
+	res     *sim.Result
+	elapsed time.Duration
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[uint64]*sim.Result)}
+	return &Cache{m: make(map[uint64]cacheEntry)}
 }
 
-func (c *Cache) get(key uint64) (*sim.Result, bool) {
+func (c *Cache) get(key uint64) (*sim.Result, time.Duration, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	res, ok := c.m[key]
+	e, ok := c.m[key]
 	if ok {
 		c.hits++
+		c.saved += e.elapsed
 	} else {
 		c.misses++
 	}
-	return res, ok
+	return e.res, e.elapsed, ok
 }
 
-func (c *Cache) put(key uint64, res *sim.Result) {
+func (c *Cache) put(key uint64, res *sim.Result, elapsed time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.m[key] = res
+	c.m[key] = cacheEntry{res: res, elapsed: elapsed}
 }
 
 // Stats returns the hit/miss counters and the number of cached cells.
@@ -50,6 +60,14 @@ func (c *Cache) Stats() (hits, misses, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, len(c.m)
+}
+
+// Saved returns the cumulative wall-clock that cache hits avoided
+// re-spending: the sum of the original execution times of every hit.
+func (c *Cache) Saved() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saved
 }
 
 // Fingerprint hashes everything that determines the job's outcome: the
@@ -70,6 +88,9 @@ func (j *Job) Fingerprint() uint64 {
 	cfg.Powertrain.Efficiency = nil
 	flt := cfg.Faults
 	cfg.Faults = nil
+	// Telemetry never changes the simulated trajectory, and a sink's %+v
+	// would print pointer addresses — fingerprints must not depend on it.
+	cfg.Telemetry = nil
 	fmt.Fprintf(h, "\x00%d\x00%+v", j.Seed, cfg)
 	if !flt.Empty() {
 		// The fault spec is pure data; its %+v prints the full schedule.

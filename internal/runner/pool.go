@@ -2,13 +2,16 @@ package runner
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
 
 	"evclimate/internal/control"
 	"evclimate/internal/sim"
+	"evclimate/internal/telemetry"
 )
 
 // Options tunes sweep execution.
@@ -22,6 +25,25 @@ type Options struct {
 	// the number of finished jobs, the total, and the finished job's
 	// result. Calls are serialized; done is strictly increasing.
 	Progress func(done, total int, jr *JobResult)
+	// Telemetry, when non-nil, is the sweep's shared metric registry:
+	// each job runs under a sink labeled by cycle, controller, and fault
+	// scenario over this registry, and the pool counts job outcomes and
+	// durations on it. Atomic metric updates commute, so the aggregated
+	// deterministic series are worker-count-independent. Note that cache
+	// hits skip the simulation and therefore emit no per-step metrics.
+	Telemetry *telemetry.Registry
+	// TraceLog, when non-nil, collects every job's step spans, stitched
+	// in expansion order after all jobs finish — deterministic at any
+	// worker count. It works with or without a Telemetry registry.
+	TraceLog *telemetry.TraceLog
+	// TraceSteps caps each job's step-trace ring when TraceLog is set
+	// (0 = telemetry.DefaultTraceCap).
+	TraceSteps int
+	// Manifest, when non-nil, receives one RunInfo per Run call: the
+	// sweep label, base seed, and every job's seed and fingerprint.
+	Manifest *telemetry.Manifest
+	// ManifestLabel names the sweep in the manifest.
+	ManifestLabel string
 }
 
 // JobResult is one executed job's outcome.
@@ -34,8 +56,12 @@ type JobResult struct {
 	// Err is the job's failure, including captured panics; other jobs
 	// are unaffected.
 	Err error
-	// Elapsed is the job's wall-clock execution time (0 on cache hit).
+	// Elapsed is the job's wall-clock execution time, set on success,
+	// error, and panic paths alike (0 on cache hit).
 	Elapsed time.Duration
+	// Saved, on a cache hit, is the wall-clock the cached result
+	// originally cost — the time the hit avoided re-spending.
+	Saved time.Duration
 	// Cached reports that the result came from the cache.
 	Cached bool
 	// Instance is the controller instance that produced Result (nil on
@@ -50,6 +76,11 @@ type Sweep struct {
 	// Jobs holds one result per job, in expansion order regardless of
 	// scheduling.
 	Jobs []JobResult
+	// Metrics is the sweep-level metric snapshot, taken from the
+	// Options.Telemetry registry after every job finished (nil when the
+	// sweep ran without telemetry). It includes wall-clock series; apply
+	// telemetry.DeterministicFilter before comparing across runs.
+	Metrics telemetry.Snapshot
 }
 
 // FirstErr returns the first failed job's error, or nil.
@@ -100,7 +131,44 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Sweep, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sweep{Spec: spec, Jobs: results}, nil
+	sw := &Sweep{Spec: spec, Jobs: results}
+	if opts.Telemetry != nil {
+		sw.Metrics = opts.Telemetry.Snapshot(nil)
+	}
+	if opts.Manifest != nil {
+		opts.Manifest.AddRun(runInfo(opts.ManifestLabel, spec.BaseSeed, jobs))
+	}
+	return sw, nil
+}
+
+// runInfo builds the manifest record of one sweep: every job's seed and
+// fingerprint plus a sweep fingerprint hashing the base seed and the
+// job fingerprints in expansion order.
+func runInfo(label string, baseSeed int64, jobs []Job) telemetry.RunInfo {
+	ri := telemetry.RunInfo{Label: label, BaseSeed: baseSeed, Jobs: make([]telemetry.JobInfo, 0, len(jobs))}
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(baseSeed))
+	h.Write(buf[:])
+	for i := range jobs {
+		j := &jobs[i]
+		fp := j.Fingerprint()
+		binary.LittleEndian.PutUint64(buf[:], fp)
+		h.Write(buf[:])
+		info := telemetry.JobInfo{
+			Index:       j.Index,
+			Cycle:       j.Cycle,
+			Controller:  j.Controller.Label,
+			Seed:        j.Seed,
+			Fingerprint: telemetry.FormatFingerprint(fp),
+		}
+		if j.Fault != nil {
+			info.Scenario = j.Fault.Name
+		}
+		ri.Jobs = append(ri.Jobs, info)
+	}
+	ri.Fingerprint = telemetry.FormatFingerprint(h.Sum64())
+	return ri
 }
 
 // RunJobs executes an explicit job list across the worker pool and
@@ -118,6 +186,22 @@ func RunJobs(ctx context.Context, jobs []Job, opts Options) ([]JobResult, error)
 	}
 	out := make([]JobResult, len(jobs))
 	ran := make([]bool, len(jobs))
+
+	// Per-job step-trace rings, stitched into the TraceLog in expansion
+	// order after the pool drains so the log is worker-count-independent.
+	var traces []*telemetry.StepTrace
+	if opts.TraceLog != nil {
+		traces = make([]*telemetry.StepTrace, len(jobs))
+	}
+	var jobsOK, jobsErr, jobsCached *telemetry.Counter
+	var jobSeconds *telemetry.Histogram
+	if opts.Telemetry != nil {
+		jobsOK = opts.Telemetry.Counter("runner_jobs_total", telemetry.L("result", "ok"))
+		jobsErr = opts.Telemetry.Counter("runner_jobs_total", telemetry.L("result", "error"))
+		jobsCached = opts.Telemetry.Counter("runner_jobs_total", telemetry.L("result", "cached"))
+		jobSeconds = opts.Telemetry.Histogram("runner_job_seconds", telemetry.LatencyBuckets)
+	}
+	telemetryOn := opts.Telemetry != nil || opts.TraceLog != nil
 
 	feed := make(chan int)
 	go func() {
@@ -142,8 +226,26 @@ func RunJobs(ctx context.Context, jobs []Job, opts Options) ([]JobResult, error)
 				if ctx.Err() != nil {
 					return
 				}
-				out[i] = execute(&jobs[i], opts.Cache)
+				var sink telemetry.Sink
+				if telemetryOn {
+					var rec *telemetry.StepTrace
+					if traces != nil {
+						rec = telemetry.NewStepTrace(opts.TraceSteps)
+						traces[i] = rec
+					}
+					sink = telemetry.NewSink(opts.Telemetry, rec, jobLabels(&jobs[i])...)
+				}
+				out[i] = execute(&jobs[i], opts.Cache, sink)
 				ran[i] = true
+				switch {
+				case out[i].Err != nil:
+					jobsErr.Inc()
+				case out[i].Cached:
+					jobsCached.Inc()
+				default:
+					jobsOK.Inc()
+				}
+				jobSeconds.Observe(out[i].Elapsed.Seconds())
 				if opts.Progress != nil {
 					mu.Lock()
 					done++
@@ -160,33 +262,66 @@ func RunJobs(ctx context.Context, jobs []Job, opts Options) ([]JobResult, error)
 			out[i] = JobResult{Job: jobs[i], Err: ctx.Err()}
 		}
 	}
+	if opts.TraceLog != nil {
+		for i := range traces {
+			if traces[i] == nil {
+				continue
+			}
+			spans := traces[i].Spans()
+			for k := range spans {
+				spans[k].Job = jobs[i].Index
+			}
+			opts.TraceLog.Append(spans...)
+		}
+	}
 	return out, nil
 }
 
+// jobLabels are the base labels every metric of one job's sink carries.
+func jobLabels(j *Job) []telemetry.Label {
+	ls := []telemetry.Label{telemetry.L("cycle", j.Cycle), telemetry.L("controller", j.Controller.Label)}
+	if j.Fault != nil && j.Fault.Name != "" {
+		ls = append(ls, telemetry.L("scenario", j.Fault.Name))
+	}
+	return ls
+}
+
 // execute runs one job, capturing panics into the result error so one
-// diverging scenario cannot kill the sweep.
-func execute(job *Job, cache *Cache) (jr JobResult) {
+// diverging scenario cannot kill the sweep. The sink, when non-nil,
+// replaces the job config's Telemetry for this execution (the
+// fingerprint ignores it, so caching is unaffected).
+func execute(job *Job, cache *Cache, sink telemetry.Sink) (jr JobResult) {
 	jr.Job = *job
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			jr.Result = nil
 			jr.Err = fmt.Errorf("runner: job %d (%s on %s) panicked: %v",
 				job.Index, job.Controller.Label, job.Cycle, r)
 		}
+		// Error and panic paths keep their wall-clock too; only cache
+		// hits report zero (their cost is in Saved).
+		if !jr.Cached && jr.Elapsed == 0 {
+			jr.Elapsed = time.Since(start)
+		}
 	}()
 
 	var key uint64
 	if cache != nil {
 		key = job.Fingerprint()
-		if res, ok := cache.get(key); ok {
+		if res, saved, ok := cache.get(key); ok {
 			jr.Result = res
 			jr.Cached = true
+			jr.Saved = saved
 			return jr
 		}
 	}
 
-	start := time.Now()
-	r, err := sim.New(job.Config)
+	cfg := job.Config
+	if sink != nil {
+		cfg.Telemetry = sink
+	}
+	r, err := sim.New(cfg)
 	if err != nil {
 		jr.Err = err
 		return jr
@@ -209,7 +344,7 @@ func execute(job *Job, cache *Cache) (jr JobResult) {
 	jr.Instance = ctrl
 	jr.Elapsed = time.Since(start)
 	if cache != nil {
-		cache.put(key, res)
+		cache.put(key, res, jr.Elapsed)
 	}
 	return jr
 }

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+	"evclimate/internal/telemetry"
+)
+
+// BenchmarkForecast measures the per-step cost of building the preview
+// window. The Runner reuses its scratch slices across calls, so steady-
+// state allocations must be zero — the pre-reuse implementation
+// allocated three slices per control step.
+func BenchmarkForecast(b *testing.B) {
+	cfg := DefaultConfig(hotProfile())
+	cfg.ForecastSteps = 12
+	r, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.forecast(0, cfg.ForecastSteps) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := float64(i%600) * cfg.ControlDt
+		f := r.forecast(t, cfg.ForecastSteps)
+		if f.Len() != cfg.ForecastSteps {
+			b.Fatalf("forecast length %d, want %d", f.Len(), cfg.ForecastSteps)
+		}
+	}
+}
+
+// TestForecastReuseZeroAlloc pins the reuse contract: after the first
+// call, forecast performs no allocations.
+func TestForecastReuseZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig(hotProfile())
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.forecast(0, 12)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.forecast(30, 12)
+	})
+	if allocs != 0 {
+		t.Errorf("forecast allocates %.1f objects per call after warm-up, want 0", allocs)
+	}
+}
+
+// BenchmarkRunOnOff measures a full truncated run with telemetry off —
+// the no-op sink baseline the telemetry acceptance criterion compares
+// against.
+func BenchmarkRunOnOff(b *testing.B) {
+	benchmarkRun(b, nil)
+}
+
+// BenchmarkRunOnOffTelemetry is the same run with a live sink recording
+// spans and metrics.
+func BenchmarkRunOnOffTelemetry(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	benchmarkRun(b, telemetry.NewSink(reg, telemetry.NewStepTrace(0)))
+}
+
+func benchmarkRun(b *testing.B, sink telemetry.Sink) {
+	cfg := DefaultConfig(hotProfile().Truncate(200))
+	cfg.ForecastSteps = 12
+	cfg.Telemetry = sink
+	r, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := cabin.New(cfg.Cabin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl := control.NewOnOff(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(ctrl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"evclimate/internal/bms"
 	"evclimate/internal/cabin"
@@ -19,6 +20,7 @@ import (
 	"evclimate/internal/faults"
 	"evclimate/internal/ode"
 	"evclimate/internal/powertrain"
+	"evclimate/internal/telemetry"
 )
 
 // Config assembles one co-simulation run.
@@ -62,6 +64,11 @@ type Config struct {
 	// FaultSeed seeds the fault schedule's random draws; runs with equal
 	// configs and seeds replay bit-identically.
 	FaultSeed int64
+	// Telemetry, when non-nil and active, receives one StepSpan per
+	// control step plus step counters and latency histograms. Nil (or
+	// telemetry.Nop) adds no per-step work; the sweep engine excludes this
+	// field from scenario fingerprints.
+	Telemetry telemetry.Sink
 }
 
 // Trace records the closed-loop trajectories.
@@ -115,6 +122,11 @@ type Runner struct {
 	pt    *powertrain.Model
 	hvac  *cabin.Model
 	motor []float64 // precomputed P_e per profile sample
+
+	// Preview scratch, reused across control steps so forecast does not
+	// allocate three slices per step (see forecast for the aliasing
+	// contract).
+	fcMotor, fcOutside, fcSolar []float64
 }
 
 // New validates the configuration and precomputes the motor power
@@ -169,16 +181,25 @@ func (r *Runner) MotorPower(t float64) float64 {
 	return r.motor[idx]
 }
 
-// forecast builds the preview window starting at time t.
+// forecast builds the preview window starting at time t. The returned
+// slices alias the Runner's scratch buffers and are overwritten by the
+// next call: consumers must copy what they keep across steps (the MPC
+// resamples into its own horizon arrays; the fault injector's corrupt
+// mode copies before mutating).
 func (r *Runner) forecast(t float64, steps int) control.Forecast {
 	if steps <= 0 {
 		return control.Forecast{}
 	}
+	if cap(r.fcMotor) < steps {
+		r.fcMotor = make([]float64, steps)
+		r.fcOutside = make([]float64, steps)
+		r.fcSolar = make([]float64, steps)
+	}
 	f := control.Forecast{
 		Dt:          r.cfg.ControlDt,
-		MotorPowerW: make([]float64, steps),
-		OutsideC:    make([]float64, steps),
-		SolarW:      make([]float64, steps),
+		MotorPowerW: r.fcMotor[:steps],
+		OutsideC:    r.fcOutside[:steps],
+		SolarW:      r.fcSolar[:steps],
 	}
 	for k := 0; k < steps; k++ {
 		tk := t + float64(k)*r.cfg.ControlDt
@@ -223,10 +244,34 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 		inj = cfg.Faults.New(cfg.FaultSeed)
 	}
 
+	// Telemetry is resolved once; when the sink is inactive the loop pays
+	// only a boolean test per step.
+	tel := cfg.Telemetry
+	telOn := tel != nil && tel.Active()
+	var (
+		telSteps   *telemetry.Counter
+		telLatency *telemetry.Histogram
+		solver     control.SolveReporter
+		ladder     control.LadderReporter
+	)
+	if telOn {
+		telSteps = tel.Counter("sim_steps_total")
+		telLatency = tel.Histogram("sim_step_latency_seconds", telemetry.LatencyBuckets)
+		solver, _ = ctrl.(control.SolveReporter)
+		ladder, _ = ctrl.(control.LadderReporter)
+		// Late-bind the run's sink into the controller so solver and
+		// ladder metrics land under this run's labels even when the
+		// controller came from a zero-argument sweep constructor.
+		if b, ok := ctrl.(control.TelemetryBinder); ok {
+			b.BindTelemetry(tel)
+		}
+	}
+
 	for k := 0; k < n; k++ {
 		t := float64(k) * cfg.ControlDt
 		s := cfg.Profile.At(t)
 		pe := r.MotorPower(t)
+		socBefore := b.SoC()
 
 		ctx := control.StepContext{
 			Time:         t,
@@ -244,7 +289,15 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 		if inj != nil {
 			inj.Apply(k, &ctx)
 		}
+		var stepStart time.Time
+		if telOn {
+			stepStart = time.Now()
+		}
 		in, mix := r.hvac.ClampForEnvironment(ctrl.Decide(ctx), s.AmbientC, tz)
+		var stepLatency time.Duration
+		if telOn {
+			stepLatency = time.Since(stepStart)
+		}
 		pw := r.hvac.PowersFor(in, mix)
 
 		// Integrate the cabin plant over the control period with the
@@ -261,6 +314,38 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 
 		total := pe + pw.Total() + cfg.Powertrain.AccessoryW
 		_, soc := b.Step(total, cfg.ControlDt)
+
+		if telOn {
+			telSteps.Inc()
+			telLatency.Observe(stepLatency.Seconds())
+			span := telemetry.StepSpan{
+				Step:         k,
+				TimeS:        t,
+				CabinC:       tz,
+				OutsideC:     s.AmbientC,
+				SoCPct:       soc,
+				SoCDeltaPct:  soc - socBefore,
+				HVACW:        pw.Total(),
+				SupplyC:      in.SupplyTempC,
+				CoilC:        in.CoilTempC,
+				Recirc:       in.Recirc,
+				AirFlowKgS:   in.AirFlowKgS,
+				Rung:         -1,
+				FaultsActive: inj.ActiveAt(t),
+				LatencyNs:    stepLatency.Nanoseconds(),
+			}
+			if solver != nil {
+				si := solver.LastSolve()
+				span.SolverIters = si.Iterations
+				span.QPIters = si.QPIterations
+				span.SolverStatus = si.Status
+			}
+			if ladder != nil {
+				span.Rung = ladder.Level()
+				span.Stage = ladder.ActiveStage()
+			}
+			tel.Step(&span)
+		}
 
 		tr.Time = append(tr.Time, t)
 		tr.CabinC = append(tr.CabinC, tz)

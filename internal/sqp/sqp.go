@@ -157,6 +157,10 @@ type Result struct {
 	EqDuals, InDuals []float64
 	// Iterations counts major iterations performed.
 	Iterations int
+	// QPIterations accumulates the interior-point iterations of every QP
+	// subproblem solved (including elastic fallbacks) — the telemetry
+	// layer's measure of per-solve work below the major-iteration count.
+	QPIterations int
 	// Status reports the termination condition.
 	Status Status
 	// KKTResidual is the final stationarity residual (∞-norm).
@@ -372,9 +376,15 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 			qpTol = 1e-8
 		}
 		qr, err := qp.Solve(sub, qp.Options{Tol: qpTol})
+		if qr != nil {
+			res.QPIterations += qr.Iterations
+		}
 		if err != nil || qr.Status == qp.NumericalFailure || !mat.AllFinite(qr.X) {
 			// Elastic fallback: relax constraints with penalized slacks.
 			qr, err = solveElastic(sub, opt.ElasticWeight)
+			if qr != nil {
+				res.QPIterations += qr.Iterations
+			}
 			if err != nil {
 				res.Status = Failed
 				break

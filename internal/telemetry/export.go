@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteJSONL writes spans as one JSON object per line, in order. When
+// includeTiming is false (the deterministic mode), the wall-clock
+// LatencyNs field is zeroed so two runs of the same scenario and seed
+// produce byte-identical traces at any worker count.
+func WriteJSONL(w io.Writer, spans []StepSpan, includeTiming bool) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		s := spans[i]
+		if !includeTiming {
+			s.LatencyNs = 0
+		}
+		if err := enc.Encode(&s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes the log's spans; see the package-level WriteJSONL.
+func (l *TraceLog) WriteJSONL(w io.Writer, includeTiming bool) error {
+	l.mu.Lock()
+	spans := l.spans
+	err := WriteJSONL(w, spans, includeTiming)
+	l.mu.Unlock()
+	return err
+}
+
+// fmtFloat renders a float the way Prometheus text exposition expects.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value for text exposition.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promName sanitizes a metric or label name into the Prometheus charset.
+func promName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// labelBlock renders {k="v",...} with optional extra pairs appended.
+func labelBlock(labels []Label, extra ...Label) string {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, promName(l.Key), escapeLabel(l.Value))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric name, histograms as
+// cumulative _bucket{le}/_sum/_count series. The snapshot is sorted, so
+// equal registry contents produce byte-identical output.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	typed := map[string]bool{}
+	for _, m := range s {
+		name := promName(m.Name)
+		if !typed[name] {
+			typed[name] = true
+			if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", name, m.Kind); err != nil {
+				return err
+			}
+		}
+		switch m.Kind {
+		case "histogram":
+			for _, b := range m.Buckets {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", name, labelBlock(m.Labels, L("le", fmtFloat(b.Upper))), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", name, labelBlock(m.Labels), fmtFloat(m.Value))
+			fmt.Fprintf(bw, "%s_count%s %d\n", name, labelBlock(m.Labels), m.Count)
+		default:
+			fmt.Fprintf(bw, "%s%s %s\n", name, labelBlock(m.Labels), fmtFloat(m.Value))
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// debugRegistry backs the process-wide expvar "telemetry" variable: the
+// registry of the most recently started debug server. expvar.Publish is
+// global and once-only, so the variable indirects through this pointer.
+var debugRegistry atomic.Pointer[Registry]
+
+func init() {
+	expvar.Publish("telemetry", expvar.Func(func() any {
+		return debugRegistry.Load().Snapshot(nil)
+	}))
+}
+
+// DebugServer is a localhost diagnostics listener: net/http/pprof
+// profiles, expvar (including the registry snapshot under the
+// "telemetry" var), and the registry as Prometheus text on /metrics.
+type DebugServer struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebugServer binds addr (e.g. "localhost:6060") and serves:
+//
+//	/debug/pprof/...  CPU, heap, goroutine, ... profiles
+//	/debug/vars       expvar JSON (memstats + telemetry snapshot)
+//	/metrics          Prometheus text exposition of reg
+//
+// The server runs until Close. Pass a nil registry to expose only the
+// pprof and expvar endpoints.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	debugRegistry.Store(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.Snapshot(nil).WritePrometheus(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// JobInfo identifies one executed scenario in the manifest.
+type JobInfo struct {
+	// Index is the job's position in its sweep expansion.
+	Index int `json:"index"`
+	// Cycle, Controller, and Scenario name the scenario cell (Scenario
+	// is the fault-scenario name, empty for clean runs).
+	Cycle      string `json:"cycle"`
+	Controller string `json:"controller"`
+	Scenario   string `json:"scenario,omitempty"`
+	// Seed is the job's derived deterministic seed.
+	Seed int64 `json:"seed"`
+	// Fingerprint is the job's scenario hash (the sweep cache key),
+	// rendered as fixed-width hex so JSON consumers keep all 64 bits.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// RunInfo is one sweep (or single run) recorded in the manifest.
+type RunInfo struct {
+	// Label names the sweep (the experiment harness, for evbench).
+	Label string `json:"label,omitempty"`
+	// BaseSeed is the sweep's base seed; per-job seeds derive from it.
+	BaseSeed int64 `json:"base_seed"`
+	// Fingerprint summarizes the whole sweep: a hash over the base seed
+	// and every job fingerprint, in expansion order.
+	Fingerprint string `json:"fingerprint"`
+	// Jobs lists the executed scenarios in expansion order.
+	Jobs []JobInfo `json:"jobs"`
+}
+
+// Manifest is the deterministic record of one tool invocation: which
+// scenarios ran with which seeds and config fingerprints, under which
+// code version, with a metric snapshot filtered to deterministic series.
+// Two invocations of the same spec and seed on the same commit produce
+// byte-identical manifests at any worker count; it is the receipt that
+// makes a results directory reproducible.
+type Manifest struct {
+	mu sync.Mutex
+
+	// Tool names the producing binary ("evbench", "evsim").
+	Tool string `json:"tool"`
+	// Git is `git describe --always --dirty` at run time (see
+	// GitDescribe), "unknown" outside a repository.
+	Git string `json:"git"`
+	// GoVersion is the building toolchain.
+	GoVersion string `json:"go_version"`
+	// Runs are the recorded sweeps, in execution order.
+	Runs []RunInfo `json:"runs"`
+	// Metrics is the deterministic metric snapshot taken at Finalize.
+	Metrics Snapshot `json:"metrics,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{Tool: tool, Git: "unknown", GoVersion: runtime.Version()}
+}
+
+// FormatFingerprint renders a 64-bit scenario hash the way manifests
+// store it.
+func FormatFingerprint(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// AddRun appends one sweep's record. Safe for concurrent callers,
+// though deterministic manifests require a deterministic append order —
+// the harnesses run their sweeps sequentially.
+func (m *Manifest) AddRun(r RunInfo) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.Runs = append(m.Runs, r)
+	m.mu.Unlock()
+}
+
+// Finalize stamps the code version and the metric snapshot. Pass the
+// registry's Snapshot(DeterministicFilter) to keep the manifest
+// byte-stable across runs.
+func (m *Manifest) Finalize(git string, metrics Snapshot) {
+	m.mu.Lock()
+	if git != "" {
+		m.Git = git
+	}
+	m.Metrics = metrics
+	m.mu.Unlock()
+}
+
+// Write writes the manifest as indented JSON with a stable field
+// order.
+func (m *Manifest) Write(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest next to the results it describes.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// GitDescribe returns `git describe --always --dirty --tags` for the
+// given directory ("" = current), or "unknown" when git or the
+// repository is unavailable. Deterministic for a given commit state.
+func GitDescribe(dir string) string {
+	cmd := exec.Command("git", "describe", "--always", "--dirty", "--tags")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildManifest() *Manifest {
+	m := NewManifest("test")
+	m.AddRun(RunInfo{
+		Label:       "sweep",
+		BaseSeed:    42,
+		Fingerprint: FormatFingerprint(0xdeadbeef),
+		Jobs: []JobInfo{
+			{Index: 0, Cycle: "ECE_EUDC", Controller: "On/Off", Seed: 7, Fingerprint: FormatFingerprint(1)},
+			{Index: 1, Cycle: "ECE_EUDC", Controller: "Fuzzy-based", Scenario: "stuck", Seed: 8, Fingerprint: FormatFingerprint(2)},
+		},
+	})
+	reg := NewRegistry()
+	reg.Counter("sim_steps_total", L("controller", "On/Off")).Add(120)
+	reg.Histogram("step_latency_seconds", LatencyBuckets).Observe(0.001)
+	m.Finalize("v1.2.3-4-gabcdef", reg.Snapshot(DeterministicFilter))
+	return m
+}
+
+func TestManifestDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := buildManifest().Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildManifest().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("equal manifests rendered differently")
+	}
+	out := a.String()
+	for _, want := range []string{
+		`"tool": "test"`,
+		`"git": "v1.2.3-4-gabcdef"`,
+		`"base_seed": 42`,
+		`"fingerprint": "00000000deadbeef"`,
+		`"scenario": "stuck"`,
+		`"sim_steps_total"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("manifest missing %s in:\n%s", want, out)
+		}
+	}
+	// The wall-clock histogram must not survive the deterministic filter.
+	if strings.Contains(out, "step_latency_seconds") {
+		t.Error("manifest leaked a wall-clock metric")
+	}
+}
+
+func TestGitDescribeUnavailable(t *testing.T) {
+	if got := GitDescribe(t.TempDir()); got != "unknown" {
+		t.Errorf("GitDescribe outside a repo = %q, want unknown", got)
+	}
+}

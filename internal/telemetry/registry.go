@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe metrics registry. Instrument lookup
+// takes a mutex and may allocate; the instruments themselves are
+// lock-free (atomic adds and stores), so resolve once, then hammer from
+// any number of sweep workers.
+//
+// All instrument methods tolerate a nil receiver as a no-op, so code
+// threaded with an optional registry can keep its hot path branch-free.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one registered instrument with its identity.
+type series struct {
+	name    string
+	labels  []Label
+	kind    string // "counter" | "gauge" | "histogram"
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// ident canonicalizes an instrument identity: name plus labels sorted by
+// key. Labels are copied before sorting so callers' slices stay intact.
+func ident(name string, labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	ls := append([]Label{}, labels...)
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String(), ls
+}
+
+// lookup returns the series for (name, labels), creating it with mk on
+// first use and panicking on a kind mismatch (a programming error: one
+// name must keep one kind).
+func (r *Registry) lookup(name, kind string, labels []Label, mk func(*series)) *series {
+	id, ls := ident(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[id]
+	if !ok {
+		s = &series{name: name, labels: ls, kind: kind}
+		mk(s)
+		r.series[id] = s
+		return s
+	}
+	if s.kind != kind {
+		panic(fmt.Sprintf("telemetry: %q registered as %s, requested as %s", name, s.kind, kind))
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), registering it on
+// first use. Safe for concurrent callers; nil receiver returns a no-op
+// nil instrument.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, "counter", labels, func(s *series) { s.counter = &Counter{} }).counter
+}
+
+// Gauge returns the gauge for (name, labels).
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, "gauge", labels, func(s *series) { s.gauge = &Gauge{} }).gauge
+}
+
+// Histogram returns the fixed-bucket histogram for (name, labels). The
+// buckets are upper bounds in increasing order (an implicit +Inf bucket
+// is appended); they are fixed at first registration — later calls with
+// different buckets reuse the original layout.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, "histogram", labels, func(s *series) { s.hist = newHistogram(buckets) }).hist
+}
+
+// Counter is a monotonically increasing float64 with an atomic hot path.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (no-op on a nil receiver).
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current total (0 on a nil receiver).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a last-write-wins float64 with an atomic hot path.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (no-op on a nil receiver).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: counts per bucket, total count,
+// and sum, all maintained with atomics. Bucket bounds never change after
+// construction, so Observe is lock-free.
+type Histogram struct {
+	uppers []float64       // sorted upper bounds; the +Inf bucket is counts[len(uppers)]
+	counts []atomic.Uint64 // len(uppers)+1
+	sum    Counter
+	count  atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	up := append([]float64{}, buckets...)
+	sort.Float64s(up)
+	return &Histogram{uppers: up, counts: make([]atomic.Uint64, len(up)+1)}
+}
+
+// Observe records one sample (no-op on a nil receiver).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v) // first bucket with upper ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Default bucket layouts shared by the stack's emitters.
+var (
+	// IterationBuckets covers solver iteration counts (SQP majors, QP
+	// interior-point iterations).
+	IterationBuckets = []float64{1, 2, 3, 5, 8, 12, 17, 25, 35, 50, 75, 100}
+	// LatencyBuckets covers control-step wall-clock latencies in
+	// seconds, 50 µs to ~3 s.
+	LatencyBuckets = []float64{50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1, 3}
+)
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	// Upper is the bucket's inclusive upper bound; +Inf for the last.
+	Upper float64 `json:"-"`
+	// Count is the cumulative count of observations ≤ Upper.
+	Count uint64 `json:"count"`
+}
+
+// MarshalJSON emits the bound as a string ("le" in Prometheus parlance)
+// because encoding/json rejects +Inf as a number.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.Upper, 1) {
+		le = strconv.FormatFloat(b.Upper, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.Count)), nil
+}
+
+// Metric is one instrument's state in a snapshot.
+type Metric struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Labels []Label `json:"labels,omitempty"`
+	// Value is the counter total, the gauge value, or the histogram sum.
+	Value float64 `json:"value"`
+	// Count is the histogram observation count.
+	Count uint64 `json:"count,omitempty"`
+	// Buckets are the histogram's cumulative buckets.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by name then
+// label identity — byte-stable for equal registry contents.
+type Snapshot []Metric
+
+// DeterministicFilter accepts every metric whose value is a pure
+// function of scenario and seed, rejecting wall-clock-derived series by
+// the naming convention that their names end in "_seconds" or "_ns".
+// The run manifest snapshots through this filter so equal runs produce
+// byte-identical manifests.
+func DeterministicFilter(name string) bool {
+	return !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_ns")
+}
+
+// Snapshot copies the registry's current state. A nil filter keeps every
+// metric; otherwise only names the filter accepts are included. A nil
+// registry yields a nil snapshot.
+func (r *Registry) Snapshot(filter func(name string) bool) Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.series))
+	for id := range r.series {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make(Snapshot, 0, len(ids))
+	for _, id := range ids {
+		s := r.series[id]
+		if filter != nil && !filter(s.name) {
+			continue
+		}
+		m := Metric{Name: s.name, Kind: s.kind, Labels: s.labels}
+		switch s.kind {
+		case "counter":
+			m.Value = s.counter.Value()
+		case "gauge":
+			m.Value = s.gauge.Value()
+		case "histogram":
+			h := s.hist
+			m.Value = h.Sum()
+			m.Count = h.Count()
+			var cum uint64
+			m.Buckets = make([]BucketCount, len(h.counts))
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				upper := math.Inf(1)
+				if i < len(h.uppers) {
+					upper = h.uppers[i]
+				}
+				m.Buckets[i] = BucketCount{Upper: upper, Count: cum}
+			}
+		}
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	return out
+}

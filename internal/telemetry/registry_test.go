@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// the sweep-worker pattern — and checks the totals. Run under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Shared instrument, resolved per worker (must be the same
+			// underlying counter) plus a per-worker labeled series.
+			shared := reg.Counter("steps_total")
+			own := reg.Counter("worker_steps_total", L("worker", string(rune('a'+w))))
+			h := reg.Histogram("iters", IterationBuckets)
+			g := reg.Gauge("level")
+			for i := 0; i < perWorker; i++ {
+				shared.Inc()
+				own.Add(0.5)
+				h.Observe(float64(i % 40))
+				g.Set(float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("steps_total").Value(); got != workers*perWorker {
+		t.Errorf("steps_total = %v, want %v", got, workers*perWorker)
+	}
+	h := reg.Histogram("iters", IterationBuckets)
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %v, want %v", got, workers*perWorker)
+	}
+	snap := reg.Snapshot(nil)
+	if len(snap) != 3+workers {
+		t.Errorf("snapshot has %d series, want %d", len(snap), 3+workers)
+	}
+}
+
+func TestNilInstrumentsAreNoops(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(3)
+	r.Histogram("z", IterationBuckets).Observe(1)
+	if r.Snapshot(nil) != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	if Nop.Active() {
+		t.Error("Nop must be inactive")
+	}
+	Nop.Counter("x").Add(1)
+	Nop.Step(&StepSpan{})
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0, 1, 2, 5, 7, 11, 100} {
+		h.Observe(v)
+	}
+	// Cumulative: ≤1: {0,1}=2, ≤5: +{2,5}=4, ≤10: +{7}=5, +Inf: 7.
+	want := []uint64{2, 4, 5, 7}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum != want[i] {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, cum, want[i])
+		}
+	}
+	if h.Sum() != 126 {
+		t.Errorf("sum = %v, want 126", h.Sum())
+	}
+}
+
+func TestSnapshotDeterministicAndFiltered(t *testing.T) {
+	build := func() *Registry {
+		reg := NewRegistry()
+		reg.Counter("b_total", L("cycle", "UDDS")).Add(2)
+		reg.Counter("a_total").Add(1)
+		reg.Histogram("lat_seconds", LatencyBuckets).Observe(0.01)
+		reg.Counter("saved_ns").Add(123)
+		return reg
+	}
+	s1, s2 := build().Snapshot(nil), build().Snapshot(nil)
+	var w1, w2 strings.Builder
+	if err := s1.WritePrometheus(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WritePrometheus(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Error("equal registries rendered differently")
+	}
+	if !strings.Contains(w1.String(), `b_total{cycle="UDDS"} 2`) {
+		t.Errorf("missing labeled counter in:\n%s", w1.String())
+	}
+	if !strings.Contains(w1.String(), `lat_seconds_bucket`) {
+		t.Errorf("missing histogram buckets in:\n%s", w1.String())
+	}
+
+	det := build().Snapshot(DeterministicFilter)
+	for _, m := range det {
+		if strings.HasSuffix(m.Name, "_seconds") || strings.HasSuffix(m.Name, "_ns") {
+			t.Errorf("deterministic snapshot kept %q", m.Name)
+		}
+	}
+	if len(det) != 2 {
+		t.Errorf("deterministic snapshot has %d series, want 2", len(det))
+	}
+}
+
+func TestWithLabels(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSink(reg, nil, L("cycle", "ECE15"))
+	WithLabels(s, L("stage", "mpc-full")).Counter("solves_total").Inc()
+	snap := reg.Snapshot(nil)
+	if len(snap) != 1 {
+		t.Fatalf("got %d series", len(snap))
+	}
+	m := snap[0]
+	if len(m.Labels) != 2 || m.Labels[0].Key != "cycle" || m.Labels[1].Key != "stage" {
+		t.Errorf("labels = %+v", m.Labels)
+	}
+	if WithLabels(Nop, L("k", "v")).Active() {
+		t.Error("labeled Nop must stay inactive")
+	}
+}
+
+func TestCounterAddFloat(t *testing.T) {
+	var c Counter
+	c.Add(0.25)
+	c.Add(0.75)
+	if math.Abs(c.Value()-1) > 1e-15 {
+		t.Errorf("value = %v", c.Value())
+	}
+}
