@@ -25,11 +25,17 @@ bench:
 # Machine-readable benchmark snapshot: the sweep-engine scaling benches
 # plus the co-simulation hot-path benches, parsed into BENCH_sweep.json
 # so regressions diff across commits. The telemetry pair (RunOnOff vs
-# RunOnOffTelemetry) bounds the observability overhead.
+# RunOnOffTelemetry) bounds the observability overhead. The second
+# snapshot, BENCH_solver.json, covers the MPC solve path — the cold/warm
+# pairs (QPInteriorPoint vs ...Warm, LUSolve120 vs LUSolveInto120) bound
+# the workspace-reuse win, and the -benchmem allocs/op column pins the
+# allocation-free hot path.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'Sweep16|CoSimOnOff' -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'Forecast|RunOnOff' -benchmem ./internal/sim ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_sweep.json
+	$(GO) test -run '^$$' -bench 'MPCSolveStep|QPInteriorPoint|SQPSolveWarm|LUSolve' -benchmem . \
+	| $(GO) run ./cmd/benchjson -o BENCH_solver.json
 
 # Fault-injection and observability conformance under the race detector:
 # the injector and supervisor unit tests, the telemetry registry/trace

@@ -23,6 +23,7 @@ import (
 	"evclimate/internal/qp"
 	"evclimate/internal/runner"
 	"evclimate/internal/sim"
+	"evclimate/internal/sqp"
 )
 
 // benchProfileS truncates drive profiles for the figure benchmarks.
@@ -152,6 +153,7 @@ func BenchmarkMPCSolveStep(b *testing.B) {
 		MotorPowerW: 10e3, SoC: 85, TargetC: 24,
 		ComfortLowC: 21, ComfortHighC: 27,
 	}
+	mpc.Decide(ctx) // size the solver arena; steady state is the regime of interest
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mpc.Decide(ctx)
@@ -181,6 +183,72 @@ func BenchmarkQPInteriorPoint(b *testing.B) {
 	}
 }
 
+// BenchmarkQPInteriorPointWarm is the workspace-reuse counterpart of
+// BenchmarkQPInteriorPoint: identical problem, but repeated solves share
+// one qp.Workspace the way the SQP loop does. The B/op and allocs/op
+// columns are the point — they must stay at zero.
+func BenchmarkQPInteriorPointWarm(b *testing.B) {
+	n := 60
+	h := mat.Identity(n)
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = -float64(i%7) - 1.5
+	}
+	ain := mat.NewDense(2*n, n)
+	bin := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		ain.Set(i, i, 1)
+		bin[i] = 2
+		ain.Set(n+i, i, -1)
+	}
+	p := &qp.Problem{H: h, C: c, Ain: ain, Bin: bin}
+	opt := qp.Options{Work: qp.NewWorkspace()}
+	if _, err := qp.Solve(p, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qp.Solve(p, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSQPSolveWarm measures a full warm SQP solve (HS71-style
+// bilinear NLP with analytic-free finite-difference derivatives) through
+// a reused workspace — the shape of work one MPC step performs.
+func BenchmarkSQPSolveWarm(b *testing.B) {
+	p := &sqp.Problem{
+		N: 4,
+		Objective: func(x []float64) float64 {
+			return x[0]*x[3]*(x[0]+x[1]+x[2]) + x[2]
+		},
+		MEq: 1,
+		Eq: func(x, out []float64) {
+			out[0] = x[0]*x[0] + x[1]*x[1] + x[2]*x[2] + x[3]*x[3] - 40
+		},
+		MIneq: 9,
+		Ineq: func(x, out []float64) {
+			out[0] = 25 - x[0]*x[1]*x[2]*x[3]
+			for i := 0; i < 4; i++ {
+				out[1+i] = 1 - x[i]
+				out[5+i] = x[i] - 5
+			}
+		},
+	}
+	x0 := []float64{1, 5, 5, 1}
+	opt := sqp.Options{MaxIter: 200, Work: sqp.NewWorkspace()}
+	if _, err := sqp.Solve(p, x0, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqp.Solve(p, x0, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkLUSolve120(b *testing.B) {
 	n := 120
 	a := mat.NewDense(n, n)
@@ -199,6 +267,33 @@ func BenchmarkLUSolve120(b *testing.B) {
 		if _, err := mat.Solve(a, rhs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLUSolveInto120 is the allocation-free counterpart of
+// BenchmarkLUSolve120: the factor object and solution buffer are reused
+// across iterations.
+func BenchmarkLUSolveInto120(b *testing.B) {
+	n := 120
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, float64((i*37+j*17)%23)-11)
+		}
+		a.Add(i, i, 100)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i % 5)
+	}
+	x := make([]float64, n)
+	var lu mat.LU
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mat.FactorizeInto(&lu, a); err != nil {
+			b.Fatal(err)
+		}
+		lu.SolveInto(rhs, x)
 	}
 }
 

@@ -124,7 +124,21 @@ type Controller struct {
 	cfg   Config
 	model *cabin.Model
 
-	prevZ []float64 // previous solution for warm starting
+	prevZ    []float64 // previous solution for warm starting (fixed buffer)
+	havePrev bool      // prevZ holds a usable previous solution
+
+	// Solver arena: the controller solves an identically-shaped NLP every
+	// step, so the SQP workspace, the horizon forecast buffers, the warm
+	// start vector and the cost scratch are allocated once in New and
+	// reused for the life of the controller — steady-state Decide performs
+	// no per-step allocation. The sqp.Problem closures are bound once here
+	// too (they capture c and read c.hor, which buildHorizon refills in
+	// place each step).
+	sqpWork         *sqp.Workspace
+	hor             horizonData
+	prob            sqp.Problem
+	z0              []float64
+	socBuf, sensBuf []float64
 	// Diagnostics aggregated over a run.
 	solves, converged, stalled, failed, budget int
 	totalSQPIters                              int
@@ -179,6 +193,31 @@ func New(cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	c := &Controller{cfg: cfg, model: m}
+	n := cfg.Horizon
+	c.hor = horizonData{
+		motorW:     make([]float64, n),
+		outsideC:   make([]float64, n),
+		solarW:     make([]float64, n),
+		coilFloorC: make([]float64, n),
+		comfortLo:  make([]float64, n),
+		comfortHi:  make([]float64, n),
+	}
+	c.socBuf = make([]float64, n)
+	c.sensBuf = make([]float64, n)
+	c.z0 = make([]float64, c.nz())
+	c.prevZ = make([]float64, c.nz())
+	c.sqpWork = sqp.NewWorkspace()
+	c.prob = sqp.Problem{
+		N:         c.nz(),
+		Objective: func(z []float64) float64 { return c.objective(z, &c.hor) },
+		Gradient:  func(z, g []float64) { c.gradient(z, &c.hor, g) },
+		MEq:       3 * n,
+		Eq:        func(z, out []float64) { c.equalities(z, &c.hor, out) },
+		EqJac:     func(z []float64, jac *mat.Dense) { c.equalitiesJac(z, &c.hor, jac) },
+		MIneq:     n * ineqPerStep,
+		Ineq:      func(z, out []float64) { c.inequalities(z, &c.hor, out) },
+		IneqJac:   func(z []float64, jac *mat.Dense) { c.inequalitiesJac(z, &c.hor, jac) },
+	}
 	c.bindInstruments()
 	return c, nil
 }
@@ -212,7 +251,7 @@ func (c *Controller) Name() string { return "Battery Lifetime-aware" }
 
 // Reset implements control.Controller.
 func (c *Controller) Reset() {
-	c.prevZ = nil
+	c.havePrev = false
 	c.solves, c.converged, c.stalled, c.failed, c.budget = 0, 0, 0, 0, 0
 	c.totalSQPIters = 0
 	c.lastErr = nil
@@ -268,21 +307,16 @@ type horizonData struct {
 	kappaPerWatt float64 // SoC percent lost per W over one step
 }
 
-// buildHorizon resamples the StepContext forecast onto the MPC grid.
+// buildHorizon resamples the StepContext forecast onto the MPC grid,
+// refilling the controller's persistent horizon buffers in place (every
+// entry is overwritten each call).
 func (c *Controller) buildHorizon(ctx control.StepContext) *horizonData {
 	n := c.cfg.Horizon
-	h := &horizonData{
-		n: n, dt: c.cfg.Dt,
-		motorW:     make([]float64, n),
-		outsideC:   make([]float64, n),
-		solarW:     make([]float64, n),
-		coilFloorC: make([]float64, n),
-		comfortLo:  make([]float64, n),
-		comfortHi:  make([]float64, n),
-		tz0:        ctx.CabinTempC,
-		soc0:       ctx.SoC,
-		targetC:    ctx.TargetC,
-	}
+	h := &c.hor
+	h.n, h.dt = n, c.cfg.Dt
+	h.tz0 = ctx.CabinTempC
+	h.soc0 = ctx.SoC
+	h.targetC = ctx.TargetC
 	// SoC percent drained per watt over one prediction step (Eq. 13 with
 	// I_eff ≈ I).
 	h.kappaPerWatt = 100 * c.cfg.Dt / (units.SecondsPerHour * c.cfg.BatteryCapacityAh * c.cfg.BatteryVoltageV)
@@ -357,9 +391,10 @@ func (c *Controller) hvacPowerAt(z []float64, h *horizonData, k int) float64 {
 	return 1000*(z[c.idxPh(k)]+z[c.idxPc(k)]) + c.cfg.Cabin.FanCoeffW*mz*mz
 }
 
-// socTrajectory returns SoC_1..SoC_N for iterate z.
+// socTrajectory returns SoC_1..SoC_N for iterate z, written into the
+// controller's scratch buffer (overwritten on every call).
 func (c *Controller) socTrajectory(z []float64, h *horizonData) []float64 {
-	soc := make([]float64, h.n)
+	soc := c.socBuf
 	s := h.soc0
 	for k := 0; k < h.n; k++ {
 		total := h.motorW[k] + c.hvacPowerAt(z, h, k) + c.cfg.AccessoryW
@@ -407,7 +442,7 @@ func (c *Controller) costPowerSens(z []float64, h *horizonData) []float64 {
 		socAvg += s
 	}
 	socAvg /= float64(h.n)
-	sens := make([]float64, h.n)
+	sens := c.sensBuf
 	tail := 0.0
 	for k := h.n - 1; k >= 0; k-- {
 		tail += soc[k] - socAvg
@@ -576,13 +611,12 @@ func (c *Controller) inequalitiesJac(z []float64, h *horizonData, jac *mat.Dense
 	}
 }
 
-// initialGuess builds a feasible-ish starting iterate: hold the current
-// temperature and ventilate.
-func (c *Controller) initialGuess(h *horizonData) []float64 {
+// initialGuess builds a feasible-ish starting iterate into z: hold the
+// current temperature and ventilate. Every entry of z is written.
+func (c *Controller) initialGuess(h *horizonData, z []float64) {
 	p := c.cfg.Cabin
 	ah := p.AirCpJKgK / p.EtaHeat
 	ac := p.AirCpJKgK / p.EtaCool
-	z := make([]float64, c.nz())
 	for k := 1; k <= h.n; k++ {
 		z[c.idxX(k)] = h.tz0
 	}
@@ -599,13 +633,13 @@ func (c *Controller) initialGuess(h *horizonData) []float64 {
 		z[c.idxPh(k)] = math.Max(0, ah*mz*(ts-tc)/1000)
 		z[c.idxPc(k)] = math.Max(0, ac*mz*(tm-tc)/1000)
 	}
-	return z
 }
 
-// shiftWarmStart advances the previous solution by one step.
-func (c *Controller) shiftWarmStart(prev []float64, h *horizonData) []float64 {
+// shiftWarmStart advances the previous solution by one step into z,
+// which must not alias prev.
+func (c *Controller) shiftWarmStart(prev []float64, h *horizonData, z []float64) {
 	n := h.n
-	z := mat.CloneVec(prev)
+	copy(z, prev)
 	for k := 1; k < n; k++ {
 		z[c.idxX(k)] = prev[c.idxX(k+1)]
 	}
@@ -616,37 +650,25 @@ func (c *Controller) shiftWarmStart(prev []float64, h *horizonData) []float64 {
 		z[c.idxPh(k)] = prev[c.idxPh(k+1)]
 		z[c.idxPc(k)] = prev[c.idxPc(k+1)]
 	}
-	return z
 }
 
 // Decide implements control.Controller: it solves the horizon problem and
 // applies the first control move.
 func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 	h := c.buildHorizon(ctx)
-	n := h.n
+	prob := &c.prob
 
-	prob := &sqp.Problem{
-		N:         c.nz(),
-		Objective: func(z []float64) float64 { return c.objective(z, h) },
-		Gradient:  func(z, g []float64) { c.gradient(z, h, g) },
-		MEq:       3 * n,
-		Eq:        func(z, out []float64) { c.equalities(z, h, out) },
-		EqJac:     func(z []float64, jac *mat.Dense) { c.equalitiesJac(z, h, jac) },
-		MIneq:     n * ineqPerStep,
-		Ineq:      func(z, out []float64) { c.inequalities(z, h, out) },
-		IneqJac:   func(z []float64, jac *mat.Dense) { c.inequalitiesJac(z, h, jac) },
-	}
-
-	var z0 []float64
-	if c.prevZ != nil && len(c.prevZ) == c.nz() {
-		z0 = c.shiftWarmStart(c.prevZ, h)
+	z0 := c.z0
+	if c.havePrev {
+		c.shiftWarmStart(c.prevZ, h, z0)
 	} else {
-		z0 = c.initialGuess(h)
+		c.initialGuess(h, z0)
 	}
 
 	// A per-step budget (supervisor watchdog or injected solver-budget
 	// fault) tightens the configured solver options for this call only.
 	opt := c.cfg.SQP
+	opt.Work = c.sqpWork
 	if ctx.SolverIterBudget > 0 && (opt.HardIterCap <= 0 || ctx.SolverIterBudget < opt.HardIterCap) {
 		opt.HardIterCap = ctx.SolverIterBudget
 	}
@@ -686,7 +708,7 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 		if res == nil {
 			c.failed++
 		}
-		c.prevZ = nil
+		c.havePrev = false
 		if err == nil {
 			err = errors.New("core: non-finite solver iterate")
 		}
@@ -695,7 +717,10 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 		mixFallback := c.model.MixTemp(ctx.OutsideC, ctx.CabinTempC, 0.5)
 		in = cabin.Inputs{SupplyTempC: mixFallback, CoilTempC: mixFallback, Recirc: 0.5, AirFlowKgS: c.cfg.Cabin.MinAirFlowKgS}
 	} else {
-		c.prevZ = res.X
+		// res.X aliases the SQP workspace (overwritten by the next solve),
+		// so the warm start keeps its own copy.
+		copy(c.prevZ, res.X)
+		c.havePrev = true
 		c.lastErr = nil
 		if budgeted {
 			c.lastErr = err
@@ -720,7 +745,7 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 // x_1..x_N) for analysis and the Fig. 6 precool illustration. It returns
 // nil before the first Decide call.
 func (c *Controller) PredictedPlan() []float64 {
-	if c.prevZ == nil {
+	if !c.havePrev {
 		return nil
 	}
 	return mat.CloneVec(c.prevZ[:c.cfg.Horizon])

@@ -73,7 +73,8 @@ func TestGradientMatchesFiniteDifferences(t *testing.T) {
 	c := newController(t, func(cfg *Config) { cfg.Horizon = 4 })
 	ctx := withForecast(hotCtx(26), []float64{5e3, 20e3, 2e3, 15e3})
 	h := c.buildHorizon(ctx)
-	z := c.initialGuess(h)
+	z := make([]float64, c.nz())
+	c.initialGuess(h, z)
 	// Perturb to a generic interior point.
 	for i := range z {
 		z[i] += 0.01 * float64(i%7)
@@ -97,7 +98,8 @@ func TestEqualitiesJacMatchesFiniteDifferences(t *testing.T) {
 	c := newController(t, func(cfg *Config) { cfg.Horizon = 3 })
 	ctx := hotCtx(26)
 	h := c.buildHorizon(ctx)
-	z := c.initialGuess(h)
+	z := make([]float64, c.nz())
+	c.initialGuess(h, z)
 	for i := range z {
 		z[i] += 0.013 * float64(i%5)
 	}
@@ -125,7 +127,8 @@ func TestIneqJacMatchesFiniteDifferences(t *testing.T) {
 	c := newController(t, func(cfg *Config) { cfg.Horizon = 3 })
 	ctx := hotCtx(26)
 	h := c.buildHorizon(ctx)
-	z := c.initialGuess(h)
+	z := make([]float64, c.nz())
+	c.initialGuess(h, z)
 	for i := range z {
 		z[i] += 0.017 * float64(i%4)
 	}
@@ -443,7 +446,8 @@ func TestSoCTrajectoryDrainsWithPower(t *testing.T) {
 	c := newController(t, nil)
 	ctx := withForecast(hotCtx(25), []float64{30e3, 30e3, 30e3, 30e3, 30e3, 30e3, 30e3, 30e3, 30e3, 30e3, 30e3, 30e3})
 	h := c.buildHorizon(ctx)
-	z := c.initialGuess(h)
+	z := make([]float64, c.nz())
+	c.initialGuess(h, z)
 	soc := c.socTrajectory(z, h)
 	// Monotone decreasing under constant positive power.
 	prev := h.soc0

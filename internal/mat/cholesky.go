@@ -12,11 +12,28 @@ type Cholesky struct {
 // positive definite matrix a. Only the lower triangle of a is read.
 // It returns ErrNotSPD if a pivot is non-positive.
 func CholeskyFactorize(a *Dense) (*Cholesky, error) {
+	ch := &Cholesky{}
+	if err := CholeskyFactorizeInto(ch, a); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// CholeskyFactorizeInto computes the Cholesky factorization of a into ch,
+// reusing ch's storage when the dimensions match (allocation-free after
+// the first call with a given size). On error the contents of ch are
+// unspecified.
+func CholeskyFactorizeInto(ch *Cholesky, a *Dense) error {
 	n, c := a.Dims()
 	if n != c {
 		panic(ErrShape)
 	}
-	l := NewDense(n, n)
+	if ch.l == nil || ch.l.rows != n {
+		ch.l = NewDense(n, n)
+	} else {
+		ch.l.Zero()
+	}
+	l := ch.l
 	ad, ld := a.data, l.data
 	for j := 0; j < n; j++ {
 		var diag float64
@@ -25,7 +42,7 @@ func CholeskyFactorize(a *Dense) (*Cholesky, error) {
 		}
 		diag = ad[j*n+j] - diag
 		if diag <= 0 || math.IsNaN(diag) {
-			return nil, ErrNotSPD
+			return ErrNotSPD
 		}
 		ljj := math.Sqrt(diag)
 		ld[j*n+j] = ljj
@@ -37,27 +54,36 @@ func CholeskyFactorize(a *Dense) (*Cholesky, error) {
 			ld[i*n+j] = (ad[i*n+j] - s) / ljj
 		}
 	}
-	return &Cholesky{l: l}, nil
+	return nil
 }
 
 // Solve solves A·x = b using the factorization. b is not modified.
 func (c *Cholesky) Solve(b []float64) []float64 {
 	n, _ := c.l.Dims()
-	if len(b) != n {
+	return c.SolveInto(b, make([]float64, n))
+}
+
+// SolveInto solves A·x = b into x using the factorization and returns x.
+// The forward substitution runs in place in x, so no intermediate buffer
+// is needed. b is not modified; x must not alias b.
+func (c *Cholesky) SolveInto(b, x []float64) []float64 {
+	n, _ := c.l.Dims()
+	if len(b) != n || len(x) != n {
 		panic(ErrShape)
 	}
 	ld := c.l.data
-	y := make([]float64, n)
+	// Forward substitution L·y = b, y stored in x.
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for j := 0; j < i; j++ {
-			s -= ld[i*n+j] * y[j]
+			s -= ld[i*n+j] * x[j]
 		}
-		y[i] = s / ld[i*n+i]
+		x[i] = s / ld[i*n+i]
 	}
-	x := make([]float64, n)
+	// Backward substitution Lᵀ·x = y, in place: position i only reads
+	// positions j > i, which already hold final values.
 	for i := n - 1; i >= 0; i-- {
-		s := y[i]
+		s := x[i]
 		for j := i + 1; j < n; j++ {
 			s -= ld[j*n+i] * x[j]
 		}

@@ -15,12 +15,27 @@ type LU struct {
 // partial (row) pivoting. It returns ErrSingular if a pivot is exactly
 // zero; near-singular systems succeed here but may produce large residuals.
 func Factorize(a *Dense) (*LU, error) {
+	f := &LU{}
+	if err := FactorizeInto(f, a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorizeInto computes the LU factorization of a into f, reusing f's
+// storage when the dimensions match (allocation-free after the first call
+// with a given size). On error the contents of f are unspecified.
+func FactorizeInto(f *LU, a *Dense) error {
 	n, c := a.Dims()
 	if n != c {
 		panic(ErrShape)
 	}
-	lu := a.Clone()
-	piv := make([]int, n)
+	if f.lu == nil || f.lu.rows != n {
+		f.lu = NewDense(n, n)
+	}
+	f.lu.CopyFrom(a)
+	f.piv = growInts(f.piv, n)
+	lu, piv := f.lu, f.piv
 	for i := range piv {
 		piv[i] = i
 	}
@@ -36,7 +51,7 @@ func Factorize(a *Dense) (*LU, error) {
 			}
 		}
 		if mx == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -61,17 +76,24 @@ func Factorize(a *Dense) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f.sign = sign
+	return nil
 }
 
 // Solve solves A·x = b using the factorization. b is not modified.
 func (f *LU) Solve(b []float64) []float64 {
 	n, _ := f.lu.Dims()
-	if len(b) != n {
+	return f.SolveInto(b, make([]float64, n))
+}
+
+// SolveInto solves A·x = b into x using the factorization and returns x.
+// b is not modified; x must not alias b.
+func (f *LU) SolveInto(b, x []float64) []float64 {
+	n, _ := f.lu.Dims()
+	if len(b) != n || len(x) != n {
 		panic(ErrShape)
 	}
 	d := f.lu.data
-	x := make([]float64, n)
 	// Apply permutation and forward-substitute through L.
 	for i := 0; i < n; i++ {
 		s := b[f.piv[i]]

@@ -155,13 +155,7 @@ func (m *Dense) Clone() *Dense {
 
 // T returns the transpose of m as a new matrix.
 func (m *Dense) T() *Dense {
-	out := NewDense(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			out.data[j*m.rows+i] = m.data[i*m.cols+j]
-		}
-	}
-	return out
+	return m.TInto(NewDense(m.cols, m.rows))
 }
 
 // Scale multiplies every element of m by s in place and returns m.
@@ -201,57 +195,17 @@ func (m *Dense) Mul(b *Dense) *Dense {
 	if m.cols != b.rows {
 		panic(ErrShape)
 	}
-	out := NewDense(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
-		mrow := m.data[i*m.cols : (i+1)*m.cols]
-		orow := out.data[i*b.cols : (i+1)*b.cols]
-		for k, mv := range mrow {
-			if mv == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += mv * bv
-			}
-		}
-	}
-	return out
+	return m.MulInto(b, NewDense(m.rows, b.cols))
 }
 
 // MulVec returns the matrix-vector product m·x as a new vector.
 func (m *Dense) MulVec(x []float64) []float64 {
-	if m.cols != len(x) {
-		panic(ErrShape)
-	}
-	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		out[i] = s
-	}
-	return out
+	return m.MulVecInto(x, make([]float64, m.rows))
 }
 
 // MulVecT returns mᵀ·x (x has length rows) without forming the transpose.
 func (m *Dense) MulVecT(x []float64) []float64 {
-	if m.rows != len(x) {
-		panic(ErrShape)
-	}
-	out := make([]float64, m.cols)
-	for i := 0; i < m.rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		for j, v := range row {
-			out[j] += xi * v
-		}
-	}
-	return out
+	return m.MulVecTInto(x, make([]float64, m.cols))
 }
 
 // IsSymmetric reports whether m is square and symmetric to within tol.

@@ -17,12 +17,18 @@ import (
 // ~1.5× cheaper than an LU of the full (n+meq) system and reuses the
 // factorization across the predictor and corrector solves. When K is not
 // numerically SPD (extreme barrier weights), the caller falls back to the
-// dense LU path.
+// dense LU path. All factor and scratch buffers live in the struct and
+// are reused across iterations and Solve calls — factorize is
+// allocation-free once sized.
 type kktFactor struct {
-	chK   *mat.Cholesky
+	chK   mat.Cholesky
+	chS   mat.Cholesky
 	aeq   *mat.Dense // nil when meq == 0
 	y     *mat.Dense // K⁻¹Aᵀ, n×meq
-	chS   *mat.Cholesky
+	sMat  *mat.Dense // Schur complement scratch, meq×meq
+	col   []float64  // length n: one Aᵀ column, then its K⁻¹ solve
+	t     []float64  // length meq
+	yd    []float64  // length n
 	delta float64
 	n, mq int
 }
@@ -30,64 +36,67 @@ type kktFactor struct {
 // errNotSPD signals the caller to fall back to LU.
 var errNotSPD = errors.New("qp: KKT K-block not SPD")
 
-// newKKTFactor factorizes K (n×n, dense symmetric) and, when aeq is
-// non-nil, the Schur complement for the equality block.
-func newKKTFactor(k *mat.Dense, aeq *mat.Dense, delta float64) (*kktFactor, error) {
+// factorize computes the factorization of K (n×n, dense symmetric) and,
+// when aeq is non-nil, the Schur complement for the equality block,
+// reusing the receiver's buffers.
+func (f *kktFactor) factorize(k *mat.Dense, aeq *mat.Dense, delta float64) error {
 	n, _ := k.Dims()
-	chK, err := mat.CholeskyFactorize(k)
-	if err != nil {
-		return nil, errNotSPD
+	if err := mat.CholeskyFactorizeInto(&f.chK, k); err != nil {
+		return errNotSPD
 	}
-	f := &kktFactor{chK: chK, delta: delta, n: n}
+	f.delta = delta
+	f.aeq = aeq
+	if f.n != n {
+		f.n = n
+		f.y = nil // meq-dependent buffers resized below
+	}
 	if aeq == nil {
-		return f, nil
+		f.mq = 0
+		return nil
 	}
 	meq, _ := aeq.Dims()
-	f.aeq = aeq
-	f.mq = meq
+	if f.y == nil || f.mq != meq {
+		f.mq = meq
+		f.y = mat.NewDense(n, meq)
+		f.sMat = mat.NewDense(meq, meq)
+		f.col = make([]float64, n)
+		f.t = make([]float64, meq)
+		f.yd = make([]float64, n)
+	}
 	// Y = K⁻¹Aᵀ, one triangular solve pair per equality row.
-	f.y = mat.NewDense(n, meq)
-	col := make([]float64, n)
 	for i := 0; i < meq; i++ {
+		f.chK.SolveInto(aeq.RawRow(i), f.col)
 		for j := 0; j < n; j++ {
-			col[j] = aeq.At(i, j)
-		}
-		sol := chK.Solve(col)
-		for j := 0; j < n; j++ {
-			f.y.Set(j, i, sol[j])
+			f.y.Set(j, i, f.col[j])
 		}
 	}
 	// S = A·Y + δI (meq×meq, SPD for full-row-rank A).
-	s := aeq.Mul(f.y)
+	aeq.MulInto(f.y, f.sMat)
 	for i := 0; i < meq; i++ {
-		s.Add(i, i, delta)
+		f.sMat.Add(i, i, delta)
 	}
-	chS, err := mat.CholeskyFactorize(s)
-	if err != nil {
-		return nil, errNotSPD
+	if err := mat.CholeskyFactorizeInto(&f.chS, f.sMat); err != nil {
+		return errNotSPD
 	}
-	f.chS = chS
-	return f, nil
+	return nil
 }
 
-// solve returns dx, dy for right-hand sides r1 (length n) and r2
+// solveInto computes dx, dy for right-hand sides r1 (length n) and r2
 // (length meq; ignored when there are no equalities).
-func (f *kktFactor) solve(r1, r2 []float64) (dx, dy []float64) {
-	x0 := f.chK.Solve(r1)
+func (f *kktFactor) solveInto(r1, r2, dx, dy []float64) {
+	f.chK.SolveInto(r1, dx) // x0
 	if f.aeq == nil {
-		return x0, nil
+		return
 	}
 	// S·dy = A·x0 − r2.
-	t := f.aeq.MulVec(x0)
-	for i := range t {
-		t[i] -= r2[i]
+	f.aeq.MulVecInto(dx, f.t)
+	for i := range f.t {
+		f.t[i] -= r2[i]
 	}
-	dy = f.chS.Solve(t)
+	f.chS.SolveInto(f.t, dy)
 	// dx = x0 − Y·dy.
-	dx = x0
-	yd := f.y.MulVec(dy)
+	f.y.MulVecInto(dy, f.yd)
 	for i := range dx {
-		dx[i] -= yd[i]
+		dx[i] -= f.yd[i]
 	}
-	return dx, dy
 }

@@ -73,6 +73,11 @@ type Options struct {
 	// (default 1e-9) — it keeps the factorization well-posed when H is
 	// only positive semidefinite.
 	Reg float64
+	// Work, when non-nil, is a reusable solver workspace: repeated Solve
+	// calls with same-shaped problems perform no allocation, and the
+	// slices in the returned Result alias the workspace (valid until the
+	// next Solve with that workspace). Nil keeps the allocating behaviour.
+	Work *Workspace
 }
 
 func (o *Options) fill() {
@@ -158,6 +163,11 @@ func (p *Problem) objective(x []float64) float64 {
 	return 0.5*mat.Dot(x, p.H.MulVec(x)) + mat.Dot(p.C, x)
 }
 
+// objectiveInto evaluates ½xᵀHx + cᵀx using hx as the H·x scratch buffer.
+func (p *Problem) objectiveInto(x, hx []float64) float64 {
+	return 0.5*mat.Dot(x, p.H.MulVecInto(x, hx)) + mat.Dot(p.C, x)
+}
+
 // Solve minimizes the QP. See the package comment for the method.
 func Solve(p *Problem, opt Options) (*Result, error) {
 	opt.fill()
@@ -165,20 +175,35 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ws := opt.Work
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.ensure(n, meq, min)
 
 	// No inequalities: the problem reduces to a single KKT solve.
 	if min == 0 {
-		return solveEquality(p, n, meq, opt)
+		return solveEquality(p, n, meq, opt, ws)
 	}
 
 	// Interior-point state.
-	x := make([]float64, n)
-	y := make([]float64, meq)
-	s := mat.Filled(min, 1.0) // slacks for Ain·x + s = bin
-	z := mat.Filled(min, 1.0) // inequality duals
+	x := ws.x
+	y := ws.y
+	s := ws.s // slacks for Ain·x + s = bin
+	z := ws.z // inequality duals
+	for i := range x {
+		x[i] = 0
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for i := range s {
+		s[i] = 1
+		z[i] = 1
+	}
 
 	// Warm-ish start: shift slacks so s = max(bin − Ain·x, 1).
-	ax := p.Ain.MulVec(x)
+	ax := p.Ain.MulVecInto(x, ws.ax)
 	for i := 0; i < min; i++ {
 		if v := p.Bin[i] - ax[i]; v > 1 {
 			s[i] = v
@@ -188,29 +213,30 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 	scale := 1 + mat.NormInf(p.C) + p.H.MaxAbs()
 	bScale := 1 + mat.NormInf(p.Beq) + mat.NormInf(p.Bin)
 
-	rd := make([]float64, n)
-	rp := make([]float64, meq)
-	rc := make([]float64, min)
-	rsz := make([]float64, min)
+	rd := ws.rd
+	rp := ws.rp
+	rc := ws.rc
+	rsz := ws.rsz
 
-	res := &Result{Status: MaxIterations}
+	res := &ws.res
+	*res = Result{Status: MaxIterations}
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		res.Iterations = iter + 1
 
 		// Residuals.
-		hx := p.H.MulVec(x)
+		hx := p.H.MulVecInto(x, ws.hx)
 		for i := 0; i < n; i++ {
 			rd[i] = hx[i] + p.C[i]
 		}
 		if meq > 0 {
-			mat.Axpy(1, p.Aeq.MulVecT(y), rd)
-			aeqx := p.Aeq.MulVec(x)
+			mat.Axpy(1, p.Aeq.MulVecTInto(y, ws.tmpN), rd)
+			aeqx := p.Aeq.MulVecInto(x, ws.aeqx)
 			for i := 0; i < meq; i++ {
 				rp[i] = aeqx[i] - p.Beq[i]
 			}
 		}
-		mat.Axpy(1, p.Ain.MulVecT(z), rd)
-		ainx := p.Ain.MulVec(x)
+		mat.Axpy(1, p.Ain.MulVecTInto(z, ws.tmpN), rd)
+		ainx := p.Ain.MulVecInto(x, ws.ax)
 		for i := 0; i < min; i++ {
 			rc[i] = ainx[i] + s[i] - p.Bin[i]
 		}
@@ -227,11 +253,9 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 		//   [ H + AinᵀD Ain + regI    Aeqᵀ      ] [dx]   [−r1]
 		//   [ Aeq                     −regI     ] [dy] = [−rp]
 		// with D = diag(z/s).
-		kBlock := mat.NewDense(n, n)
+		kBlock := ws.kBlock
+		kBlock.CopyFrom(p.H)
 		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				kBlock.Set(i, j, p.H.At(i, j))
-			}
 			kBlock.Add(i, i, opt.Reg)
 		}
 		for k := 0; k < min; k++ {
@@ -240,15 +264,15 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 				res.Status = NumericalFailure
 				break
 			}
-			for i := 0; i < n; i++ {
-				aki := p.Ain.At(k, i)
+			arow := p.Ain.RawRow(k)
+			for i, aki := range arow {
 				if aki == 0 {
 					continue
 				}
-				for j := 0; j < n; j++ {
-					akj := p.Ain.At(k, j)
+				krow := kBlock.RawRow(i)
+				for j, akj := range arow {
 					if akj != 0 {
-						kBlock.Add(i, j, d*aki*akj)
+						krow[j] += d * aki * akj
 					}
 				}
 			}
@@ -260,69 +284,66 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 		// Preferred path: structured Cholesky + Schur factorization.
 		// Fallback: dense LU of the full saddle-point system when the
 		// K-block is not numerically SPD (extreme barrier weights).
-		kf, kerr := newKKTFactor(kBlock, p.Aeq, opt.Reg)
-		var lu *mat.LU
-		if kerr != nil {
-			kkt := mat.NewDense(n+meq, n+meq)
+		useLU := false
+		if kerr := ws.kf.factorize(kBlock, p.Aeq, opt.Reg); kerr != nil {
+			useLU = true
+			ws.ensureKKT(n + meq)
+			kkt := ws.kkt.Zero()
 			for i := 0; i < n; i++ {
-				for j := 0; j < n; j++ {
-					kkt.Set(i, j, kBlock.At(i, j))
-				}
+				copy(kkt.RawRow(i)[:n], kBlock.RawRow(i))
 			}
 			for i := 0; i < meq; i++ {
-				for j := 0; j < n; j++ {
-					v := p.Aeq.At(i, j)
-					kkt.Set(n+i, j, v)
+				arow := p.Aeq.RawRow(i)
+				krow := kkt.RawRow(n + i)
+				for j, v := range arow {
+					krow[j] = v
 					kkt.Set(j, n+i, v)
 				}
-				kkt.Set(n+i, n+i, -opt.Reg)
+				krow[n+i] = -opt.Reg
 			}
-			var ferr error
-			lu, ferr = mat.Factorize(kkt)
-			if ferr != nil {
+			if ferr := mat.FactorizeInto(&ws.lu, kkt); ferr != nil {
 				res.Status = NumericalFailure
 				break
 			}
 		}
 
-		solveStep := func(rszLocal []float64) (dx, dy, ds, dz []float64) {
+		solveStep := func(rszLocal, dx, dy, ds, dz []float64) {
 			// r1 = rd + Ainᵀ S⁻¹ (Z·rc − rsz)
-			tmp := make([]float64, min)
+			tmp := ws.tmpMin
 			for k := 0; k < min; k++ {
 				tmp[k] = (z[k]*rc[k] - rszLocal[k]) / s[k]
 			}
-			r1 := mat.AddVec(rd, p.Ain.MulVecT(tmp))
-			if kf != nil {
-				rhs1 := mat.ScaleVec(-1, r1)
-				rhs2 := mat.ScaleVec(-1, rp)
-				dx, dy = kf.solve(rhs1, rhs2)
+			r1 := p.Ain.MulVecTInto(tmp, ws.r1)
+			mat.Axpy(1, rd, r1)
+			if !useLU {
+				rhs1 := mat.ScaleVecInto(ws.rhs1, -1, r1)
+				rhs2 := mat.ScaleVecInto(ws.rhs2, -1, rp)
+				ws.kf.solveInto(rhs1, rhs2, dx, dy)
 			} else {
-				rhs := make([]float64, n+meq)
+				rhs := ws.rhs
 				for i := 0; i < n; i++ {
 					rhs[i] = -r1[i]
 				}
 				for i := 0; i < meq; i++ {
 					rhs[n+i] = -rp[i]
 				}
-				sol := lu.Solve(rhs)
-				dx = sol[:n]
-				dy = sol[n:]
+				ws.lu.SolveInto(rhs, ws.sol)
+				copy(dx, ws.sol[:n])
+				copy(dy, ws.sol[n:])
 			}
-			aindx := p.Ain.MulVec(dx)
-			ds = make([]float64, min)
-			dz = make([]float64, min)
+			aindx := p.Ain.MulVecInto(dx, ws.aindx)
 			for k := 0; k < min; k++ {
 				ds[k] = -rc[k] - aindx[k]
 				dz[k] = -(rszLocal[k] + z[k]*ds[k]) / s[k]
 			}
-			return dx, dy, ds, dz
 		}
 
 		// Affine (predictor) step: rsz = s∘z.
 		for k := 0; k < min; k++ {
 			rsz[k] = s[k] * z[k]
 		}
-		dxA, _, dsA, dzA := solveStep(rsz)
+		dsA, dzA := ws.dsA, ws.dzA
+		solveStep(rsz, ws.dxA, ws.dyA, dsA, dzA)
 		alphaP := maxStep(s, dsA)
 		alphaD := maxStep(z, dzA)
 		var muAff float64
@@ -339,12 +360,12 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 		for k := 0; k < min; k++ {
 			rsz[k] = s[k]*z[k] + dsA[k]*dzA[k] - sigma*mu
 		}
-		dx, dy, ds, dz := solveStep(rsz)
+		dx, dy, ds, dz := ws.dx, ws.dy, ws.ds, ws.dz
+		solveStep(rsz, dx, dy, ds, dz)
 		if !mat.AllFinite(dx) || !mat.AllFinite(ds) || !mat.AllFinite(dz) {
 			res.Status = NumericalFailure
 			break
 		}
-		_ = dxA
 
 		alphaP = 0.995 * maxStep(s, ds)
 		alphaD = 0.995 * maxStep(z, dz)
@@ -362,7 +383,7 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 	res.X = x
 	res.EqDuals = y
 	res.InDuals = z
-	res.Objective = p.objective(x)
+	res.Objective = p.objectiveInto(x, ws.hx)
 	if res.Status == NumericalFailure {
 		return res, fmt.Errorf("qp: numerical failure after %d iterations", res.Iterations)
 	}
@@ -386,41 +407,45 @@ func maxStep(v, dv []float64) float64 {
 //
 //	[H    Aeqᵀ] [x]   [−c ]
 //	[Aeq  0   ] [y] = [beq]
-func solveEquality(p *Problem, n, meq int, opt Options) (*Result, error) {
+func solveEquality(p *Problem, n, meq int, opt Options, ws *Workspace) (*Result, error) {
 	dim := n + meq
-	kkt := mat.NewDense(dim, dim)
+	ws.ensureKKT(dim)
+	kkt := ws.kkt.Zero()
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			kkt.Set(i, j, p.H.At(i, j))
-		}
+		copy(kkt.RawRow(i)[:n], p.H.RawRow(i))
 		kkt.Add(i, i, opt.Reg)
 	}
 	for i := 0; i < meq; i++ {
-		for j := 0; j < n; j++ {
-			v := p.Aeq.At(i, j)
-			kkt.Set(n+i, j, v)
+		arow := p.Aeq.RawRow(i)
+		krow := kkt.RawRow(n + i)
+		for j, v := range arow {
+			krow[j] = v
 			kkt.Set(j, n+i, v)
 		}
-		kkt.Set(n+i, n+i, -opt.Reg)
+		krow[n+i] = -opt.Reg
 	}
-	rhs := make([]float64, dim)
+	rhs := ws.rhs
 	for i := 0; i < n; i++ {
 		rhs[i] = -p.C[i]
 	}
 	for i := 0; i < meq; i++ {
 		rhs[n+i] = p.Beq[i]
 	}
-	sol, err := mat.Solve(kkt, rhs)
-	if err != nil {
-		return &Result{Status: NumericalFailure}, fmt.Errorf("qp: singular KKT system: %w", err)
+	res := &ws.res
+	if err := mat.FactorizeInto(&ws.lu, kkt); err != nil {
+		*res = Result{Status: NumericalFailure}
+		return res, fmt.Errorf("qp: singular KKT system: %w", err)
 	}
-	res := &Result{
-		X:          sol[:n],
-		EqDuals:    sol[n:],
+	sol := ws.lu.SolveInto(rhs, ws.sol)
+	copy(ws.x, sol[:n])
+	copy(ws.y, sol[n:])
+	*res = Result{
+		X:          ws.x,
+		EqDuals:    ws.y,
 		InDuals:    nil,
 		Iterations: 1,
 		Status:     Optimal,
 	}
-	res.Objective = p.objective(res.X)
+	res.Objective = p.objectiveInto(res.X, ws.hx)
 	return res, nil
 }

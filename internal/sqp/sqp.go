@@ -127,6 +127,12 @@ type Options struct {
 	// MaxIterations), exceeding it reports Status BudgetExceeded and
 	// ErrBudgetExceeded. When both are set the tighter one applies.
 	HardIterCap int
+	// Work, when non-nil, is a reusable solver workspace: repeated Solve
+	// calls with same-shaped problems perform no per-iteration allocation,
+	// and the slices in the returned Result alias the workspace (valid
+	// until the next Solve with that workspace). Nil keeps the allocating
+	// behaviour.
+	Work *Workspace
 }
 
 func (o *Options) fill() {
@@ -172,16 +178,23 @@ type Result struct {
 type evaluator struct {
 	p   *Problem
 	opt *Options
+	ws  *Workspace
 }
 
-func (e *evaluator) gradient(x []float64) []float64 {
-	g := make([]float64, e.p.N)
+// gradientInto writes ∇f(x) into g (a workspace buffer). The buffer is
+// zeroed before a user Gradient callback runs, preserving the original
+// fresh-slice contract.
+func (e *evaluator) gradientInto(x, g []float64) []float64 {
 	if e.p.Gradient != nil {
+		for i := range g {
+			g[i] = 0
+		}
 		e.p.Gradient(x, g)
 		return g
 	}
 	// Central differences on the objective.
-	xt := mat.CloneVec(x)
+	xt := e.ws.xt
+	copy(xt, x)
 	for i := range x {
 		h := e.opt.FDStep * (1 + math.Abs(x[i]))
 		xt[i] = x[i] + h
@@ -194,29 +207,39 @@ func (e *evaluator) gradient(x []float64) []float64 {
 	return g
 }
 
-func (e *evaluator) eq(x []float64) []float64 {
+// eqInto evaluates ce(x) into out; it returns nil when there are no
+// equality constraints.
+func (e *evaluator) eqInto(x, out []float64) []float64 {
 	if e.p.MEq == 0 {
 		return nil
 	}
-	out := make([]float64, e.p.MEq)
+	for i := range out {
+		out[i] = 0
+	}
 	e.p.Eq(x, out)
 	return out
 }
 
-func (e *evaluator) ineq(x []float64) []float64 {
+// ineqInto evaluates ci(x) into out; it returns nil when there are no
+// inequality constraints.
+func (e *evaluator) ineqInto(x, out []float64) []float64 {
 	if e.p.MIneq == 0 {
 		return nil
 	}
-	out := make([]float64, e.p.MIneq)
+	for i := range out {
+		out[i] = 0
+	}
 	e.p.Ineq(x, out)
 	return out
 }
 
-func (e *evaluator) eqJac(x []float64) *mat.Dense {
+// eqJacInto writes the equality Jacobian into jac (a workspace matrix,
+// zeroed first so sparse callbacks keep their fresh-matrix contract).
+func (e *evaluator) eqJacInto(x []float64, jac *mat.Dense) *mat.Dense {
 	if e.p.MEq == 0 {
 		return nil
 	}
-	jac := mat.NewDense(e.p.MEq, e.p.N)
+	jac.Zero()
 	if e.p.EqJac != nil {
 		e.p.EqJac(x, jac)
 		return jac
@@ -225,11 +248,12 @@ func (e *evaluator) eqJac(x []float64) *mat.Dense {
 	return jac
 }
 
-func (e *evaluator) ineqJac(x []float64) *mat.Dense {
+// ineqJacInto writes the inequality Jacobian into jac.
+func (e *evaluator) ineqJacInto(x []float64, jac *mat.Dense) *mat.Dense {
 	if e.p.MIneq == 0 {
 		return nil
 	}
-	jac := mat.NewDense(e.p.MIneq, e.p.N)
+	jac.Zero()
 	if e.p.IneqJac != nil {
 		e.p.IneqJac(x, jac)
 		return jac
@@ -239,10 +263,11 @@ func (e *evaluator) ineqJac(x []float64) *mat.Dense {
 }
 
 func (e *evaluator) fdJac(x []float64, fn func([]float64, []float64), m int, jac *mat.Dense) {
-	base := make([]float64, m)
+	base := e.ws.fdBase[:m]
 	fn(x, base)
-	pert := make([]float64, m)
-	xt := mat.CloneVec(x)
+	pert := e.ws.fdPert[:m]
+	xt := e.ws.xt
+	copy(xt, x)
 	for j := 0; j < e.p.N; j++ {
 		h := e.opt.FDStep * (1 + math.Abs(x[j]))
 		xt[j] = x[j] + h
@@ -279,6 +304,21 @@ func merit(f float64, ce, ci []float64, nu float64) float64 {
 	return f + nu*pen
 }
 
+// kktResidual computes the ∞-norm of the Lagrangian gradient
+// ∇f + Jeᵀλ + Jiᵀμ using workspace scratch.
+func kktResidual(ws *Workspace, g []float64, je, ji *mat.Dense, lam, mu []float64) float64 {
+	copy(ws.lagGrad, g)
+	if je != nil {
+		je.MulVecTInto(lam, ws.tmpN)
+		mat.Axpy(1, ws.tmpN, ws.lagGrad)
+	}
+	if ji != nil {
+		ji.MulVecTInto(mu, ws.tmpN)
+		mat.Axpy(1, ws.tmpN, ws.lagGrad)
+	}
+	return mat.NormInf(ws.lagGrad)
+}
+
 // Solve runs the SQP iteration from x0.
 func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	opt.fill()
@@ -294,23 +334,48 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	if p.MIneq > 0 && p.Ineq == nil {
 		return nil, fmt.Errorf("%w: MIneq=%d but Ineq is nil", ErrBadProblem, p.MIneq)
 	}
-	ev := &evaluator{p: p, opt: &opt}
+	ws := opt.Work
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.ensure(p)
+	ev := &evaluator{p: p, opt: &opt, ws: ws}
 
-	x := mat.CloneVec(x0)
+	// Double-buffered iterate state: the locals holding the current point
+	// and its derivatives swap with their *New partners on every accepted
+	// step, so the two workspace buffers of each pair alternate roles and
+	// nothing is reallocated.
+	x, xNew := ws.x, ws.xNew
+	copy(x, x0)
 	f := p.Objective(x)
-	g := ev.gradient(x)
-	ce := ev.eq(x)
-	ci := ev.ineq(x)
-	je := ev.eqJac(x)
-	ji := ev.ineqJac(x)
+	g, gNew := ev.gradientInto(x, ws.g), ws.gNew
+	ce, ceNew := ev.eqInto(x, ws.ce), ws.ceNew
+	ci, ciNew := ev.ineqInto(x, ws.ci), ws.ciNew
+	je, jeNew := ev.eqJacInto(x, ws.je), ws.jeNew
+	ji, jiNew := ev.ineqJacInto(x, ws.ji), ws.jiNew
+	if p.MEq == 0 {
+		ceNew = nil
+	}
+	if p.MIneq == 0 {
+		ciNew = nil
+	}
 
 	// Damped-BFGS Hessian approximation, seeded with a scaled identity.
-	b := mat.Identity(p.N)
+	b := ws.b
+	b.Zero()
 	hScale := 1 + mat.NormInf(g)
-	b.Scale(hScale)
+	for i := 0; i < p.N; i++ {
+		b.Set(i, i, hScale)
+	}
 
-	lam := make([]float64, p.MEq)
-	mu := make([]float64, p.MIneq)
+	lam, lamNew := ws.lam, ws.lamNV
+	mu, muNew := ws.mu, ws.muNV
+	for i := range lam {
+		lam[i] = 0
+	}
+	for i := range mu {
+		mu[i] = 0
+	}
 	nu := opt.PenaltyInit
 
 	var deadline time.Time
@@ -319,7 +384,8 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	}
 	overTime := func() bool { return opt.MaxTime > 0 && time.Now().After(deadline) }
 
-	res := &Result{Status: MaxIterations}
+	res := &ws.res
+	*res = Result{Status: MaxIterations}
 	stagnant := 0
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		if opt.HardIterCap > 0 && iter >= opt.HardIterCap {
@@ -329,14 +395,7 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		res.Iterations = iter + 1
 
 		// Convergence check: KKT stationarity + feasibility + complementarity.
-		lagGrad := mat.CloneVec(g)
-		if je != nil {
-			mat.Axpy(1, je.MulVecT(lam), lagGrad)
-		}
-		if ji != nil {
-			mat.Axpy(1, ji.MulVecT(mu), lagGrad)
-		}
-		kkt := mat.NormInf(lagGrad)
+		kkt := kktResidual(ws, g, je, ji, lam, mu)
 		viol := violation(ce, ci)
 		var comp float64
 		for i, m := range mu {
@@ -358,14 +417,15 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		}
 
 		// QP subproblem: min ½dᵀBd + gᵀd  s.t.  Je·d = −ce, Ji·d ≤ −ci.
-		sub := &qp.Problem{H: b, C: g}
+		sub := &ws.sub
+		*sub = qp.Problem{H: b, C: g}
 		if je != nil {
 			sub.Aeq = je
-			sub.Beq = mat.ScaleVec(-1, ce)
+			sub.Beq = mat.ScaleVecInto(ws.beqNeg, -1, ce)
 		}
 		if ji != nil {
 			sub.Ain = ji
-			sub.Bin = mat.ScaleVec(-1, ci)
+			sub.Bin = mat.ScaleVecInto(ws.binNeg, -1, ci)
 		}
 		// Subproblem tolerance: two orders tighter than the NLP tolerance
 		// is enough for SQP convergence; floor at 1e-8 for high-accuracy
@@ -375,13 +435,20 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		if qpTol < 1e-8 {
 			qpTol = 1e-8
 		}
-		qr, err := qp.Solve(sub, qp.Options{Tol: qpTol})
+		qpOpts := qp.Options{Tol: qpTol, Work: ws.qpWork}
+		qr, err := qp.Solve(sub, qpOpts)
 		if qr != nil {
 			res.QPIterations += qr.Iterations
 		}
 		if err != nil || qr.Status == qp.NumericalFailure || !mat.AllFinite(qr.X) {
 			// Elastic fallback: relax constraints with penalized slacks.
-			qr, err = solveElastic(sub, opt.ElasticWeight)
+			// The subproblem options (tolerance, iteration budget) are
+			// threaded through: the fallback must respect the same
+			// real-time budget as the primary solve.
+			if ws.el == nil {
+				ws.el = &elasticArena{}
+			}
+			qr, err = solveElastic(sub, opt.ElasticWeight, qpOpts, ws.el)
 			if qr != nil {
 				res.QPIterations += qr.Iterations
 			}
@@ -390,14 +457,24 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 				break
 			}
 		}
-		d := qr.X
-		newLam := qr.EqDuals
-		newMu := qr.InDuals
+		// Copy the step and duals out of the QP workspace: qr's slices
+		// alias it and the elastic fallback (or the next iteration's
+		// solve) would overwrite them.
+		d := ws.d
+		copy(d, qr.X)
+		for i := range lamNew {
+			lamNew[i] = 0
+		}
+		copy(lamNew, qr.EqDuals)
+		for i := range muNew {
+			muNew[i] = 0
+		}
+		copy(muNew, qr.InDuals)
 
 		// Penalty update: ν must dominate the multipliers for the ℓ₁
 		// merit to be exact.
-		maxDual := mat.NormInf(newLam)
-		if m := mat.NormInf(newMu); m > maxDual {
+		maxDual := mat.NormInf(lamNew)
+		if m := mat.NormInf(muNew); m > maxDual {
 			maxDual = m
 		}
 		if nu < 1.1*maxDual {
@@ -420,16 +497,15 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		// Backtracking Armijo line search on the merit function.
 		phi0 := merit(f, ce, ci, nu)
 		alpha := 1.0
-		var xNew []float64
 		var fNew float64
-		var ceNew, ciNew []float64
 		accepted := false
 		timedOut := false
 		for ls := 0; ls < 30; ls++ {
-			xNew = mat.AddVec(x, mat.ScaleVec(alpha, d))
+			mat.ScaleVecInto(xNew, alpha, d)
+			mat.Axpy(1, x, xNew)
 			fNew = p.Objective(xNew)
-			ceNew = ev.eq(xNew)
-			ciNew = ev.ineq(xNew)
+			ceNew = ev.eqInto(xNew, ceNew)
+			ciNew = ev.ineqInto(xNew, ciNew)
 			phi := merit(fNew, ceNew, ciNew, nu)
 			if phi <= phi0+1e-4*alpha*dirDeriv || phi < phi0-1e-12*math.Abs(phi0) {
 				accepted = true
@@ -463,14 +539,19 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 				stagnant++
 				if stagnant >= 2 {
 					res.Status = Converged
-					x, f, ce, ci = xNew, fNew, ceNew, ciNew
-					lam, mu = newLam, newMu
-					if lam == nil {
-						lam = make([]float64, p.MEq)
-					}
-					if mu == nil {
-						mu = make([]float64, p.MIneq)
-					}
+					x, xNew = xNew, x
+					f = fNew
+					ce, ceNew = ceNew, ce
+					ci, ciNew = ciNew, ci
+					lam, lamNew = lamNew, lam
+					mu, muNew = muNew, mu
+					// Refresh the derivatives so the reported KKT
+					// residual describes the accepted iterate, not the
+					// one before the step.
+					g = ev.gradientInto(x, gNew)
+					je = ev.eqJacInto(x, jeNew)
+					ji = ev.ineqJacInto(x, jiNew)
+					res.KKTResidual = kktResidual(ws, g, je, ji, lam, mu)
 					break
 				}
 			} else {
@@ -479,45 +560,55 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		}
 
 		// BFGS update with Powell damping on the Lagrangian gradient.
-		gNew := ev.gradient(xNew)
-		jeNew := ev.eqJac(xNew)
-		jiNew := ev.ineqJac(xNew)
-		yVec := mat.SubVec(gNew, g)
+		ev.gradientInto(xNew, gNew)
+		jeNew = ev.eqJacInto(xNew, jeNew)
+		jiNew = ev.ineqJacInto(xNew, jiNew)
+		yVec := mat.SubVecInto(ws.yVec, gNew, g)
 		if jeNew != nil {
-			mat.Axpy(1, jeNew.MulVecT(newLam), yVec)
-			mat.Axpy(-1, je.MulVecT(newLam), yVec)
+			jeNew.MulVecTInto(lamNew, ws.tmpN)
+			mat.Axpy(1, ws.tmpN, yVec)
+			je.MulVecTInto(lamNew, ws.tmpN)
+			mat.Axpy(-1, ws.tmpN, yVec)
 		}
 		if jiNew != nil {
-			mat.Axpy(1, jiNew.MulVecT(newMu), yVec)
-			mat.Axpy(-1, ji.MulVecT(newMu), yVec)
+			jiNew.MulVecTInto(muNew, ws.tmpN)
+			mat.Axpy(1, ws.tmpN, yVec)
+			ji.MulVecTInto(muNew, ws.tmpN)
+			mat.Axpy(-1, ws.tmpN, yVec)
 		}
-		sVec := mat.SubVec(xNew, x)
-		updateBFGS(b, sVec, yVec)
+		sVec := mat.SubVecInto(ws.sVec, xNew, x)
+		updateBFGS(b, sVec, yVec, ws.bs, ws.bfgsR)
 
-		x, f, g, ce, ci, je, ji = xNew, fNew, gNew, ceNew, ciNew, jeNew, jiNew
-		lam, mu = newLam, newMu
-		if lam == nil {
-			lam = make([]float64, p.MEq)
-		}
-		if mu == nil {
-			mu = make([]float64, p.MIneq)
-		}
+		x, xNew = xNew, x
+		f = fNew
+		g, gNew = gNew, g
+		ce, ceNew = ceNew, ce
+		ci, ciNew = ciNew, ci
+		je, jeNew = jeNew, je
+		ji, jiNew = jiNew, ji
+		lam, lamNew = lamNew, lam
+		mu, muNew = muNew, mu
 
 		// Tiny accepted steps near feasibility mean we are done to the
-		// achievable precision.
-		if stepNorm < 1e-12*(1+mat.Norm2(x)) && viol < opt.Tol {
+		// achievable precision. The feasibility test uses the accepted
+		// iterate's constraint values (post-swap ce/ci), not the stale
+		// pre-step violation, and the reported KKT residual is recomputed
+		// at the accepted iterate.
+		if stepNorm < 1e-12*(1+mat.Norm2(x)) && violation(ce, ci) < opt.Tol {
 			res.Status = Converged
+			res.KKTResidual = kktResidual(ws, g, je, ji, lam, mu)
 			break
 		}
 	}
 
+	// Every exit path maintains the invariant that f, ce and ci were
+	// evaluated at x, so the cached values are the final ones — no
+	// re-evaluation of the objective or constraints is needed here.
 	res.X = x
-	res.F = p.Objective(x)
+	res.F = f
 	res.EqDuals = lam
 	res.InDuals = mu
-	ceF := ev.eq(x)
-	ciF := ev.ineq(x)
-	res.MaxViolation = violation(ceF, ciF)
+	res.MaxViolation = violation(ce, ci)
 	if res.Status == Failed {
 		return res, fmt.Errorf("sqp: subproblem failure at iteration %d", res.Iterations)
 	}
@@ -528,9 +619,11 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 }
 
 // updateBFGS applies the damped BFGS update (Powell 1978) to b in place,
-// keeping it positive definite.
-func updateBFGS(b *mat.Dense, s, y []float64) {
-	bs := b.MulVec(s)
+// keeping it positive definite. bs and r are caller scratch (length n);
+// the rank-two update runs on raw row slices so the n² inner loop carries
+// no per-element bounds-check or method-call overhead.
+func updateBFGS(b *mat.Dense, s, y, bs, r []float64) {
+	b.MulVecInto(s, bs)
 	sBs := mat.Dot(s, bs)
 	if sBs <= 0 {
 		return
@@ -541,7 +634,6 @@ func updateBFGS(b *mat.Dense, s, y []float64) {
 		theta = 0.8 * sBs / (sBs - sy)
 	}
 	// r = θ·y + (1−θ)·B·s guarantees sᵀr ≥ 0.2·sᵀBs > 0.
-	r := make([]float64, len(s))
 	for i := range r {
 		r[i] = theta*y[i] + (1-theta)*bs[i]
 	}
@@ -551,8 +643,10 @@ func updateBFGS(b *mat.Dense, s, y []float64) {
 	}
 	n, _ := b.Dims()
 	for i := 0; i < n; i++ {
+		row := b.RawRow(i)
+		ri, bi := r[i], bs[i]
 		for j := 0; j < n; j++ {
-			b.Add(i, j, r[i]*r[j]/sr-bs[i]*bs[j]/sBs)
+			row[j] += ri*r[j]/sr - bi*bs[j]/sBs
 		}
 	}
 }
@@ -561,8 +655,12 @@ func updateBFGS(b *mat.Dense, s, y []float64) {
 // Je·d + sp − sm = beq with sp, sm ≥ 0, inequalities get a slack t ≥ 0,
 // all slacks penalized linearly by weight w. The elastic problem is always
 // feasible, so the SQP step degrades gracefully into a feasibility-
-// restoration direction.
-func solveElastic(sub *qp.Problem, w float64) (*qp.Result, error) {
+// restoration direction. The caller's subproblem options (tolerance and
+// iteration budget) apply to the fallback solve too — only the workspace
+// is swapped for the arena's, since the elastic problem has different
+// dimensions than the main subproblem. The returned Result aliases the
+// arena and is valid until the next call with it.
+func solveElastic(sub *qp.Problem, w float64, qopt qp.Options, ar *elasticArena) (*qp.Result, error) {
 	n, _ := sub.H.Dims()
 	meq, min := 0, 0
 	if sub.Aeq != nil {
@@ -572,19 +670,20 @@ func solveElastic(sub *qp.Problem, w float64) (*qp.Result, error) {
 		min, _ = sub.Ain.Dims()
 	}
 	nTot := n + 2*meq + min
+	// Inequalities: Ain·d − t ≤ bin, plus nonnegativity of all slacks.
+	rows := min + 2*meq + min
+	ar.ensure(nTot, meq, rows)
 
-	h := mat.NewDense(nTot, nTot)
+	h := ar.h
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			h.Set(i, j, sub.H.At(i, j))
-		}
+		copy(h.RawRow(i)[:n], sub.H.RawRow(i))
 	}
 	// Small quadratic regularization keeps the elastic Hessian PD in the
 	// slack directions.
 	for i := n; i < nTot; i++ {
 		h.Set(i, i, 1e-8*w)
 	}
-	c := make([]float64, nTot)
+	c := ar.c
 	copy(c, sub.C)
 	for i := n; i < nTot; i++ {
 		c[i] = w
@@ -593,26 +692,20 @@ func solveElastic(sub *qp.Problem, w float64) (*qp.Result, error) {
 	var aeq *mat.Dense
 	var beq []float64
 	if meq > 0 {
-		aeq = mat.NewDense(meq, nTot)
+		aeq = ar.aeq
 		for i := 0; i < meq; i++ {
-			for j := 0; j < n; j++ {
-				aeq.Set(i, j, sub.Aeq.At(i, j))
-			}
+			copy(aeq.RawRow(i)[:n], sub.Aeq.RawRow(i))
 			aeq.Set(i, n+2*i, 1)
 			aeq.Set(i, n+2*i+1, -1)
 		}
 		beq = sub.Beq
 	}
 
-	// Inequalities: Ain·d − t ≤ bin, plus nonnegativity of all slacks.
-	rows := min + 2*meq + min
-	ain := mat.NewDense(maxInt(rows, 1), nTot)
-	bin := make([]float64, maxInt(rows, 1))
+	ain := ar.ain
+	bin := ar.bin
 	r := 0
 	for i := 0; i < min; i++ {
-		for j := 0; j < n; j++ {
-			ain.Set(r, j, sub.Ain.At(i, j))
-		}
+		copy(ain.RawRow(r)[:n], sub.Ain.RawRow(i))
 		ain.Set(r, n+2*meq+i, -1)
 		bin[r] = sub.Bin[i]
 		r++
@@ -633,12 +726,14 @@ func solveElastic(sub *qp.Problem, w float64) (*qp.Result, error) {
 		ep.Ain = ain
 		ep.Bin = bin
 	}
-	er, err := qp.Solve(ep, qp.Options{})
+	qopt.Work = ar.qpWork
+	er, err := qp.Solve(ep, qopt)
 	if err != nil {
 		return nil, err
 	}
 	// Project the result back to the original variable space.
-	out := &qp.Result{
+	out := &ar.out
+	*out = qp.Result{
 		X:          er.X[:n],
 		EqDuals:    er.EqDuals,
 		Iterations: er.Iterations,
@@ -648,11 +743,4 @@ func solveElastic(sub *qp.Problem, w float64) (*qp.Result, error) {
 		out.InDuals = er.InDuals[:min]
 	}
 	return out, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,231 @@
+package sqp
+
+import (
+	"math"
+	"testing"
+
+	"evclimate/internal/mat"
+	"evclimate/internal/qp"
+)
+
+// hs71Problem is the bilinear HS71-style NLP used across the suite.
+func hs71Problem() *Problem {
+	return &Problem{
+		N: 4,
+		Objective: func(x []float64) float64 {
+			return x[0]*x[3]*(x[0]+x[1]+x[2]) + x[2]
+		},
+		MEq: 1,
+		Eq: func(x, out []float64) {
+			out[0] = x[0]*x[0] + x[1]*x[1] + x[2]*x[2] + x[3]*x[3] - 40
+		},
+		MIneq: 9,
+		Ineq: func(x, out []float64) {
+			out[0] = 25 - x[0]*x[1]*x[2]*x[3]
+			for i := 0; i < 4; i++ {
+				out[1+i] = 1 - x[i]
+				out[5+i] = x[i] - 5
+			}
+		},
+	}
+}
+
+func bitsSame(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// A reused workspace must reproduce the allocating path bit for bit:
+// same iterates, same iteration counts, same duals — across repeated
+// solves through the same workspace.
+func TestWorkspaceReuseBitIdentical(t *testing.T) {
+	p := hs71Problem()
+	x0 := []float64{1, 5, 5, 1}
+	ref, err := Solve(p, x0, Options{MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	for round := 0; round < 3; round++ {
+		got, err := Solve(p, x0, Options{MaxIter: 200, Work: ws})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got.Status != ref.Status || got.Iterations != ref.Iterations || got.QPIterations != ref.QPIterations {
+			t.Fatalf("round %d: (status, iters, qpIters) = (%v, %d, %d), want (%v, %d, %d)",
+				round, got.Status, got.Iterations, got.QPIterations, ref.Status, ref.Iterations, ref.QPIterations)
+		}
+		if !bitsSame(got.X, ref.X) {
+			t.Fatalf("round %d: X differs bitwise: %v vs %v", round, got.X, ref.X)
+		}
+		if !bitsSame(got.EqDuals, ref.EqDuals) || !bitsSame(got.InDuals, ref.InDuals) {
+			t.Fatalf("round %d: duals differ bitwise", round)
+		}
+		if math.Float64bits(got.F) != math.Float64bits(ref.F) ||
+			math.Float64bits(got.KKTResidual) != math.Float64bits(ref.KKTResidual) ||
+			math.Float64bits(got.MaxViolation) != math.Float64bits(ref.MaxViolation) {
+			t.Fatalf("round %d: scalar diagnostics differ bitwise", round)
+		}
+	}
+}
+
+// The workspace must re-size transparently when problem dimensions
+// change between Solve calls.
+func TestWorkspaceResizesAcrossShapes(t *testing.T) {
+	ws := NewWorkspace()
+	small := &Problem{
+		N:         2,
+		Objective: func(x []float64) float64 { return (x[0] - 1) * (x[0] - 1) * (x[1] + 2) * (x[1] + 2) },
+	}
+	if _, err := Solve(small, []float64{0, 0}, Options{Work: ws}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(hs71Problem(), []float64{1, 5, 5, 1}, Options{MaxIter: 200, Work: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.F-17.014) > 0.05 {
+		t.Fatalf("after resize f = %v, want ≈ 17.014", res.F)
+	}
+}
+
+// Result slices alias the workspace: the next Solve with the same
+// workspace overwrites them. This pins the documented contract.
+func TestWorkspaceResultAliasing(t *testing.T) {
+	ws := NewWorkspace()
+	p := hs71Problem()
+	res1, err := Solve(p, []float64{1, 5, 5, 1}, Options{MaxIter: 200, Work: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := mat.CloneVec(res1.X)
+	if _, err := Solve(p, []float64{2, 4, 4, 2}, Options{MaxIter: 200, Work: ws}); err != nil {
+		t.Fatal(err)
+	}
+	// res1.X may have been overwritten (different start → different
+	// trajectory); the retained copy must still hold the first solution.
+	if math.Abs(x1[1]-4.743) > 0.05 {
+		t.Fatalf("retained copy corrupted: %v", x1)
+	}
+	_ = res1
+}
+
+// Regression for the elastic-fallback options bug: solveElastic used to
+// call qp.Solve with zero Options, discarding the caller's tolerance and
+// iteration budget — a real-time MPC step could burn an unbounded number
+// of interior-point iterations inside the fallback. The budget must be
+// honored.
+func TestSolveElasticHonorsIterationBudget(t *testing.T) {
+	// An infeasible subproblem of MPC-like shape: contradictory bounds
+	// d₀ ≤ −1, −d₀ ≤ −1 force the elastic relaxation to do real work.
+	n := 6
+	h := mat.Identity(n)
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 1
+	}
+	ain := mat.NewDense(2, n)
+	ain.Set(0, 0, 1)
+	ain.Set(1, 0, -1)
+	sub := &qp.Problem{H: h, C: c, Ain: ain, Bin: []float64{-1, -1}}
+
+	ar := &elasticArena{}
+	free, err := solveElastic(sub, 100, qp.Options{}, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Iterations <= 1 {
+		t.Fatalf("elastic problem solved in %d iterations; budget test needs a harder problem", free.Iterations)
+	}
+	capped, err := solveElastic(sub, 100, qp.Options{MaxIter: 1}, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Iterations > 1 {
+		t.Fatalf("elastic fallback ignored MaxIter budget: %d iterations, want ≤ 1", capped.Iterations)
+	}
+}
+
+// The elastic arena is reused across calls: repeated fallbacks with the
+// same shape must produce bit-identical steps.
+func TestSolveElasticArenaReuseBitIdentical(t *testing.T) {
+	n := 4
+	h := mat.Identity(n)
+	c := []float64{1, 1, 1, 1}
+	ain := mat.NewDense(2, n)
+	ain.Set(0, 0, 1)
+	ain.Set(1, 0, -1)
+	sub := &qp.Problem{H: h, C: c, Ain: ain, Bin: []float64{-1, -1}}
+
+	ref, err := solveElastic(sub, 100, qp.Options{}, &elasticArena{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.CloneVec(ref.X)
+	ar := &elasticArena{}
+	for round := 0; round < 3; round++ {
+		got, err := solveElastic(sub, 100, qp.Options{}, ar)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !bitsSame(got.X, want) {
+			t.Fatalf("round %d: reused arena changed the elastic step", round)
+		}
+	}
+}
+
+// Warm SQP solves with analytic derivatives and a reused workspace are
+// allocation-free (the evaluator, line search, BFGS update, and QP
+// subproblems all run on the arena).
+func TestWarmSolveNoAllocs(t *testing.T) {
+	p := &Problem{
+		N:         3,
+		Objective: func(x []float64) float64 { return x[0]*x[0] + 2*x[1]*x[1] + 3*x[2]*x[2] + x[0]*x[1] },
+		Gradient: func(x, g []float64) {
+			g[0] = 2*x[0] + x[1]
+			g[1] = 4*x[1] + x[0]
+			g[2] = 6 * x[2]
+		},
+		MEq: 1,
+		Eq:  func(x, out []float64) { out[0] = x[0] + x[1] + x[2] - 1 },
+		EqJac: func(x []float64, jac *mat.Dense) {
+			jac.Set(0, 0, 1)
+			jac.Set(0, 1, 1)
+			jac.Set(0, 2, 1)
+		},
+		MIneq: 3,
+		Ineq: func(x, out []float64) {
+			out[0] = -x[0]
+			out[1] = -x[1]
+			out[2] = -x[2]
+		},
+		IneqJac: func(x []float64, jac *mat.Dense) {
+			jac.Set(0, 0, -1)
+			jac.Set(1, 1, -1)
+			jac.Set(2, 2, -1)
+		},
+	}
+	x0 := []float64{0.3, 0.3, 0.4}
+	ws := NewWorkspace()
+	opt := Options{Work: ws}
+	if _, err := Solve(p, x0, opt); err != nil { // size the workspace
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Solve(p, x0, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The only remaining allocation is the evaluator header; everything
+	// in the iteration loop runs on the workspace.
+	if allocs > 2 {
+		t.Fatalf("warm sqp.Solve allocates %v objects/op, want ≤ 2", allocs)
+	}
+}
