@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json clean test-faults fuzz-qp check
+.PHONY: all build test race vet bench bench-json clean test-faults test-resume fuzz-qp check
 
 all: build vet test
 
@@ -48,12 +48,25 @@ test-faults:
 	$(GO) test -race -short -run 'Fault|Telemetry|GoldenManifest' ./internal/runner/...
 	$(GO) test -race -run 'TestSupervised' ./internal/sim/...
 
+# Crash-safety suite under the race detector: journal WAL round-trip,
+# torn-tail tolerance, the SIGKILL kill-and-resume byte-identity proof,
+# watchdog/retry/escalation, mid-job checkpoint resume, the sim-level
+# checkpoint bit-exactness property, and the evbench exit-code contract —
+# plus a short fuzz smoke of the journal parser (the file a crashed
+# process leaves behind is untrusted input).
+test-resume:
+	$(GO) test -race -run 'Journal|Watchdog|Retry|Backoff|Checkpoint|Escalation|Kill' ./internal/runner/...
+	$(GO) test -run 'Checkpoint|Restore' ./internal/sim/...
+	$(GO) test ./cmd/evbench/...
+	$(GO) test -fuzz=FuzzParseJournal -fuzztime=10s ./internal/runner/
+
 # Coverage-guided fuzzing of the QP interior-point solver (open-ended;
 # interrupt when satisfied).
 fuzz-qp:
 	$(GO) test -fuzz=FuzzSolve -fuzztime=2m ./internal/qp/
 
-# Pre-merge gate: full build + vet + tests, fault suite under -race, and
-# a short fuzz smoke of the QP solver.
-check: all test-faults
+# Pre-merge gate: full build + vet + tests, fault and crash-safety
+# suites under -race, and short fuzz smokes of the QP solver and the
+# journal parser.
+check: all test-faults test-resume
 	$(GO) test -fuzz=FuzzSolve -fuzztime=10s ./internal/qp/

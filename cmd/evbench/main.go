@@ -11,17 +11,31 @@
 //	evbench -exp faults     # fault-injection sweep (opt-in, like ablate)
 //	evbench -exp faults -fault-scenarios stuck,noisy   # a subset
 //
+// Crash-safe sweeps: -journal DIR records every finished job in an
+// fsync'd write-ahead log; after a crash or Ctrl-C, the same command
+// plus -resume replays the finished jobs and continues the rest
+// (bit-identical to an uninterrupted run). -job-timeout bounds each
+// job's wall-clock; -retries re-runs crashed or timed-out jobs with
+// backoff; -checkpoint-every N checkpoints in-flight jobs every N sim
+// steps so resumption continues mid-cycle.
+//
 // All scenario grids execute on the internal/runner worker pool; results
 // are deterministic for any worker count. One result cache is shared
 // across the whole invocation, so experiments that evaluate the same
-// scenario (e.g. Fig. 5 and Fig. 6) simulate it once.
+// scenario (e.g. Fig. 5 and Fig. 6) simulate it once. With -journal the
+// cache also persists to disk beside the journal.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"evclimate/internal/experiments"
@@ -31,25 +45,65 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|fig6|fig7|fig8|table1")
-	ambient := flag.Float64("ambient", 35, "hot-day ambient temperature (°C) for figs 5-8")
-	solar := flag.Float64("solar", 400, "solar thermal load (W)")
-	quick := flag.Bool("quick", false, "truncate profiles to 200 s for a fast smoke run")
-	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
-	scenarios := flag.String("fault-scenarios", "",
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entrypoint: it parses args, executes the selected
+// experiments, and returns the process exit code — 0 only when every
+// selected experiment (and every job inside it) succeeded, 2 for usage
+// errors, 3 for an interrupted (resumable) run, 1 otherwise.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: all|fig1|fig5|fig6|fig7|fig8|table1")
+	ambient := fs.Float64("ambient", 35, "hot-day ambient temperature (°C) for figs 5-8")
+	solar := fs.Float64("solar", 400, "solar thermal load (W)")
+	quick := fs.Bool("quick", false, "truncate profiles to 200 s for a fast smoke run")
+	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	scenarios := fs.String("fault-scenarios", "",
 		"comma-separated fault scenarios for -exp faults (default: all of "+
 			strings.Join(faults.BuiltinNames(), ",")+")")
-	traceOut := flag.String("trace", "", "write a deterministic JSONL step trace to this file")
-	traceSteps := flag.Int("trace-steps", 0, "per-job step-trace ring capacity (0 = default 4096)")
-	metricsOut := flag.String("metrics", "", "write a deterministic Prometheus text metrics dump to this file (wall-clock series excluded; -pprof's /metrics serves them live)")
-	manifestOut := flag.String("manifest", "", "write the deterministic run manifest to this file")
-	pprofAddr := flag.String("pprof", "", "serve pprof, expvar, and /metrics on this address (e.g. localhost:6060)")
-	flag.Parse()
+	traceOut := fs.String("trace", "", "write a deterministic JSONL step trace to this file")
+	traceSteps := fs.Int("trace-steps", 0, "per-job step-trace ring capacity (0 = default 4096)")
+	metricsOut := fs.String("metrics", "", "write a deterministic Prometheus text metrics dump to this file (wall-clock series excluded; -pprof's /metrics serves them live)")
+	manifestOut := fs.String("manifest", "", "write the deterministic run manifest to this file")
+	pprofAddr := fs.String("pprof", "", "serve pprof, expvar, and /metrics on this address (e.g. localhost:6060)")
+	journalDir := fs.String("journal", "", "directory for the crash-safe job journal (one JSONL log per sweep)")
+	resume := fs.Bool("resume", false, "resume existing journals in -journal, replaying finished jobs")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job watchdog deadline (0 = none)")
+	retries := fs.Int("retries", 0, "retry attempts for crashed or timed-out jobs (total attempts = retries+1)")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "checkpoint in-flight jobs every N sim steps (needs -journal)")
+	fsyncEvery := fs.Int("fsync-every", 1, "fsync the journal every N records")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *checkpointEvery > 0 && *journalDir == "" {
+		fmt.Fprintln(stderr, "evbench: -checkpoint-every needs -journal")
+		return 2
+	}
+	if *resume && *journalDir == "" {
+		fmt.Fprintln(stderr, "evbench: -resume needs -journal")
+		return 2
+	}
 
 	cache := runner.NewCache()
-	opts := experiments.Options{AmbientC: *ambient, SolarW: *solar, Workers: *workers, Cache: cache}
+	opts := experiments.Options{AmbientC: *ambient, SolarW: *solar, Workers: *workers, Cache: cache, Ctx: ctx}
 	if *quick {
 		opts.MaxProfileS = 200
+	}
+	opts.JobTimeout = *jobTimeout
+	if *retries > 0 {
+		opts.Retry = runner.RetryPolicy{MaxAttempts: *retries + 1}
+	}
+	if *journalDir != "" {
+		opts.Journal = &runner.JournalConfig{
+			Dir:             *journalDir,
+			Resume:          *resume,
+			FsyncEvery:      *fsyncEvery,
+			CheckpointEvery: *checkpointEvery,
+		}
 	}
 
 	// Observability wiring: one registry and trace log shared by every
@@ -59,6 +113,7 @@ func main() {
 	if *metricsOut != "" || *manifestOut != "" || *pprofAddr != "" || *traceOut != "" {
 		opts.Telemetry = telemetry.NewRegistry()
 		opts.Cache = nil
+		cache = nil
 	}
 	if *traceOut != "" {
 		opts.TraceLog = &telemetry.TraceLog{}
@@ -70,23 +125,44 @@ func main() {
 	if *pprofAddr != "" {
 		dbg, err := telemetry.StartDebugServer(*pprofAddr, opts.Telemetry)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "evbench: pprof listener: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "evbench: pprof listener: %v\n", err)
+			return 1
 		}
 		defer dbg.Close()
-		fmt.Printf("[debug server on http://%s — /debug/pprof, /debug/vars, /metrics]\n\n", dbg.Addr)
+		fmt.Fprintf(stdout, "[debug server on http://%s — /debug/pprof, /debug/vars, /metrics]\n\n", dbg.Addr)
 	}
 
+	// The disk cache persists beside the journal, keyed by scenario
+	// fingerprint — any spec or code change fingerprints differently, so
+	// stale entries can never hit.
+	cachePath := ""
+	if cache != nil && *journalDir != "" {
+		cachePath = filepath.Join(*journalDir, "cache.json")
+		if *resume {
+			if err := cache.LoadFile(cachePath); err != nil {
+				fmt.Fprintf(stderr, "evbench: cache load: %v (starting cold)\n", err)
+			}
+		}
+	}
+
+	// Experiment failures are aggregated, not fatal: every selected
+	// experiment gets to run (and journal its progress) before the
+	// process reports the combined outcome.
+	var failures []string
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		if ctx.Err() != nil {
+			return // draining: don't start new experiments
+		}
 		start := time.Now()
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "evbench: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "evbench: %s: %v\n", name, err)
+			failures = append(failures, name)
+			return
 		}
-		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Truncate(time.Millisecond))
+		fmt.Fprintf(stdout, "[%s completed in %s]\n\n", name, time.Since(start).Truncate(time.Millisecond))
 	}
 
 	run("fig1", func() error {
@@ -94,7 +170,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig1(rows))
+		fmt.Fprint(stdout, experiments.RenderFig1(rows))
 		return nil
 	})
 
@@ -103,7 +179,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig5(traces))
+		fmt.Fprint(stdout, experiments.RenderFig5(traces))
 		return nil
 	})
 
@@ -112,31 +188,36 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig6(pts))
+		fmt.Fprint(stdout, experiments.RenderFig6(pts))
 		return nil
 	})
 
-	if *exp == "all" || *exp == "fig7" || *exp == "fig8" {
+	if (*exp == "all" || *exp == "fig7" || *exp == "fig8") && ctx.Err() == nil {
 		start := time.Now()
 		cycles, err := experiments.RunCycles(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "evbench: cycles: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "evbench: cycles: %v\n", err)
+			failures = append(failures, "fig7/fig8")
+		} else {
+			if *exp != "fig8" {
+				fmt.Fprint(stdout, experiments.RenderFig7(experiments.Fig7(cycles)))
+				fmt.Fprintln(stdout)
+			}
+			if *exp != "fig7" {
+				fmt.Fprint(stdout, experiments.RenderFig8(experiments.Fig8(cycles)))
+			}
+			// Driving-range view of the same runs (the paper's second
+			// objective, reported via [12]'s estimation approach).
+			rows, err := experiments.RangeComparison(cycles, 21.3)
+			if err != nil {
+				fmt.Fprintf(stderr, "evbench: range: %v\n", err)
+				failures = append(failures, "range")
+			} else {
+				fmt.Fprintln(stdout)
+				fmt.Fprint(stdout, experiments.RenderRange(rows))
+			}
+			fmt.Fprintf(stdout, "[fig7/fig8 completed in %s]\n\n", time.Since(start).Truncate(time.Millisecond))
 		}
-		if *exp != "fig8" {
-			fmt.Print(experiments.RenderFig7(experiments.Fig7(cycles)))
-			fmt.Println()
-		}
-		if *exp != "fig7" {
-			fmt.Print(experiments.RenderFig8(experiments.Fig8(cycles)))
-		}
-		// Driving-range view of the same runs (the paper's second
-		// objective, reported via [12]'s estimation approach).
-		if rows, err := experiments.RangeComparison(cycles, 21.3); err == nil {
-			fmt.Println()
-			fmt.Print(experiments.RenderRange(rows))
-		}
-		fmt.Printf("[fig7/fig8 completed in %s]\n\n", time.Since(start).Truncate(time.Millisecond))
 	}
 
 	run("table1", func() error {
@@ -144,7 +225,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderTable1(rows))
+		fmt.Fprint(stdout, experiments.RenderTable1(rows))
 		return nil
 	})
 
@@ -170,8 +251,8 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderAblation(a.title, rows))
-			fmt.Println()
+			fmt.Fprint(stdout, experiments.RenderAblation(a.title, rows))
+			fmt.Fprintln(stdout)
 		}
 		return nil
 	})
@@ -185,49 +266,92 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFaultSweep(rows))
+		fmt.Fprint(stdout, experiments.RenderFaultSweep(rows))
 		return nil
 	})
 
 	runExplicit("fleet", func() error {
-		summary, err := experiments.RunFleet(experiments.FleetConfig{Trips: 10, Workers: *workers})
+		summary, err := experiments.RunFleet(experiments.FleetConfig{
+			Trips: 10, Workers: *workers, Ctx: ctx,
+			Journal: opts.Journal, JobTimeout: opts.JobTimeout, Retry: opts.Retry,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFleet(summary))
+		fmt.Fprint(stdout, experiments.RenderFleet(summary))
 		return nil
 	})
 
 	if !strings.Contains("all fig1 fig5 fig6 fig7 fig8 table1 ablate fleet faults", *exp) {
-		fmt.Fprintf(os.Stderr, "evbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "evbench: unknown experiment %q\n", *exp)
+		return 2
 	}
 
-	if hits, misses, entries := cache.Stats(); hits > 0 {
-		fmt.Printf("[sweep cache: %d hits, %d misses, %d scenarios — %s of simulation re-use]\n",
-			hits, misses, entries, cache.Saved().Truncate(time.Millisecond))
+	if cache != nil {
+		if hits, misses, entries := cache.Stats(); hits > 0 {
+			fmt.Fprintf(stdout, "[sweep cache: %d hits, %d misses, %d scenarios — %s of simulation re-use]\n",
+				hits, misses, entries, cache.Saved().Truncate(time.Millisecond))
+		}
+	}
+	if cachePath != "" {
+		if err := cache.SaveFile(cachePath); err != nil {
+			fmt.Fprintf(stderr, "evbench: cache save: %v\n", err)
+		}
 	}
 
+	// The observability artifacts are written even on failure or drain —
+	// a partial manifest with resume lineage is exactly what a post-
+	// mortem needs.
+	code := 0
 	if *traceOut != "" {
-		fatalIf("trace", writeFileWith(*traceOut, func(f *os.File) error {
+		if err := writeFileWith(*traceOut, func(f *os.File) error {
 			return opts.TraceLog.WriteJSONL(f, false)
-		}))
-		fmt.Printf("[step trace: %d spans written to %s]\n", opts.TraceLog.Len(), *traceOut)
+		}); err != nil {
+			fmt.Fprintf(stderr, "evbench: trace: %v\n", err)
+			code = 1
+		} else {
+			fmt.Fprintf(stdout, "[step trace: %d spans written to %s]\n", opts.TraceLog.Len(), *traceOut)
+		}
 	}
 	if *metricsOut != "" {
 		// The file dump is the deterministic subset — byte-identical at
 		// any worker count. Wall-clock series stay on the live /metrics
 		// endpoint and in JobResult.Elapsed.
-		fatalIf("metrics", writeFileWith(*metricsOut, func(f *os.File) error {
+		if err := writeFileWith(*metricsOut, func(f *os.File) error {
 			return opts.Telemetry.Snapshot(telemetry.DeterministicFilter).WritePrometheus(f)
-		}))
-		fmt.Printf("[metrics written to %s]\n", *metricsOut)
+		}); err != nil {
+			fmt.Fprintf(stderr, "evbench: metrics: %v\n", err)
+			code = 1
+		} else {
+			fmt.Fprintf(stdout, "[metrics written to %s]\n", *metricsOut)
+		}
 	}
 	if *manifestOut != "" {
 		opts.Manifest.Finalize(telemetry.GitDescribe(""), opts.Telemetry.Snapshot(telemetry.DeterministicFilter))
-		fatalIf("manifest", opts.Manifest.WriteFile(*manifestOut))
-		fmt.Printf("[run manifest written to %s]\n", *manifestOut)
+		if err := opts.Manifest.WriteFile(*manifestOut); err != nil {
+			fmt.Fprintf(stderr, "evbench: manifest: %v\n", err)
+			code = 1
+		} else {
+			fmt.Fprintf(stdout, "[run manifest written to %s]\n", *manifestOut)
+		}
 	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(stderr, "evbench: interrupted; journal and checkpoints flushed")
+		if *journalDir != "" && *resume {
+			fmt.Fprintln(stderr, "evbench: re-run the same command to continue")
+		} else if *journalDir != "" {
+			fmt.Fprintf(stderr, "evbench: resume with: evbench %s -resume\n", strings.Join(args, " "))
+		} else {
+			fmt.Fprintln(stderr, "evbench: re-run with -journal DIR to make sweeps resumable")
+		}
+		return 3
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(stderr, "evbench: %d experiment(s) failed: %s\n", len(failures), strings.Join(failures, ", "))
+		return 1
+	}
+	return code
 }
 
 // writeFileWith creates path and hands it to fn, closing on all paths.
@@ -241,11 +365,4 @@ func writeFileWith(path string, fn func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatalIf(what string, err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "evbench: %s: %v\n", what, err)
-		os.Exit(1)
-	}
 }

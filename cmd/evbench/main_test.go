@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the testable entrypoint and returns (exit code, stdout,
+// stderr).
+func runCLI(ctx context.Context, args ...string) (int, string, string) {
+	var out, errOut bytes.Buffer
+	code := run(ctx, args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "nope"},
+		{"-no-such-flag"},
+		{"-resume"},                 // needs -journal
+		{"-checkpoint-every", "50"}, // needs -journal
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(context.Background(), args...); code != 2 {
+			t.Errorf("evbench %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestFig1ExitsZero(t *testing.T) {
+	code, out, errOut := runCLI(context.Background(), "-exp", "fig1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "fig1 completed") {
+		t.Errorf("stdout missing completion note: %s", out)
+	}
+}
+
+// TestFailedJobsExitNonZero is the regression pin for the old behavior
+// of exiting 0 despite failed sweep jobs: an impossible per-job deadline
+// fails every job, and the process must say so in its exit code and
+// failure summary.
+func TestFailedJobsExitNonZero(t *testing.T) {
+	code, _, errOut := runCLI(context.Background(),
+		"-exp", "fig5", "-quick", "-job-timeout", "1ns")
+	if code != 1 {
+		t.Fatalf("exit %d with all jobs timing out, want 1; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "experiment(s) failed") {
+		t.Errorf("stderr missing failure summary: %s", errOut)
+	}
+}
+
+func TestInterruptedExitsThreeWithResumeHint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the signal arrived before any experiment started
+	code, _, errOut := runCLI(ctx, "-exp", "fig1")
+	if code != 3 {
+		t.Fatalf("exit %d when interrupted, want 3; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "-journal") {
+		t.Errorf("stderr missing the resume hint: %s", errOut)
+	}
+
+	dir := t.TempDir()
+	code, _, errOut = runCLI(ctx, "-exp", "fig1", "-journal", dir)
+	if code != 3 || !strings.Contains(errOut, "-resume") {
+		t.Errorf("journaled interrupt: exit %d, stderr %q — want 3 with a -resume hint", code, errOut)
+	}
+}
+
+// TestJournalResumeRoundTrip drives the full CLI surface: a journaled
+// run, the exists-without-resume refusal, and a -resume re-run that
+// replays from the journal (and the persisted disk cache) successfully.
+func TestJournalResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "fig5", "-quick", "-workers", "2", "-journal", dir}
+	code, _, errOut := runCLI(context.Background(), args...)
+	if code != 0 {
+		t.Fatalf("journaled run: exit %d, stderr: %s", code, errOut)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "*.journal")); len(m) == 0 {
+		t.Fatal("no journal written")
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "cache.json")); len(m) == 0 {
+		t.Fatal("no disk cache written")
+	}
+
+	// Same command without -resume must refuse to clobber the journal.
+	code, _, errOut = runCLI(context.Background(), args...)
+	if code != 1 || !strings.Contains(errOut, "already exists") {
+		t.Fatalf("re-run without -resume: exit %d, stderr %q — want 1 with 'already exists'", code, errOut)
+	}
+
+	code, _, errOut = runCLI(context.Background(), append(args, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr: %s", code, errOut)
+	}
+}

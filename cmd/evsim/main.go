@@ -9,12 +9,16 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"evclimate/internal/battery"
 	"evclimate/internal/cabin"
@@ -40,7 +44,14 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a deterministic Prometheus text metrics dump to this file (wall-clock series excluded; -pprof's /metrics serves them live)")
 	manifestOut := flag.String("manifest", "", "write the deterministic run manifest to this file")
 	pprofAddr := flag.String("pprof", "", "serve pprof, expvar, and /metrics on this address (e.g. localhost:6060)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file: written every -checkpoint-every steps (and on SIGINT/SIGTERM), resumed with -resume")
+	ckptEvery := flag.Int("checkpoint-every", 300, "checkpoint cadence in control steps (needs -checkpoint)")
+	resume := flag.Bool("resume", false, "resume the run from -checkpoint (bit-identical to an uninterrupted run)")
 	flag.Parse()
+
+	if *resume && *ckptPath == "" {
+		fatalIf(fmt.Errorf("-resume needs -checkpoint"))
+	}
 
 	cyc, err := drivecycle.ByName(*cycleName)
 	fatalIf(err)
@@ -104,8 +115,41 @@ func main() {
 
 	eng, err := sim.New(cfg)
 	fatalIf(err)
-	res, err := eng.Run(ctrl)
+
+	// Durability wiring: a SIGINT/SIGTERM drains the run at the next
+	// control step, flushing a final checkpoint (when -checkpoint is
+	// set) so the exact step can be resumed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ro := sim.RunOptions{Context: ctx}
+	if *ckptPath != "" {
+		ro.CheckpointEvery = *ckptEvery
+		ro.OnCheckpoint = func(ck *sim.Checkpoint) error {
+			return writeCheckpoint(*ckptPath, ck)
+		}
+		if *resume {
+			ck, err := readCheckpoint(*ckptPath)
+			fatalIf(err)
+			ro.Resume = ck
+			fmt.Printf("resuming from %s (step %d, %s)\n", *ckptPath, ck.Step, ck.Controller)
+		}
+	}
+	res, err := eng.RunWith(ctrl, ro)
+	if err != nil && ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "evsim: interrupted: %v\n", err)
+		if *ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "evsim: checkpoint flushed; resume with -checkpoint %s -resume\n", *ckptPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "evsim: re-run with -checkpoint FILE to make runs resumable")
+		}
+		os.Exit(3)
+	}
 	fatalIf(err)
+	if *ckptPath != "" {
+		// A finished run needs no checkpoint; leaving one behind would
+		// invite resuming a completed trajectory.
+		os.Remove(*ckptPath)
+	}
 
 	st := profile.Stats()
 	fmt.Printf("cycle        %s  (%.0f s, %.2f km, max %.0f km/h)\n", *cycleName, st.Duration, st.DistanceKm, st.MaxSpeedKmh)
@@ -156,6 +200,45 @@ func main() {
 		fatalIf(man.WriteFile(*manifestOut))
 		fmt.Printf("manifest     written to %s\n", *manifestOut)
 	}
+}
+
+// writeCheckpoint persists a checkpoint atomically (temp file + fsync +
+// rename) so an interrupt during the write never corrupts the previous
+// checkpoint.
+func writeCheckpoint(path string, ck *sim.Checkpoint) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readCheckpoint(path string) (*sim.Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ck sim.Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return &ck, nil
 }
 
 // writeFileWith creates path and hands it to fn, closing on all paths.

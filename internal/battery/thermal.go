@@ -87,6 +87,28 @@ func (s *ThermalState) Step(currentA, dt float64) float64 {
 	return s.TempC
 }
 
+// ThermalSnapshot is the serializable mutable state of a ThermalState:
+// everything Step touches. Parameters are not part of it — a snapshot is
+// restored into a state built from the same ThermalParams.
+type ThermalSnapshot struct {
+	TempC            float64 `json:"temp_c"`
+	TempTimeIntegral float64 `json:"temp_time_integral"`
+	ElapsedS         float64 `json:"elapsed_s"`
+}
+
+// Snapshot captures the thermal state for checkpointing.
+func (s *ThermalState) Snapshot() ThermalSnapshot {
+	return ThermalSnapshot{TempC: s.TempC, TempTimeIntegral: s.tempTimeIntegral, ElapsedS: s.elapsedS}
+}
+
+// Restore replaces the thermal state with a snapshot taken from a state
+// with the same parameters; Step then continues bit-for-bit.
+func (s *ThermalState) Restore(sn ThermalSnapshot) {
+	s.TempC = sn.TempC
+	s.tempTimeIntegral = sn.TempTimeIntegral
+	s.elapsedS = sn.ElapsedS
+}
+
 // MeanC returns the time-averaged pack temperature so far (the initial
 // temperature if no steps have been taken).
 func (s *ThermalState) MeanC() float64 {

@@ -163,6 +163,51 @@ func (b *BMS) DeltaSoH() (float64, error) {
 	return b.cfg.SoH.DeltaSoHFromTrace(b.trace)
 }
 
+// State is the BMS's serializable mutable state: everything Step and the
+// metrics evaluators touch. The Config is deliberately not part of it —
+// a State is restored into a BMS built from the same Config, and the
+// restored BMS then steps bit-for-bit like the original.
+type State struct {
+	// SoC is the pack state of charge, percent.
+	SoC float64 `json:"soc"`
+	// Trace is the SoC trajectory recorded so far.
+	Trace []float64 `json:"trace"`
+	// Events are the protection counters.
+	Events Events `json:"events"`
+	// DischargeJ and RegenJ are the gross throughput accumulators.
+	DischargeJ float64 `json:"discharge_j"`
+	RegenJ     float64 `json:"regen_j"`
+}
+
+// State captures the BMS state for checkpointing. The trace is copied;
+// the snapshot does not alias the BMS.
+func (b *BMS) State() State {
+	return State{
+		SoC:        b.pack.SoC(),
+		Trace:      b.Trace(),
+		Events:     b.events,
+		DischargeJ: b.dischargeJ,
+		RegenJ:     b.regenJ,
+	}
+}
+
+// SetState replaces the BMS state with a snapshot taken from a BMS with
+// the same Config. The trace is copied in.
+func (b *BMS) SetState(st State) error {
+	if len(st.Trace) == 0 {
+		return errors.New("bms: state has empty SoC trace")
+	}
+	pack, err := battery.NewPack(b.cfg.Pack, st.SoC)
+	if err != nil {
+		return err
+	}
+	b.pack = pack
+	b.trace = append(b.trace[:0:0], st.Trace...)
+	b.events = st.Events
+	b.dischargeJ, b.regenJ = st.DischargeJ, st.RegenJ
+	return nil
+}
+
 // Reset restores the initial SoC and clears the trace, counters, and
 // throughput, ready for another drive cycle.
 func (b *BMS) Reset() error {

@@ -6,6 +6,8 @@
 package control
 
 import (
+	"encoding/json"
+
 	"evclimate/internal/cabin"
 	"evclimate/internal/telemetry"
 )
@@ -111,6 +113,25 @@ type LadderReporter interface {
 // detaches the controller's instruments.
 type TelemetryBinder interface {
 	BindTelemetry(tel telemetry.Sink)
+}
+
+// Snapshotter is implemented by controllers whose mutable state can be
+// captured and restored for mid-run checkpointing. StateSnapshot returns
+// a self-contained JSON blob of everything Decide mutates — integrators,
+// hysteresis latches, warm starts, diagnostics counters — and
+// RestoreState replaces that state with a blob taken from an identically
+// configured controller, so a restored run continues bit-for-bit from
+// where the snapshot was taken. encoding/json round-trips finite
+// float64 values exactly, so a blob that passed through a journal on
+// disk restores the same bits.
+type Snapshotter interface {
+	// StateSnapshot serializes the controller's mutable state.
+	StateSnapshot() (json.RawMessage, error)
+	// RestoreState replaces the controller's mutable state with a blob
+	// produced by StateSnapshot. The controller's configuration
+	// (gains, models, ladder shape) must match the snapshotting
+	// controller's; RestoreState validates only what it can see.
+	RestoreState(json.RawMessage) error
 }
 
 // HealthReporter is implemented by controllers that can report whether

@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"context"
+	"time"
 
 	"evclimate/internal/core"
 	"evclimate/internal/runner"
@@ -54,6 +55,17 @@ type Options struct {
 	// Manifest, when non-nil, records every sweep's seeds and scenario
 	// fingerprints for the deterministic run manifest.
 	Manifest *telemetry.Manifest
+	// Ctx, when non-nil, is threaded into every sweep: cancellation
+	// drains the worker pool between jobs (cmd/evbench wires its
+	// SIGINT/SIGTERM handler here).
+	Ctx context.Context
+	// Journal, when non-nil, enables the crash-safe job journal on
+	// every sweep the harnesses run (see runner.JournalConfig).
+	Journal *runner.JournalConfig
+	// JobTimeout is the per-job watchdog deadline (0 = none).
+	JobTimeout time.Duration
+	// Retry bounds re-execution of crashed or timed-out jobs.
+	Retry runner.RetryPolicy
 }
 
 // runnerOptions assembles the sweep-engine options for one labeled
@@ -67,7 +79,18 @@ func (o *Options) runnerOptions(label string) runner.Options {
 		TraceSteps:    o.TraceSteps,
 		Manifest:      o.Manifest,
 		ManifestLabel: label,
+		Journal:       o.Journal,
+		JobTimeout:    o.JobTimeout,
+		Retry:         o.Retry,
 	}
+}
+
+// ctx returns the options' context (Background when unset).
+func (o *Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o *Options) fill() {
@@ -136,11 +159,11 @@ func (o *Options) sweep(controllers []runner.ControllerSpec, cycles []runner.Cyc
 			label = cycles[0].Name
 		}
 	}
-	sw, err := runner.Run(context.Background(), spec, o.runnerOptions(label))
+	sw, err := runner.Run(o.ctx(), spec, o.runnerOptions(label))
 	if err != nil {
 		return nil, err
 	}
-	if err := sw.FirstErr(); err != nil {
+	if err := sw.JobErrors(); err != nil {
 		return nil, err
 	}
 	return sw, nil

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"evclimate/internal/core"
 	"evclimate/internal/drivecycle"
@@ -41,6 +42,14 @@ type FleetConfig struct {
 	MPC *core.Config
 	// Workers sets the sweep parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, cancels the sweep between jobs.
+	Ctx context.Context
+	// Journal enables the crash-safe job journal for the sweep.
+	Journal *runner.JournalConfig
+	// JobTimeout is the per-job watchdog deadline (0 = none).
+	JobTimeout time.Duration
+	// Retry bounds re-execution of crashed or timed-out jobs.
+	Retry runner.RetryPolicy
 }
 
 // FleetTrip is one sampled commute's outcome.
@@ -153,11 +162,21 @@ func RunFleet(cfg FleetConfig) (*FleetSummary, error) {
 		MaxProfileS: cfg.MaxProfileS,
 		BaseSeed:    cfg.Seed,
 	}
-	sw, err := runner.Run(context.Background(), spec, runner.Options{Workers: cfg.Workers})
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sw, err := runner.Run(ctx, spec, runner.Options{
+		Workers:       cfg.Workers,
+		Journal:       cfg.Journal,
+		JobTimeout:    cfg.JobTimeout,
+		Retry:         cfg.Retry,
+		ManifestLabel: "fleet",
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := sw.FirstErr(); err != nil {
+	if err := sw.JobErrors(); err != nil {
 		return nil, err
 	}
 

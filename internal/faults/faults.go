@@ -239,6 +239,29 @@ func (inj *Injector) Reset() {
 	inj.have = [3]bool{}
 }
 
+// InjectorState is the injector's serializable mutable state — the
+// dropout hold-last buffer, the only state an injector carries (the spec
+// and seed live in the run configuration). Restoring it into an injector
+// built from the same (spec, seed) pair resumes the fault sequence
+// bit-for-bit mid-run.
+type InjectorState struct {
+	// Held is the last good reading per Signal; Have marks which entries
+	// are populated.
+	Held [3]float64 `json:"held"`
+	Have [3]bool    `json:"have"`
+}
+
+// State captures the injector state for checkpointing.
+func (inj *Injector) State() InjectorState {
+	return InjectorState{Held: inj.held, Have: inj.have}
+}
+
+// SetState replaces the injector state with a snapshot.
+func (inj *Injector) SetState(st InjectorState) {
+	inj.held = st.Held
+	inj.have = st.Have
+}
+
 // splitmix64 is the SplitMix64 finalizer, the same mixer the sweep
 // engine uses for per-job seeds.
 func splitmix64(z uint64) uint64 {

@@ -2,10 +2,15 @@ package runner
 
 import (
 	"encoding/binary"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"io/fs"
 	"math"
+	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -68,6 +73,78 @@ func (c *Cache) Saved() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.saved
+}
+
+// cacheFileVersion is the on-disk cache schema; LoadFile discards
+// files written by a different schema.
+const cacheFileVersion = 1
+
+// cacheFile is the serialized form of a Cache: results keyed by their
+// scenario fingerprint in hex. Invalidation is inherent in the key —
+// any spec, seed, or profile change produces a new fingerprint, so
+// stale entries are simply never hit.
+type cacheFile struct {
+	Version int                       `json:"version"`
+	Entries map[string]cacheFileEntry `json:"entries"`
+}
+
+type cacheFileEntry struct {
+	Result    *sim.Result `json:"result"`
+	ElapsedNs int64       `json:"elapsed_ns"`
+}
+
+// SaveFile persists the cache beside a sweep's journal, atomically
+// (temp file + rename). Entries survive process restarts; a later
+// LoadFile restores them.
+func (c *Cache) SaveFile(path string) error {
+	c.mu.Lock()
+	cf := cacheFile{Version: cacheFileVersion, Entries: make(map[string]cacheFileEntry, len(c.m))}
+	for k, e := range c.m {
+		cf.Entries[fmt.Sprintf("%016x", k)] = cacheFileEntry{Result: e.res, ElapsedNs: int64(e.elapsed)}
+	}
+	c.mu.Unlock()
+	data, err := json.Marshal(&cf)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile merges a saved cache into this one. A missing file is not
+// an error (a first run has nothing to load); an unreadable or
+// version-mismatched file is discarded wholesale — a cache can always
+// be rebuilt, so suspicion means invalidation, never failure.
+func (c *Cache) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil
+	}
+	if cf.Version != cacheFileVersion {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range cf.Entries {
+		key, err := strconv.ParseUint(k, 16, 64)
+		if err != nil || e.Result == nil {
+			continue
+		}
+		if _, ok := c.m[key]; !ok {
+			c.m[key] = cacheEntry{res: e.Result, elapsed: time.Duration(e.ElapsedNs)}
+		}
+	}
+	return nil
 }
 
 // Fingerprint hashes everything that determines the job's outcome: the

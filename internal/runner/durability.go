@@ -1,0 +1,366 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"time"
+
+	"evclimate/internal/sim"
+	"evclimate/internal/telemetry"
+)
+
+// This file is the pool's durability path: per-job execution with
+// journal replay, watchdog deadlines, bounded retry with ladder
+// escalation, and mid-job state checkpoints. The zero-option path in
+// pool.go routes through the same runOne, paying only nil checks.
+
+// poolEnv carries one RunJobs call's shared execution state into the
+// workers.
+type poolEnv struct {
+	opts   Options
+	jobs   []Job
+	jnl    *Journal
+	traces []*telemetry.StepTrace
+
+	// shared holds the outcome instruments on the sweep registry. In
+	// journal mode it stays zero: outcomes land on each job's private
+	// registry instead, so a journal record carries the job's complete
+	// metric contribution and replay reconstructs it exactly.
+	shared jobCounters
+
+	// Durability bookkeeping, always on the shared registry under the
+	// "resume_" prefix that DeterministicFilter excludes — how often a
+	// sweep was interrupted or retried must not perturb its manifest.
+	telReplayed, telRecords, telCkpts *telemetry.Counter
+	telRetried, telTimeouts           *telemetry.Counter
+}
+
+// jobCounters are the per-outcome instruments of the pool.
+type jobCounters struct {
+	ok, fail, cached *telemetry.Counter
+	seconds          *telemetry.Histogram
+}
+
+// resolveJobCounters registers the pool's outcome instruments on a
+// registry (all four, so journal-mode private registries always merge
+// a complete set).
+func resolveJobCounters(reg *telemetry.Registry) jobCounters {
+	if reg == nil {
+		return jobCounters{}
+	}
+	return jobCounters{
+		ok:      reg.Counter("runner_jobs_total", telemetry.L("result", "ok")),
+		fail:    reg.Counter("runner_jobs_total", telemetry.L("result", "error")),
+		cached:  reg.Counter("runner_jobs_total", telemetry.L("result", "cached")),
+		seconds: reg.Histogram("runner_job_seconds", telemetry.LatencyBuckets),
+	}
+}
+
+// resolveCounters registers the pool's instruments once, up front.
+// Durability counters register only when their feature is enabled, so
+// sweeps that never journal or retry keep their metric snapshots
+// unchanged.
+func (pe *poolEnv) resolveCounters() {
+	reg := pe.opts.Telemetry
+	if reg == nil {
+		return
+	}
+	if pe.opts.Journal == nil {
+		pe.shared = resolveJobCounters(reg)
+	} else {
+		pe.telReplayed = reg.Counter("resume_journal_replayed_total")
+		pe.telRecords = reg.Counter("resume_journal_records_total")
+		if pe.opts.Journal.CheckpointEvery > 0 {
+			pe.telCkpts = reg.Counter("resume_checkpoints_total")
+		}
+	}
+	if pe.opts.Retry.MaxAttempts > 1 {
+		pe.telRetried = reg.Counter("resume_retries_total")
+	}
+	if pe.opts.JobTimeout > 0 {
+		pe.telTimeouts = reg.Counter("resume_watchdog_timeouts_total")
+	}
+}
+
+// replay reconstructs a finished job from its journal record: the
+// result, the step-trace ring, and the metric contribution, exactly as
+// the live execution produced them.
+func (pe *poolEnv) replay(job *Job, i int, rec *JournalRecord) (JobResult, error) {
+	fp := telemetry.FormatFingerprint(job.Fingerprint())
+	if rec.Fingerprint != fp {
+		return JobResult{}, fmt.Errorf("%w: record for job %d has fingerprint %s, this expansion has %s",
+			ErrJournalMismatch, job.Index, rec.Fingerprint, fp)
+	}
+	if rec.Result == nil {
+		return JobResult{}, fmt.Errorf("runner: journal record for job %d has no result", job.Index)
+	}
+	jr := JobResult{
+		Job:         *job,
+		Result:      rec.Result,
+		Elapsed:     time.Duration(rec.ElapsedNs),
+		Cached:      rec.Cached,
+		Attempts:    rec.Attempts,
+		EscalatedTo: rec.EscalatedTo,
+		Replayed:    true,
+	}
+	if pe.traces != nil {
+		ring := telemetry.NewStepTrace(pe.opts.TraceSteps)
+		for k := range rec.Spans {
+			ring.Record(rec.Spans[k])
+		}
+		pe.traces[i] = ring
+	}
+	if pe.opts.Telemetry != nil {
+		if err := pe.opts.Telemetry.Merge(rec.Metrics); err != nil {
+			return JobResult{}, fmt.Errorf("runner: replay job %d: %w", job.Index, err)
+		}
+	}
+	pe.telReplayed.Inc()
+	return jr, nil
+}
+
+// runOne executes one job under the configured durability policy:
+// watchdog deadline, bounded retry with escalation, journal append,
+// and checkpoint-file lifecycle.
+func (pe *poolEnv) runOne(ctx context.Context, i int) JobResult {
+	job := &pe.jobs[i]
+	opts := &pe.opts
+	maxAttempts := opts.Retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var ckPath string
+	if pe.jnl != nil && opts.Journal.CheckpointEvery > 0 {
+		ckPath = pe.jnl.checkpointPath(job)
+	}
+
+	var jr JobResult
+	var rec *telemetry.StepTrace
+	var priv *telemetry.Registry
+	var attemptErrs []error
+	spec := &job.Controller
+	for attempt := 1; ; attempt++ {
+		jr, rec, priv = pe.executeAttempt(ctx, job, spec, ckPath)
+		jr.Attempts = attempt
+		if spec != &job.Controller {
+			jr.EscalatedTo = spec.Label
+		}
+		if jr.Err == nil || attempt >= maxAttempts || ctx.Err() != nil || !Retryable(jr.Err) {
+			break
+		}
+		attemptErrs = append(attemptErrs, jr.Err)
+		pe.telRetried.Inc()
+		if errors.Is(jr.Err, context.DeadlineExceeded) {
+			pe.telTimeouts.Inc()
+		}
+		if next := fallbackSpec(&job.Controller, attempt); next != nil {
+			spec = next
+		}
+		if !sleepBackoff(ctx, opts.Retry, job.Seed, attempt) {
+			break
+		}
+	}
+	jr.AttemptErrs = attemptErrs
+	if pe.traces != nil {
+		pe.traces[i] = rec
+	}
+
+	// Outcome accounting lands on the job's registry: the shared one
+	// normally, the job-private one in journal mode.
+	jc := pe.shared
+	if priv != nil {
+		jc = resolveJobCounters(priv)
+	}
+	switch {
+	case jr.Err != nil:
+		jc.fail.Inc()
+	case jr.Cached:
+		jc.cached.Inc()
+	default:
+		jc.ok.Inc()
+	}
+	jc.seconds.Observe(jr.Elapsed.Seconds())
+
+	var metrics telemetry.Snapshot
+	if priv != nil {
+		metrics = priv.Snapshot(nil)
+	}
+	// Journal the outcome — except a shutdown-in-progress abort, which
+	// resumes from its checkpoint instead of replaying a partial result.
+	if pe.jnl != nil && ctx.Err() == nil {
+		jrec := &JournalRecord{
+			Kind:        "job",
+			Index:       job.Index,
+			Fingerprint: telemetry.FormatFingerprint(job.Fingerprint()),
+			Seed:        job.Seed,
+			Attempts:    jr.Attempts,
+			Cached:      jr.Cached,
+			ElapsedNs:   jr.Elapsed.Nanoseconds(),
+			EscalatedTo: jr.EscalatedTo,
+			Result:      jr.Result,
+			Metrics:     metrics,
+		}
+		if rec != nil {
+			jrec.Spans = rec.Spans()
+		}
+		if jr.Err != nil {
+			jrec.Err = jr.Err.Error()
+			jrec.Result = nil
+		}
+		if err := pe.jnl.Append(jrec); err != nil && jr.Err == nil {
+			jr.Err = fmt.Errorf("runner: journal append: %w", err)
+		}
+		pe.telRecords.Inc()
+	}
+	if priv != nil && opts.Telemetry != nil {
+		if err := opts.Telemetry.Merge(metrics); err != nil && jr.Err == nil {
+			jr.Err = fmt.Errorf("runner: telemetry merge: %w", err)
+		}
+	}
+	// A finished job needs no mid-run checkpoint anymore.
+	if ckPath != "" && jr.Err == nil {
+		os.Remove(ckPath)
+	}
+	return jr
+}
+
+// executeAttempt runs a single attempt of a job: fresh telemetry
+// sinks (so a retried attempt never double-counts the failed one),
+// optional mid-run checkpoint resume, the watchdog deadline, and
+// periodic checkpoint flushes.
+func (pe *poolEnv) executeAttempt(ctx context.Context, job *Job, spec *ControllerSpec, ckPath string) (JobResult, *telemetry.StepTrace, *telemetry.Registry) {
+	opts := &pe.opts
+
+	var resume *jobCheckpoint
+	if ckPath != "" {
+		// A checkpoint from a different controller (an earlier attempt
+		// before escalation) cannot resume this one; start from scratch.
+		if jc, err := readJobCheckpoint(ckPath, job); err == nil && jc != nil && jc.Checkpoint.Controller == spec.Label {
+			resume = jc
+		}
+	}
+
+	var rec *telemetry.StepTrace
+	var priv *telemetry.Registry
+	var sink telemetry.Sink
+	if opts.Telemetry != nil || pe.traces != nil {
+		if pe.traces != nil {
+			rec = telemetry.NewStepTrace(opts.TraceSteps)
+		}
+		reg := opts.Telemetry
+		if pe.jnl != nil && reg != nil {
+			priv = telemetry.NewRegistry()
+			reg = priv
+		}
+		// Replay the checkpoint's telemetry into this attempt's fresh
+		// sinks, so a mid-run resume emits the same spans and metrics an
+		// uninterrupted execution would.
+		if resume != nil && priv != nil {
+			if err := priv.Merge(resume.Metrics); err != nil {
+				priv = telemetry.NewRegistry()
+				reg = priv
+				resume = nil
+			}
+		}
+		if resume != nil && rec != nil {
+			for k := range resume.Spans {
+				rec.Record(resume.Spans[k])
+			}
+		}
+		sink = telemetry.NewSink(reg, rec, jobLabels(job)...)
+	}
+
+	jctx := ctx
+	if opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, opts.JobTimeout)
+		defer cancel()
+	}
+	ro := sim.RunOptions{Context: jctx}
+	if resume != nil {
+		ro.Resume = resume.Checkpoint
+	}
+	if ckPath != "" {
+		ro.CheckpointEvery = opts.Journal.CheckpointEvery
+		ro.OnCheckpoint = func(ck *sim.Checkpoint) error {
+			pe.telCkpts.Inc()
+			var spans []telemetry.StepSpan
+			if rec != nil {
+				spans = rec.Spans()
+			}
+			var ms telemetry.Snapshot
+			if priv != nil {
+				ms = priv.Snapshot(nil)
+			}
+			return writeJobCheckpoint(ckPath, job, ck, spans, ms)
+		}
+	}
+	return execute(job, spec, opts.Cache, sink, ro), rec, priv
+}
+
+// jobCheckpoint is the on-disk form of one job's mid-run state: the
+// simulation checkpoint plus the telemetry the job emitted up to it.
+type jobCheckpoint struct {
+	Fingerprint string               `json:"fingerprint"`
+	Checkpoint  *sim.Checkpoint      `json:"checkpoint"`
+	Spans       []telemetry.StepSpan `json:"spans,omitempty"`
+	Metrics     telemetry.Snapshot   `json:"metrics,omitempty"`
+}
+
+// writeJobCheckpoint persists a job checkpoint atomically (write to a
+// temp file, fsync, rename) so a crash never leaves a half-written
+// checkpoint under the real name.
+func writeJobCheckpoint(path string, job *Job, ck *sim.Checkpoint, spans []telemetry.StepSpan, metrics telemetry.Snapshot) error {
+	data, err := json.Marshal(jobCheckpoint{
+		Fingerprint: telemetry.FormatFingerprint(job.Fingerprint()),
+		Checkpoint:  ck,
+		Spans:       spans,
+		Metrics:     metrics,
+	})
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readJobCheckpoint loads a job's mid-run checkpoint. A missing,
+// unparseable, or mismatched file yields nil: checkpoints accelerate
+// resumption, they are never required for correctness, so anything
+// suspect means "start from scratch".
+func readJobCheckpoint(path string, job *Job) (*jobCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var jc jobCheckpoint
+	if err := json.Unmarshal(data, &jc); err != nil {
+		return nil, nil
+	}
+	if jc.Checkpoint == nil || jc.Fingerprint != telemetry.FormatFingerprint(job.Fingerprint()) {
+		return nil, nil
+	}
+	return &jc, nil
+}

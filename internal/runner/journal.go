@@ -1,0 +1,370 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"evclimate/internal/sim"
+	"evclimate/internal/telemetry"
+)
+
+// JournalVersion is the journal schema version; resuming refuses
+// journals written by a different schema.
+const JournalVersion = 1
+
+// ErrJournalMismatch reports a journal whose header does not describe
+// the sweep being resumed — a different spec, seed, or code version.
+// Resuming such a journal would stitch results from two different
+// experiments, so the pool refuses.
+var ErrJournalMismatch = errors.New("runner: journal does not match this sweep")
+
+// JournalConfig enables the crash-safe job journal on a sweep: an
+// append-only JSONL write-ahead log recording each job's fingerprint,
+// seed, and result as it completes, so an interrupted sweep can resume
+// and skip finished work.
+type JournalConfig struct {
+	// Dir is the directory holding the journal (and any mid-job
+	// checkpoint files); created if missing.
+	Dir string
+	// Resume allows continuing an existing journal. Without it, a
+	// pre-existing journal for the same sweep is an error — silently
+	// overwriting finished work is never the right default.
+	Resume bool
+	// FsyncEvery is the fsync cadence in records (≤ 0 = every record).
+	// Larger values trade the tail of the journal on a hard crash for
+	// less write amplification.
+	FsyncEvery int
+	// CheckpointEvery, when positive, checkpoints each in-flight job's
+	// simulation state every CheckpointEvery control steps so a resumed
+	// sweep continues interrupted jobs mid-cycle instead of restarting
+	// them.
+	CheckpointEvery int
+	// Git overrides the code-version stamp in the journal header
+	// (default telemetry.GitDescribe("")). Resume refuses a journal
+	// whose stamp differs — results from two code versions must not be
+	// stitched together.
+	Git string
+}
+
+// JournalHeader is the journal's first record: the identity of the
+// sweep it belongs to. Resume validates every field.
+type JournalHeader struct {
+	Kind    string `json:"kind"` // "header"
+	Version int    `json:"version"`
+	// Label is the sweep's manifest label.
+	Label string `json:"label,omitempty"`
+	// SweepFingerprint hashes every job fingerprint in expansion order
+	// (see SweepFingerprint), rendered as fixed-width hex.
+	SweepFingerprint string `json:"sweep_fingerprint"`
+	// Git is the code version that wrote the journal.
+	Git string `json:"git"`
+	// GoVersion is the writing toolchain.
+	GoVersion string `json:"go_version"`
+	// Jobs is the expansion's job count.
+	Jobs int `json:"jobs"`
+}
+
+// JournalRecord is one completed job: enough to replay the job's
+// result, step spans, and metric contribution without re-simulating.
+// Failed jobs are journaled too (Err set, Result nil) for diagnostics,
+// but resume re-runs them.
+type JournalRecord struct {
+	Kind        string `json:"kind"` // "job"
+	Index       int    `json:"index"`
+	Fingerprint string `json:"fingerprint"`
+	Seed        int64  `json:"seed"`
+	Attempts    int    `json:"attempts,omitempty"`
+	Cached      bool   `json:"cached,omitempty"`
+	ElapsedNs   int64  `json:"elapsed_ns"`
+	// EscalatedTo is the fallback controller label that produced the
+	// result when retry escalation engaged.
+	EscalatedTo string               `json:"escalated_to,omitempty"`
+	Err         string               `json:"err,omitempty"`
+	Result      *sim.Result          `json:"result,omitempty"`
+	Spans       []telemetry.StepSpan `json:"spans,omitempty"`
+	// Metrics is the job's private registry snapshot; replay merges it
+	// into the sweep registry so resumed manifests match uninterrupted
+	// ones.
+	Metrics telemetry.Snapshot `json:"metrics,omitempty"`
+}
+
+// JournalReplay is a parsed journal: the header, the latest record per
+// job index, and whether the final record was torn (a crash mid-write).
+type JournalReplay struct {
+	Header  JournalHeader
+	Records map[int]*JournalRecord
+	// Torn reports that the final line failed to parse and was dropped.
+	Torn bool
+	// ValidLen is the byte length of the parseable prefix; resuming
+	// truncates the file here before appending.
+	ValidLen int64
+}
+
+// SweepFingerprint hashes every job's scenario fingerprint in expansion
+// order — the identity a journal is keyed by. Unlike the manifest's run
+// fingerprint it excludes the base seed as a separate word; the per-job
+// fingerprints already pin the derived seeds.
+func SweepFingerprint(jobs []Job) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := range jobs {
+		binary.LittleEndian.PutUint64(buf[:], jobs[i].Fingerprint())
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Journal is an append-only JSONL write-ahead log of completed sweep
+// jobs. Appends are serialized and fsync'd on the configured cadence;
+// a record is durable once its fsync batch lands.
+type Journal struct {
+	mu         sync.Mutex
+	path       string
+	f          *os.File
+	header     JournalHeader
+	fsyncEvery int
+	sinceSync  int
+	replay     map[int]*JournalRecord
+}
+
+// journalFileName derives the journal file name from the sweep label
+// and fingerprint, so distinct sweeps in one directory never collide.
+func journalFileName(label string, fp uint64) string {
+	s := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, label)
+	if s == "" {
+		s = "sweep"
+	}
+	return fmt.Sprintf("%s-%s.journal", s, telemetry.FormatFingerprint(fp))
+}
+
+// openSweepJournal creates the journal for a job list, or resumes an
+// existing one when cfg.Resume is set (refusing on any header
+// mismatch). A pre-existing journal without Resume is an error.
+func openSweepJournal(cfg *JournalConfig, label string, jobs []Job) (*Journal, error) {
+	git := cfg.Git
+	if git == "" {
+		git = telemetry.GitDescribe("")
+	}
+	h := JournalHeader{
+		Kind:             "header",
+		Version:          JournalVersion,
+		Label:            label,
+		SweepFingerprint: telemetry.FormatFingerprint(SweepFingerprint(jobs)),
+		Git:              git,
+		GoVersion:        runtime.Version(),
+		Jobs:             len(jobs),
+	}
+	path := filepath.Join(cfg.Dir, journalFileName(label, SweepFingerprint(jobs)))
+	if _, err := os.Stat(path); err == nil {
+		if !cfg.Resume {
+			return nil, fmt.Errorf("runner: journal %s already exists; resume it or remove it to start over", path)
+		}
+		return resumeJournal(path, h, cfg.FsyncEvery)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return createJournal(path, h, cfg.FsyncEvery)
+}
+
+// createJournal starts a fresh journal with the given header.
+func createJournal(path string, h JournalHeader, fsyncEvery int) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{path: path, f: f, header: h, fsyncEvery: fsyncEvery}
+	line, err := json.Marshal(h)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// resumeJournal reopens an existing journal for appending after
+// validating its header against the sweep being run and truncating any
+// torn final record.
+func resumeJournal(path string, want JournalHeader, fsyncEvery int) (*Journal, error) {
+	rep, err := ReadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	got := rep.Header
+	switch {
+	case got.Version != want.Version:
+		return nil, fmt.Errorf("%w: %s was written by journal schema v%d, this build writes v%d",
+			ErrJournalMismatch, path, got.Version, want.Version)
+	case got.SweepFingerprint != want.SweepFingerprint:
+		return nil, fmt.Errorf("%w: %s records sweep %s, this spec expands to %s (spec or seed changed)",
+			ErrJournalMismatch, path, got.SweepFingerprint, want.SweepFingerprint)
+	case got.Git != want.Git:
+		return nil, fmt.Errorf("%w: %s was written at %s, this build is %s",
+			ErrJournalMismatch, path, got.Git, want.Git)
+	case got.Jobs != want.Jobs:
+		return nil, fmt.Errorf("%w: %s records %d jobs, this sweep has %d",
+			ErrJournalMismatch, path, got.Jobs, want.Jobs)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// Drop the torn tail (if any) so appended records start on a clean
+	// line; then position at the new end.
+	if err := f.Truncate(rep.ValidLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(rep.ValidLen, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{path: path, f: f, header: got, fsyncEvery: fsyncEvery, replay: rep.Records}, nil
+}
+
+// ReadJournal parses a journal file. See ParseJournal.
+func ReadJournal(path string) (*JournalReplay, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseJournal(data)
+}
+
+// ParseJournal parses journal bytes. A truncated or corrupt final line
+// — the signature of a crash mid-append — is tolerated and dropped;
+// corruption anywhere else is an error, because silently skipping
+// middle records would resurrect lost work as "finished". When the
+// same job index appears more than once (a failed job re-run by an
+// earlier resume), the last record wins.
+func ParseJournal(data []byte) (*JournalReplay, error) {
+	rep := &JournalReplay{Records: make(map[int]*JournalRecord)}
+	pos := 0
+	lineNo := 0
+	sawHeader := false
+	for pos < len(data) {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		complete := nl >= 0
+		var line []byte
+		next := len(data)
+		if complete {
+			line = data[pos : pos+nl]
+			next = pos + nl + 1
+		} else {
+			line = data[pos:]
+		}
+		lineNo++
+		last := next >= len(data)
+		if len(bytes.TrimSpace(line)) == 0 {
+			pos = next
+			continue
+		}
+		if !sawHeader {
+			var h JournalHeader
+			if err := json.Unmarshal(line, &h); err != nil || h.Kind != "header" {
+				return nil, fmt.Errorf("runner: journal line 1 is not a header record")
+			}
+			rep.Header = h
+			sawHeader = true
+			pos = next
+			rep.ValidLen = int64(pos)
+			continue
+		}
+		var r JournalRecord
+		err := json.Unmarshal(line, &r)
+		if err == nil && (r.Kind != "job" || r.Index < 0) {
+			err = fmt.Errorf("runner: journal record kind %q", r.Kind)
+		}
+		if err != nil || !complete {
+			if last {
+				// Torn final record: the crash interrupted this append.
+				rep.Torn = true
+				return rep, nil
+			}
+			return nil, fmt.Errorf("runner: corrupt journal record at line %d: %v", lineNo, err)
+		}
+		rec := r
+		rep.Records[rec.Index] = &rec
+		pos = next
+		rep.ValidLen = int64(pos)
+	}
+	if !sawHeader {
+		return nil, errors.New("runner: journal is empty (no header record)")
+	}
+	return rep, nil
+}
+
+// Append journals one completed job and fsyncs on the configured
+// cadence. Safe for concurrent workers.
+func (j *Journal) Append(rec *JournalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	j.sinceSync++
+	if j.fsyncEvery <= 1 || j.sinceSync >= j.fsyncEvery {
+		j.sinceSync = 0
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// Replayed returns the journal's record for a job index, or nil.
+func (j *Journal) Replayed(index int) *JournalRecord { return j.replay[index] }
+
+// Header returns the journal's header.
+func (j *Journal) Header() JournalHeader { return j.header }
+
+// Path returns the journal file's path.
+func (j *Journal) Path() string { return j.path }
+
+// Close fsyncs and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// checkpointPath is the mid-job checkpoint file for a job, beside the
+// journal and keyed by the job's scenario fingerprint.
+func (j *Journal) checkpointPath(job *Job) string {
+	return filepath.Join(filepath.Dir(j.path),
+		fmt.Sprintf("ckpt-%s.json", telemetry.FormatFingerprint(job.Fingerprint())))
+}

@@ -1,0 +1,56 @@
+package runner
+
+import (
+	"testing"
+)
+
+// FuzzParseJournal hardens the resume path against arbitrary journal
+// bytes — the file a crashed process leaves behind is untrusted input.
+// Invariants: no panics; on success ValidLen is a sane byte offset and
+// the valid prefix re-parses cleanly (same records, never torn), which
+// is exactly what resumeJournal relies on when it truncates a torn tail.
+func FuzzParseJournal(f *testing.F) {
+	header := `{"kind":"header","version":1,"label":"x","sweep_fingerprint":"00000000deadbeef","git":"g","go_version":"go1","jobs":2}`
+	rec0 := `{"kind":"job","index":0,"fingerprint":"00000000deadbeef","seed":1,"elapsed_ns":5,"result":{"Controller":"On/Off"}}`
+	rec1 := `{"kind":"job","index":1,"fingerprint":"00000000feedface","seed":2,"elapsed_ns":7,"err":"boom"}`
+	f.Add([]byte(header + "\n" + rec0 + "\n" + rec1 + "\n"))
+	f.Add([]byte(header + "\n" + rec0 + "\n" + `{"kind":"job","ind`))     // crash mid-append
+	f.Add([]byte(header + "\n" + rec0 + "\n" + "garbage\n"))              // corrupt final line
+	f.Add([]byte(header + "\n" + "garbage\n" + rec0 + "\n"))              // corrupt middle line
+	f.Add([]byte(header + "\n" + rec0 + "\n" + rec0 + "\n"))              // duplicate index: last wins
+	f.Add([]byte(header + "\n\n" + rec0 + "\n\n"))                        // blank lines
+	f.Add([]byte(header + "\n" + `{"kind":"job","index":-1}` + "\n"))     // negative index
+	f.Add([]byte(header + "\n" + `{"kind":"header","version":1}` + "\n")) // header where a job belongs
+	f.Add([]byte(header))                                                 // header without newline
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("not a journal\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := ParseJournal(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if rep.ValidLen < 0 || rep.ValidLen > int64(len(data)) {
+			t.Fatalf("ValidLen %d outside [0, %d]", rep.ValidLen, len(data))
+		}
+		if rep.Header.Kind != "header" {
+			t.Fatalf("accepted journal without header record: %+v", rep.Header)
+		}
+		prefix, err := ParseJournal(data[:rep.ValidLen])
+		if err != nil {
+			t.Fatalf("valid prefix does not re-parse: %v", err)
+		}
+		if prefix.Torn {
+			t.Fatal("valid prefix parses as torn")
+		}
+		if len(prefix.Records) != len(rep.Records) {
+			t.Fatalf("prefix has %d records, original %d", len(prefix.Records), len(rep.Records))
+		}
+		for idx := range rep.Records {
+			if prefix.Records[idx] == nil {
+				t.Fatalf("record %d lost in prefix re-parse", idx)
+			}
+		}
+	})
+}

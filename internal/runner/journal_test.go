@@ -1,0 +1,412 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+	"evclimate/internal/telemetry"
+)
+
+// journalOpts is the standard journaled-sweep option set of these tests:
+// a pinned Git stamp (so create and resume agree without shelling out)
+// plus fresh telemetry so metric reconstruction is observable.
+func journalOpts(dir string, resume bool) (Options, *telemetry.Registry, *telemetry.TraceLog) {
+	reg := telemetry.NewRegistry()
+	tl := &telemetry.TraceLog{}
+	return Options{
+		Workers:       2,
+		Telemetry:     reg,
+		TraceLog:      tl,
+		ManifestLabel: "jtest",
+		Journal:       &JournalConfig{Dir: dir, Resume: resume, Git: "test-build"},
+	}, reg, tl
+}
+
+// deterministicJSON renders a registry's deterministic metric subset for
+// byte comparison across runs.
+func deterministicJSON(t *testing.T, reg *telemetry.Registry) []byte {
+	t.Helper()
+	data, err := json.Marshal(reg.Snapshot(telemetry.DeterministicFilter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// traceJSONL renders a trace log without wall-clock timing for byte
+// comparison across runs.
+func traceJSONL(t *testing.T, tl *telemetry.TraceLog) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tl.WriteJSONL(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func findJournal(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.journal"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("journal files in %s: %v (err %v)", dir, matches, err)
+	}
+	return matches[0]
+}
+
+func TestJournalWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts, _, _ := journalOpts(dir, false)
+	sw, err := Run(context.Background(), quickSpec(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.JobErrors(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ReadJournal(findJournal(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Torn {
+		t.Error("clean journal reported torn")
+	}
+	h := rep.Header
+	if h.Version != JournalVersion || h.Label != "jtest" || h.Git != "test-build" || h.Jobs != 8 {
+		t.Errorf("header = %+v", h)
+	}
+	jobs, err := Expand(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := telemetry.FormatFingerprint(SweepFingerprint(jobs)); h.SweepFingerprint != want {
+		t.Errorf("header fingerprint %s, want %s", h.SweepFingerprint, want)
+	}
+	if len(rep.Records) != 8 {
+		t.Fatalf("journal has %d records, want 8", len(rep.Records))
+	}
+	for i := range jobs {
+		rec := rep.Records[i]
+		if rec == nil {
+			t.Fatalf("job %d missing from journal", i)
+		}
+		if rec.Fingerprint != telemetry.FormatFingerprint(jobs[i].Fingerprint()) {
+			t.Errorf("job %d fingerprint %s", i, rec.Fingerprint)
+		}
+		if rec.Seed != jobs[i].Seed {
+			t.Errorf("job %d seed %d, want %d", i, rec.Seed, jobs[i].Seed)
+		}
+		if rec.Result == nil || rec.Err != "" {
+			t.Errorf("job %d: result %v, err %q", i, rec.Result, rec.Err)
+		}
+		if len(rec.Spans) == 0 || len(rec.Metrics) == 0 {
+			t.Errorf("job %d: %d spans, %d metrics journaled", i, len(rec.Spans), len(rec.Metrics))
+		}
+	}
+}
+
+// TestJournalResumeReplaysByteIdentical is the tentpole determinism
+// pin: a resumed sweep — every job replayed from the journal — must
+// reproduce the results, stitched trace, and deterministic metrics of a
+// plain single-worker run byte for byte.
+func TestJournalResumeReplaysByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	opts, _, _ := journalOpts(dir, false)
+	first, err := Run(context.Background(), quickSpec(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.JobErrors(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: no journal, one worker.
+	refReg := telemetry.NewRegistry()
+	refTl := &telemetry.TraceLog{}
+	ref, err := Run(context.Background(), quickSpec(),
+		Options{Workers: 1, Telemetry: refReg, TraceLog: refTl})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: everything replays, nothing simulates.
+	ropts, reg, tl := journalOpts(dir, true)
+	man := telemetry.NewManifest("test")
+	ropts.Manifest = man
+	sw, err := Run(context.Background(), quickSpec(), ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sw.Jobs {
+		if !sw.Jobs[i].Replayed {
+			t.Errorf("job %d not replayed", i)
+		}
+		identicalResults(t, fmt.Sprintf("job %d", i), sw.Jobs[i].Result, ref.Jobs[i].Result)
+	}
+	if got, want := deterministicJSON(t, reg), deterministicJSON(t, refReg); !bytes.Equal(got, want) {
+		t.Errorf("replayed metrics differ from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := traceJSONL(t, tl), traceJSONL(t, refTl); !bytes.Equal(got, want) {
+		t.Error("replayed stitched trace differs from uninterrupted run")
+	}
+	if len(man.Resume) != 1 || man.Resume[0].ReplayedJobs != 8 {
+		t.Errorf("manifest resume lineage = %+v", man.Resume)
+	}
+}
+
+// TestJournalResumeAfterInterrupt drains a sweep mid-flight via context
+// cancellation, then resumes it: the stitched outcome must match an
+// uninterrupted run bit for bit.
+func TestJournalResumeAfterInterrupt(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	opts, _, _ := journalOpts(dir, false)
+	opts.Progress = func(done, total int, jr *JobResult) {
+		if done == 3 {
+			cancel()
+		}
+	}
+	first, err := Run(ctx, quickSpec(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aborted := 0
+	for i := range first.Jobs {
+		if first.Jobs[i].Err != nil {
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		t.Fatal("cancellation aborted no jobs; cannot exercise resume")
+	}
+
+	refReg := telemetry.NewRegistry()
+	refTl := &telemetry.TraceLog{}
+	ref, err := Run(context.Background(), quickSpec(),
+		Options{Workers: 1, Telemetry: refReg, TraceLog: refTl})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ropts, reg, tl := journalOpts(dir, true)
+	sw, err := Run(context.Background(), quickSpec(), ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.JobErrors(); err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	for i := range sw.Jobs {
+		if sw.Jobs[i].Replayed {
+			replayed++
+		}
+		identicalResults(t, fmt.Sprintf("job %d", i), sw.Jobs[i].Result, ref.Jobs[i].Result)
+	}
+	if replayed == 0 {
+		t.Error("resume replayed nothing despite journaled records")
+	}
+	t.Logf("interrupted with %d jobs aborted, resumed replaying %d", aborted, replayed)
+	if got, want := deterministicJSON(t, reg), deterministicJSON(t, refReg); !bytes.Equal(got, want) {
+		t.Errorf("resumed metrics differ from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := traceJSONL(t, tl), traceJSONL(t, refTl); !bytes.Equal(got, want) {
+		t.Error("resumed stitched trace differs from uninterrupted run")
+	}
+}
+
+func TestJournalExistsWithoutResumeErrors(t *testing.T) {
+	dir := t.TempDir()
+	opts, _, _ := journalOpts(dir, false)
+	if _, err := Run(context.Background(), quickSpec(), opts); err != nil {
+		t.Fatal(err)
+	}
+	again, _, _ := journalOpts(dir, false)
+	_, err := Run(context.Background(), quickSpec(), again)
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("re-run without Resume: err = %v, want 'already exists'", err)
+	}
+}
+
+func TestJournalResumeRefusesMismatch(t *testing.T) {
+	dir := t.TempDir()
+	h := JournalHeader{
+		Kind: "header", Version: JournalVersion, Label: "m",
+		SweepFingerprint: "00000000deadbeef", Git: "g1", GoVersion: "go", Jobs: 4,
+	}
+	path := filepath.Join(dir, "m.journal")
+	j, err := createJournal(path, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	cases := []struct {
+		name string
+		want JournalHeader
+		frag string
+	}{
+		{"version", func() JournalHeader { w := h; w.Version = 2; return w }(), "schema"},
+		{"fingerprint", func() JournalHeader { w := h; w.SweepFingerprint = "00000000feedface"; return w }(), "spec or seed changed"},
+		{"git", func() JournalHeader { w := h; w.Git = "g2"; return w }(), "this build is"},
+		{"jobs", func() JournalHeader { w := h; w.Jobs = 5; return w }(), "jobs"},
+	}
+	for _, tc := range cases {
+		_, err := resumeJournal(path, tc.want, 1)
+		if !errors.Is(err, ErrJournalMismatch) {
+			t.Errorf("%s mismatch: err = %v, want ErrJournalMismatch", tc.name, err)
+		} else if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s mismatch: err %q does not mention %q", tc.name, err, tc.frag)
+		}
+	}
+	if _, err := resumeJournal(path, h, 1); err != nil {
+		t.Errorf("matching header refused: %v", err)
+	}
+}
+
+func TestJournalTornTailToleratedAndTruncated(t *testing.T) {
+	dir := t.TempDir()
+	h := JournalHeader{
+		Kind: "header", Version: JournalVersion,
+		SweepFingerprint: "00000000deadbeef", Git: "g", GoVersion: "go", Jobs: 3,
+	}
+	path := filepath.Join(dir, "t.journal")
+	j, err := createJournal(path, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := j.Append(&JournalRecord{Kind: "job", Index: i, Fingerprint: "00", Seed: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	clean, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-append leaves a torn final line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"kind":"job","index":2,"fingerp`)
+	f.Close()
+
+	rep, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("torn journal rejected: %v", err)
+	}
+	if !rep.Torn {
+		t.Error("torn tail not flagged")
+	}
+	if len(rep.Records) != 2 {
+		t.Errorf("torn journal has %d records, want 2", len(rep.Records))
+	}
+	if rep.ValidLen != clean.Size() {
+		t.Errorf("ValidLen %d, want %d", rep.ValidLen, clean.Size())
+	}
+
+	// Resume truncates the torn tail; subsequent appends land cleanly.
+	j2, err := resumeJournal(path, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(&JournalRecord{Kind: "job", Index: 2, Fingerprint: "00", Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	rep2, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Torn || len(rep2.Records) != 3 {
+		t.Errorf("after resume: torn %v, %d records, want clean 3", rep2.Torn, len(rep2.Records))
+	}
+}
+
+func TestJournalCorruptMiddleErrors(t *testing.T) {
+	header := `{"kind":"header","version":1,"sweep_fingerprint":"00","git":"g","go_version":"go","jobs":2}`
+	rec := `{"kind":"job","index":0,"fingerprint":"00","seed":1,"elapsed_ns":5}`
+	_, err := ParseJournal([]byte(header + "\n" + "NOT JSON\n" + rec + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "corrupt journal record at line 2") {
+		t.Errorf("corrupt middle line: err = %v", err)
+	}
+	if _, err := ParseJournal(nil); err == nil {
+		t.Error("empty journal accepted")
+	}
+	if _, err := ParseJournal([]byte("garbage\n")); err == nil || !strings.Contains(err.Error(), "header") {
+		t.Errorf("garbage header: err = %v", err)
+	}
+}
+
+// TestJournalFailedJobRerunOnResume pins the WAL semantics for failures:
+// a failed job is journaled for diagnostics but re-executed on resume.
+func TestJournalFailedJobRerunOnResume(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int32
+	spec := Spec{
+		Controllers: []ControllerSpec{{
+			Label:     "On/Off",
+			ControlDt: 1,
+			New: func() (control.Controller, error) {
+				if calls.Add(1) == 1 {
+					return nil, errors.New("transient constructor failure")
+				}
+				m, err := cabin.New(cabin.Default())
+				if err != nil {
+					return nil, err
+				}
+				return control.NewOnOff(m), nil
+			},
+		}},
+		Cycles:      []CycleSpec{{Name: "ECE15"}},
+		Envs:        []Env{{AmbientC: 35, SolarW: 400}},
+		MaxProfileS: 120,
+		BaseSeed:    11,
+	}
+
+	opts, _, _ := journalOpts(dir, false)
+	first, err := Run(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Jobs[0].Err == nil {
+		t.Fatal("flaky job unexpectedly succeeded on first run")
+	}
+	rep, err := ReadJournal(findJournal(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := rep.Records[0]; rec == nil || rec.Err == "" || rec.Result != nil {
+		t.Fatalf("failed job journaled as %+v", rec)
+	}
+
+	ropts, _, _ := journalOpts(dir, true)
+	sw, err := Run(context.Background(), spec, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := &sw.Jobs[0]
+	if jr.Err != nil || jr.Replayed {
+		t.Fatalf("resume: err %v, replayed %v — want a fresh successful run", jr.Err, jr.Replayed)
+	}
+	rep, err = ReadJournal(findJournal(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := rep.Records[0]; rec == nil || rec.Err != "" || rec.Result == nil {
+		t.Errorf("re-run not journaled over the failure: %+v", rec)
+	}
+}

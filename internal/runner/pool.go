@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -44,6 +45,21 @@ type Options struct {
 	Manifest *telemetry.Manifest
 	// ManifestLabel names the sweep in the manifest.
 	ManifestLabel string
+	// Journal, when non-nil, enables the crash-safe job journal (and,
+	// with CheckpointEvery, mid-job state checkpoints): each completed
+	// job is appended to an fsync'd JSONL log, and a re-run with Resume
+	// set replays finished jobs instead of re-simulating them. The
+	// journal refuses to resume a sweep whose fingerprint or code
+	// version changed.
+	Journal *JournalConfig
+	// JobTimeout, when positive, is the per-job watchdog: a wall-clock
+	// deadline threaded into the simulation and checked every control
+	// step, so a hung or runaway job aborts without stalling the pool.
+	JobTimeout time.Duration
+	// Retry re-runs jobs that panic or exceed the watchdog, with
+	// exponential backoff and optional escalation through the job's
+	// controller fallback ladder (ControllerSpec.Fallbacks).
+	Retry RetryPolicy
 }
 
 // JobResult is one executed job's outcome.
@@ -67,6 +83,18 @@ type JobResult struct {
 	// Instance is the controller instance that produced Result (nil on
 	// cache hit), for post-run diagnostics such as solver statistics.
 	Instance control.Controller
+	// Attempts is the number of execution attempts the job took
+	// (1 = first try; 0 only for jobs that never ran).
+	Attempts int
+	// AttemptErrs are the failures of earlier attempts when retry is
+	// enabled; Err is the final attempt's outcome.
+	AttemptErrs []error
+	// Replayed reports the result came from a sweep journal instead of
+	// a fresh simulation.
+	Replayed bool
+	// EscalatedTo, when retry escalation engaged, is the label of the
+	// fallback controller that produced the final result.
+	EscalatedTo string
 }
 
 // Sweep is an executed spec: results in expansion (spec) order.
@@ -92,6 +120,32 @@ func (s *Sweep) FirstErr() error {
 		}
 	}
 	return nil
+}
+
+// JobErrors aggregates every failed job into one error (nil when all
+// succeeded), so callers surface the complete failure list instead of
+// only the first casualty.
+func (s *Sweep) JobErrors() error {
+	var errs []error
+	for i := range s.Jobs {
+		if err := s.Jobs[i].Err; err != nil {
+			errs = append(errs, fmt.Errorf("job %d (%s on %s): %w",
+				s.Jobs[i].Job.Index, s.Jobs[i].Job.Controller.Label, s.Jobs[i].Job.Cycle, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Failed returns the failed jobs' results in expansion order (empty
+// when every job succeeded) — the aggregation CLI exit codes report.
+func (s *Sweep) Failed() []*JobResult {
+	var failed []*JobResult
+	for i := range s.Jobs {
+		if s.Jobs[i].Err != nil {
+			failed = append(failed, &s.Jobs[i])
+		}
+	}
+	return failed
 }
 
 // Cells groups the results into scenario cells: one block per
@@ -193,20 +247,49 @@ func RunJobs(ctx context.Context, jobs []Job, opts Options) ([]JobResult, error)
 	if opts.TraceLog != nil {
 		traces = make([]*telemetry.StepTrace, len(jobs))
 	}
-	var jobsOK, jobsErr, jobsCached *telemetry.Counter
-	var jobSeconds *telemetry.Histogram
-	if opts.Telemetry != nil {
-		jobsOK = opts.Telemetry.Counter("runner_jobs_total", telemetry.L("result", "ok"))
-		jobsErr = opts.Telemetry.Counter("runner_jobs_total", telemetry.L("result", "error"))
-		jobsCached = opts.Telemetry.Counter("runner_jobs_total", telemetry.L("result", "cached"))
-		jobSeconds = opts.Telemetry.Histogram("runner_job_seconds", telemetry.LatencyBuckets)
+	pe := &poolEnv{opts: opts, jobs: jobs, traces: traces}
+	pe.resolveCounters()
+
+	// Journal mode: open (or resume) the write-ahead log and replay the
+	// finished jobs before any worker starts.
+	if opts.Journal != nil {
+		jnl, err := openSweepJournal(opts.Journal, opts.ManifestLabel, jobs)
+		if err != nil {
+			return nil, err
+		}
+		defer jnl.Close()
+		pe.jnl = jnl
+		replayed := 0
+		for i := range jobs {
+			rec := jnl.Replayed(jobs[i].Index)
+			if rec == nil || rec.Err != "" {
+				continue // never journaled, or failed: re-run it
+			}
+			jr, err := pe.replay(&jobs[i], i, rec)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = jr
+			ran[i] = true
+			replayed++
+		}
+		if replayed > 0 && opts.Manifest != nil {
+			opts.Manifest.AddResume(telemetry.ResumeInfo{
+				Journal:          jnl.Path(),
+				SweepFingerprint: jnl.Header().SweepFingerprint,
+				ReplayedJobs:     replayed,
+				Git:              jnl.Header().Git,
+			})
+		}
 	}
-	telemetryOn := opts.Telemetry != nil || opts.TraceLog != nil
 
 	feed := make(chan int)
 	go func() {
 		defer close(feed)
 		for i := range jobs {
+			if ran[i] {
+				continue
+			}
 			select {
 			case feed <- i:
 			case <-ctx.Done():
@@ -217,6 +300,15 @@ func RunJobs(ctx context.Context, jobs []Job, opts Options) ([]JobResult, error)
 
 	var mu sync.Mutex // serializes progress callbacks and the done count
 	done := 0
+	// Replayed jobs report progress up front, in expansion order.
+	if opts.Progress != nil {
+		for i := range out {
+			if ran[i] {
+				done++
+				opts.Progress(done, len(jobs), &out[i])
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -226,26 +318,8 @@ func RunJobs(ctx context.Context, jobs []Job, opts Options) ([]JobResult, error)
 				if ctx.Err() != nil {
 					return
 				}
-				var sink telemetry.Sink
-				if telemetryOn {
-					var rec *telemetry.StepTrace
-					if traces != nil {
-						rec = telemetry.NewStepTrace(opts.TraceSteps)
-						traces[i] = rec
-					}
-					sink = telemetry.NewSink(opts.Telemetry, rec, jobLabels(&jobs[i])...)
-				}
-				out[i] = execute(&jobs[i], opts.Cache, sink)
+				out[i] = pe.runOne(ctx, i)
 				ran[i] = true
-				switch {
-				case out[i].Err != nil:
-					jobsErr.Inc()
-				case out[i].Cached:
-					jobsCached.Inc()
-				default:
-					jobsOK.Inc()
-				}
-				jobSeconds.Observe(out[i].Elapsed.Seconds())
 				if opts.Progress != nil {
 					mu.Lock()
 					done++
@@ -286,18 +360,19 @@ func jobLabels(j *Job) []telemetry.Label {
 	return ls
 }
 
-// execute runs one job, capturing panics into the result error so one
-// diverging scenario cannot kill the sweep. The sink, when non-nil,
-// replaces the job config's Telemetry for this execution (the
-// fingerprint ignores it, so caching is unaffected).
-func execute(job *Job, cache *Cache, sink telemetry.Sink) (jr JobResult) {
+// execute runs one attempt of a job under the given controller spec
+// (the job's own, or an escalation fallback), capturing panics into the
+// result error so one diverging scenario cannot kill the sweep. The
+// sink, when non-nil, replaces the job config's Telemetry for this
+// execution (the fingerprint ignores it, so caching is unaffected).
+func execute(job *Job, spec *ControllerSpec, cache *Cache, sink telemetry.Sink, ro sim.RunOptions) (jr JobResult) {
 	jr.Job = *job
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			jr.Result = nil
-			jr.Err = fmt.Errorf("runner: job %d (%s on %s) panicked: %v",
-				job.Index, job.Controller.Label, job.Cycle, r)
+			jr.Err = fmt.Errorf("runner: job %d (%s on %s) %w: %v",
+				job.Index, spec.Label, job.Cycle, ErrJobPanicked, r)
 		}
 		// Error and panic paths keep their wall-clock too; only cache
 		// hits report zero (their cost is in Saved).
@@ -306,8 +381,12 @@ func execute(job *Job, cache *Cache, sink telemetry.Sink) (jr JobResult) {
 		}
 	}()
 
+	// Escalated attempts run a different controller than the
+	// fingerprint names, so their results never enter (or come from)
+	// the cache.
+	useCache := cache != nil && spec == &job.Controller
 	var key uint64
-	if cache != nil {
+	if useCache {
 		key = job.Fingerprint()
 		if res, saved, ok := cache.get(key); ok {
 			jr.Result = res
@@ -326,16 +405,16 @@ func execute(job *Job, cache *Cache, sink telemetry.Sink) (jr JobResult) {
 		jr.Err = err
 		return jr
 	}
-	if job.Controller.New == nil {
-		jr.Err = fmt.Errorf("runner: controller %q has no constructor", job.Controller.Label)
+	if spec.New == nil {
+		jr.Err = fmt.Errorf("runner: controller %q has no constructor", spec.Label)
 		return jr
 	}
-	ctrl, err := job.Controller.New()
+	ctrl, err := spec.New()
 	if err != nil {
 		jr.Err = err
 		return jr
 	}
-	res, err := r.Run(ctrl)
+	res, err := r.RunWith(ctrl, ro)
 	if err != nil {
 		jr.Err = err
 		return jr
@@ -343,7 +422,7 @@ func execute(job *Job, cache *Cache, sink telemetry.Sink) (jr JobResult) {
 	jr.Result = res
 	jr.Instance = ctrl
 	jr.Elapsed = time.Since(start)
-	if cache != nil {
+	if useCache {
 		cache.put(key, res, jr.Elapsed)
 	}
 	return jr

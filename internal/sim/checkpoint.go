@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"evclimate/internal/bms"
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+	"evclimate/internal/faults"
+)
+
+// CheckpointVersion is the checkpoint schema version; Restore refuses
+// checkpoints written by a different schema.
+const CheckpointVersion = 1
+
+// RunOptions are the durability controls of one run. The zero value
+// reproduces Run exactly.
+type RunOptions struct {
+	// Context, when non-nil, is checked once per control step: a canceled
+	// or deadline-exceeded context aborts the run with the context's
+	// error (wrapped). This is the per-job watchdog hook — wall-clock
+	// deadlines become step-granular aborts without any goroutine
+	// machinery in the hot loop.
+	Context context.Context
+	// CheckpointEvery, when positive together with OnCheckpoint, emits a
+	// checkpoint after every CheckpointEvery-th completed control step
+	// (never after the final step — a finished run needs no checkpoint).
+	CheckpointEvery int
+	// OnCheckpoint receives each emitted checkpoint; a non-nil error
+	// aborts the run. When the Context cancels mid-run, a final
+	// checkpoint is flushed through OnCheckpoint before the run returns,
+	// so a graceful drain always leaves a resumable state behind.
+	OnCheckpoint func(*Checkpoint) error
+	// Resume, when non-nil, restores the run to the checkpointed step
+	// before the loop starts; the remaining trajectory is bit-for-bit
+	// identical to an uninterrupted run. The controller configuration
+	// and run Config must match the checkpointing run's.
+	Resume *Checkpoint
+}
+
+// Checkpoint is the complete serializable state of an in-flight run at a
+// control-step boundary: the next step index, the cabin temperature, the
+// metric accumulators, the trace so far, the BMS state, the fault
+// injector's hold-last buffer, and the controller's opaque state blob.
+// encoding/json round-trips finite float64 values exactly, so a
+// checkpoint that passed through disk resumes the same bits.
+type Checkpoint struct {
+	// Version is the checkpoint schema version (CheckpointVersion).
+	Version int `json:"version"`
+	// Controller is the checkpointing controller's Name, matched on
+	// restore so a checkpoint cannot resume under a different controller.
+	Controller string `json:"controller"`
+	// Step is the next control-step index to execute.
+	Step int `json:"step"`
+	// CabinC is the cabin temperature at the start of Step.
+	CabinC float64 `json:"cabin_c"`
+	// HVACJ, MotorJ, TotalJ are the energy accumulators.
+	HVACJ  float64 `json:"hvac_j"`
+	MotorJ float64 `json:"motor_j"`
+	TotalJ float64 `json:"total_j"`
+	// ComfortViol, ComfortCount, TrackSq are the comfort-statistics
+	// accumulators.
+	ComfortViol  float64 `json:"comfort_viol"`
+	ComfortCount float64 `json:"comfort_count"`
+	TrackSq      float64 `json:"track_sq"`
+	// Trace is the trajectory recorded through step Step-1.
+	Trace Trace `json:"trace"`
+	// BMS is the battery-management state.
+	BMS bms.State `json:"bms"`
+	// Faults is the injector's hold-last state; nil when the run injects
+	// no faults.
+	Faults *faults.InjectorState `json:"faults,omitempty"`
+	// CtrlState is the controller's Snapshotter blob.
+	CtrlState json.RawMessage `json:"ctrl_state,omitempty"`
+}
+
+// runState is the mutable loop state of an in-flight run, held on the
+// Runner so Snapshot can capture it mid-run (from an OnCheckpoint hook).
+type runState struct {
+	ctrl control.Controller
+	b    *bms.BMS
+	inj  *faults.Injector
+	res  *Result
+
+	k, n                               int
+	tz                                 float64
+	hvacJ, motorJ, totalJ              float64
+	comfortViol, comfortCount, trackSq float64
+}
+
+// Snapshot captures the in-flight run's complete simulation state at the
+// current control-step boundary. It is valid only while a run is
+// executing (i.e. called from an OnCheckpoint hook or from code the run
+// loop invokes); outside a run it returns an error. The returned
+// checkpoint shares nothing with the run — it can be serialized or held
+// across the run's end.
+func (r *Runner) Snapshot() (*Checkpoint, error) {
+	st := r.st
+	if st == nil {
+		return nil, errors.New("sim: Snapshot outside a run (no run in flight)")
+	}
+	snap, ok := st.ctrl.(control.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("sim: controller %q does not support state snapshots", st.ctrl.Name())
+	}
+	ctrlState, err := snap.StateSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("sim: controller snapshot: %w", err)
+	}
+	ck := &Checkpoint{
+		Version:      CheckpointVersion,
+		Controller:   st.ctrl.Name(),
+		Step:         st.k,
+		CabinC:       st.tz,
+		HVACJ:        st.hvacJ,
+		MotorJ:       st.motorJ,
+		TotalJ:       st.totalJ,
+		ComfortViol:  st.comfortViol,
+		ComfortCount: st.comfortCount,
+		TrackSq:      st.trackSq,
+		Trace:        copyTrace(&st.res.Trace),
+		BMS:          st.b.State(),
+		CtrlState:    ctrlState,
+	}
+	if st.inj != nil {
+		fs := st.inj.State()
+		ck.Faults = &fs
+	}
+	return ck, nil
+}
+
+// Restore primes the Runner's next Run/RunWith call to continue from ck,
+// exactly as if RunOptions.Resume had been passed. It cannot be called
+// while a run is in flight.
+func (r *Runner) Restore(ck *Checkpoint) error {
+	if ck == nil {
+		return errors.New("sim: Restore with nil checkpoint")
+	}
+	if r.st != nil {
+		return errors.New("sim: Restore while a run is in flight")
+	}
+	r.pendingResume = ck
+	return nil
+}
+
+// restore validates ck against the run being started and loads it into
+// the run state. The controller has already been Reset and had its
+// telemetry bound.
+func (r *Runner) restore(st *runState, ck *Checkpoint) error {
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("sim: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+	}
+	if ck.Controller != st.ctrl.Name() {
+		return fmt.Errorf("sim: checkpoint from controller %q cannot resume %q", ck.Controller, st.ctrl.Name())
+	}
+	if ck.Step < 0 || ck.Step > st.n {
+		return fmt.Errorf("sim: checkpoint step %d outside run of %d steps", ck.Step, st.n)
+	}
+	if len(ck.Trace.Time) != ck.Step {
+		return fmt.Errorf("sim: checkpoint trace has %d steps, expected %d", len(ck.Trace.Time), ck.Step)
+	}
+	if (ck.Faults != nil) != (st.inj != nil) {
+		return errors.New("sim: checkpoint fault state does not match the run's fault configuration")
+	}
+	snap, ok := st.ctrl.(control.Snapshotter)
+	if !ok {
+		return fmt.Errorf("sim: controller %q does not support state snapshots", st.ctrl.Name())
+	}
+	if len(ck.CtrlState) == 0 {
+		return errors.New("sim: checkpoint is missing the controller state")
+	}
+	if err := snap.RestoreState(ck.CtrlState); err != nil {
+		return fmt.Errorf("sim: controller restore: %w", err)
+	}
+	if err := st.b.SetState(ck.BMS); err != nil {
+		return err
+	}
+	if st.inj != nil {
+		st.inj.SetState(*ck.Faults)
+	}
+	st.res.Trace = copyTrace(&ck.Trace)
+	st.k = ck.Step
+	st.tz = ck.CabinC
+	st.hvacJ, st.motorJ, st.totalJ = ck.HVACJ, ck.MotorJ, ck.TotalJ
+	st.comfortViol, st.comfortCount, st.trackSq = ck.ComfortViol, ck.ComfortCount, ck.TrackSq
+	return nil
+}
+
+// copyTrace deep-copies a trace so checkpoints and runs never alias.
+func copyTrace(t *Trace) Trace {
+	return Trace{
+		Time:     append([]float64(nil), t.Time...),
+		CabinC:   append([]float64(nil), t.CabinC...),
+		OutsideC: append([]float64(nil), t.OutsideC...),
+		MotorW:   append([]float64(nil), t.MotorW...),
+		HeaterW:  append([]float64(nil), t.HeaterW...),
+		CoolerW:  append([]float64(nil), t.CoolerW...),
+		FanW:     append([]float64(nil), t.FanW...),
+		HVACW:    append([]float64(nil), t.HVACW...),
+		TotalW:   append([]float64(nil), t.TotalW...),
+		SoC:      append([]float64(nil), t.SoC...),
+		Inputs:   append([]cabin.Inputs(nil), t.Inputs...),
+	}
+}

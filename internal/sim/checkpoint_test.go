@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"evclimate/internal/control"
+	"evclimate/internal/core"
+	"evclimate/internal/drivecycle"
+)
+
+// TestCheckpointResumeBitExact is the property pin for state
+// checkpointing: for every (cycle, controller) pair, snapshotting at a
+// randomly chosen control step, JSON round-tripping the checkpoint
+// through bytes (as the runner's checkpoint files do), and resuming on a
+// fresh Runner and fresh controller instance reproduces the remaining
+// trajectory bit for bit — and the resumed result still satisfies the
+// physical invariants.
+func TestCheckpointResumeBitExact(t *testing.T) {
+	cycles := []string{"ECE15", "UDDS", "US06"}
+	controllers := []struct {
+		name      string
+		controlDt float64
+		forecast  int
+		make      func(t *testing.T) control.Controller
+	}{
+		{"On/Off", 1, 0, func(t *testing.T) control.Controller {
+			return control.NewOnOff(hvacModel(t))
+		}},
+		{"Fuzzy-based", 1, 0, func(t *testing.T) control.Controller {
+			return control.NewFuzzy(hvacModel(t))
+		}},
+		{"MPC", 5, 0, func(t *testing.T) control.Controller {
+			c, err := core.New(core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+	}
+	// The random snapshot steps are drawn from a fixed seed so a failure
+	// reproduces exactly.
+	rng := rand.New(rand.NewSource(20260806))
+
+	for _, cyc := range cycles {
+		for _, ctor := range controllers {
+			t.Run(cyc+"/"+ctor.name, func(t *testing.T) {
+				c, err := drivecycle.ByName(cyc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prof := c.Profile(1).WithAmbient(35).WithSolar(400).Truncate(240)
+				cfg := DefaultConfig(prof)
+				cfg.ControlDt = ctor.controlDt
+				if ctor.name == "MPC" {
+					cfg.ForecastSteps = core.DefaultConfig().Horizon
+				}
+				steps := int(prof.Duration() / cfg.ControlDt)
+				at := 1 + rng.Intn(steps-1)
+
+				// Reference run, snapshotting once at the chosen step.
+				r, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ckBytes []byte
+				ref, err := r.RunWith(ctor.make(t), RunOptions{
+					CheckpointEvery: at,
+					OnCheckpoint: func(ck *Checkpoint) error {
+						if ckBytes == nil {
+							ckBytes, err = json.Marshal(ck)
+							return err
+						}
+						return nil
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ckBytes == nil {
+					t.Fatalf("no checkpoint emitted at step %d of %d", at, steps)
+				}
+
+				// Resume from the serialized checkpoint on fresh instances.
+				var ck Checkpoint
+				if err := json.Unmarshal(ckBytes, &ck); err != nil {
+					t.Fatal(err)
+				}
+				if ck.Step != at {
+					t.Fatalf("checkpoint at step %d, want %d", ck.Step, at)
+				}
+				r2, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := r2.RunWith(ctor.make(t), RunOptions{Resume: &ck})
+				if err != nil {
+					t.Fatalf("resume from step %d/%d: %v", at, steps, err)
+				}
+
+				refJSON, err := json.Marshal(ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resJSON, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(refJSON) != string(resJSON) {
+					t.Errorf("resume from step %d/%d diverges from uninterrupted run", at, steps)
+				}
+				tol := DefaultTolerances()
+				if cyc == "US06" {
+					// Aggressive highway cycle: heavy regen loosens the
+					// Peukert bookkeeping (same widening as the runner's
+					// conformance suite).
+					tol.EnergyClosureRel = 0.25
+				}
+				if err := CheckInvariants(cfg, res, tol); err != nil {
+					t.Errorf("resumed result violates invariants: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestRestorePrimesNextRun covers the explicit Snapshot/Restore API: a
+// checkpoint captured mid-run primes a later RunWith via Restore, and
+// Restore refuses misuse (nil checkpoint, wrong controller, in-flight).
+func TestRestorePrimesNextRun(t *testing.T) {
+	cfg := DefaultConfig(hotProfile().Truncate(200))
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck *Checkpoint
+	ref, err := r.RunWith(control.NewOnOff(hvacModel(t)), RunOptions{
+		CheckpointEvery: 60,
+		OnCheckpoint: func(c *Checkpoint) error {
+			if ck == nil {
+				ck = c
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil {
+		t.Fatal("no checkpoint emitted")
+	}
+
+	r2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Restore(nil); err == nil {
+		t.Error("Restore(nil) accepted")
+	}
+	if err := r2.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r2.RunWith(control.NewOnOff(hvacModel(t)), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(ref)
+	b, _ := json.Marshal(res)
+	if string(a) != string(b) {
+		t.Error("Restore-primed run diverges from uninterrupted run")
+	}
+
+	// A checkpoint from one controller cannot resume another.
+	r3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r3.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r3.RunWith(control.NewFuzzy(hvacModel(t)), RunOptions{}); err == nil {
+		t.Error("On/Off checkpoint resumed a fuzzy controller")
+	}
+}

@@ -127,6 +127,12 @@ type Runner struct {
 	// allocate three slices per step (see forecast for the aliasing
 	// contract).
 	fcMotor, fcOutside, fcSolar []float64
+
+	// st is the in-flight run's loop state (nil between runs); Snapshot
+	// reads it. pendingResume is a checkpoint primed by Restore for the
+	// next run.
+	st            *runState
+	pendingResume *Checkpoint
 }
 
 // New validates the configuration and precomputes the motor power
@@ -214,6 +220,16 @@ func (r *Runner) forecast(t float64, steps int) control.Forecast {
 // Run simulates the whole profile under the given controller and returns
 // the trace and metrics. The controller is Reset before the run.
 func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
+	return r.RunWith(ctrl, RunOptions{})
+}
+
+// RunWith simulates the profile like Run, with durability controls: a
+// per-step cancellation context (the watchdog hook), periodic state
+// checkpoints, and resumption from a prior checkpoint. A resumed run's
+// remaining trajectory is bit-for-bit identical to the uninterrupted
+// run's. The controller is Reset before the run (and then restored, when
+// resuming).
+func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, error) {
 	cfg := r.cfg
 	ctrl.Reset()
 	b, err := bms.New(cfg.BMS)
@@ -234,8 +250,6 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 
 	res := &Result{Controller: ctrl.Name()}
 	tr := &res.Trace
-	var hvacJ, motorJ, totalJ float64
-	var comfortViol, comfortCount, trackSq float64
 
 	// The fault injector sits between the plant and the controller: it
 	// corrupts what the controller observes, never what the plant does.
@@ -267,8 +281,38 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 		}
 	}
 
-	for k := 0; k < n; k++ {
+	// The loop state lives on the Runner while the run is in flight so
+	// Snapshot can capture it from an OnCheckpoint hook.
+	st := &runState{ctrl: ctrl, b: b, inj: inj, res: res, n: n, tz: tz}
+	r.st = st
+	defer func() { r.st = nil }()
+
+	if opts.Resume == nil && r.pendingResume != nil {
+		opts.Resume = r.pendingResume
+		r.pendingResume = nil
+	}
+	if opts.Resume != nil {
+		if err := r.restore(st, opts.Resume); err != nil {
+			return nil, err
+		}
+	}
+
+	for st.k < n {
+		k := st.k
 		t := float64(k) * cfg.ControlDt
+		if opts.Context != nil {
+			if cerr := opts.Context.Err(); cerr != nil {
+				// Graceful drain: flush a final checkpoint so the caller
+				// can resume from this exact step; the context error wins
+				// over any checkpoint-sink failure.
+				if opts.OnCheckpoint != nil {
+					if ck, snapErr := r.Snapshot(); snapErr == nil {
+						_ = opts.OnCheckpoint(ck)
+					}
+				}
+				return nil, fmt.Errorf("sim: run aborted at step %d/%d: %w", k, n, cerr)
+			}
+		}
 		s := cfg.Profile.At(t)
 		pe := r.MotorPower(t)
 		socBefore := b.SoC()
@@ -276,7 +320,7 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 		ctx := control.StepContext{
 			Time:         t,
 			Dt:           cfg.ControlDt,
-			CabinTempC:   tz,
+			CabinTempC:   st.tz,
 			OutsideC:     s.AmbientC,
 			SolarW:       s.SolarW,
 			MotorPowerW:  pe,
@@ -293,7 +337,7 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 		if telOn {
 			stepStart = time.Now()
 		}
-		in, mix := r.hvac.ClampForEnvironment(ctrl.Decide(ctx), s.AmbientC, tz)
+		in, mix := r.hvac.ClampForEnvironment(ctrl.Decide(ctx), s.AmbientC, st.tz)
 		var stepLatency time.Duration
 		if telOn {
 			stepLatency = time.Since(stepStart)
@@ -307,7 +351,7 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 			dxdt[0] = r.hvac.CabinDerivative(x[0], in, sp.AmbientC, sp.SolarW)
 		}
 		sub := cfg.ControlDt / float64(cfg.PlantSubSteps)
-		x, err := ode.Integrate(sys, []float64{tz}, t, t+cfg.ControlDt, sub, &ode.RK4{}, nil)
+		x, err := ode.Integrate(sys, []float64{st.tz}, t, t+cfg.ControlDt, sub, &ode.RK4{}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("sim: plant integration failed at t=%v: %w", t, err)
 		}
@@ -321,7 +365,7 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 			span := telemetry.StepSpan{
 				Step:         k,
 				TimeS:        t,
-				CabinC:       tz,
+				CabinC:       st.tz,
 				OutsideC:     s.AmbientC,
 				SoCPct:       soc,
 				SoCDeltaPct:  soc - socBefore,
@@ -348,7 +392,7 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 		}
 
 		tr.Time = append(tr.Time, t)
-		tr.CabinC = append(tr.CabinC, tz)
+		tr.CabinC = append(tr.CabinC, st.tz)
 		tr.OutsideC = append(tr.OutsideC, s.AmbientC)
 		tr.MotorW = append(tr.MotorW, pe)
 		tr.HeaterW = append(tr.HeaterW, pw.HeaterW)
@@ -359,27 +403,38 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 		tr.SoC = append(tr.SoC, soc)
 		tr.Inputs = append(tr.Inputs, in)
 
-		hvacJ += pw.Total() * cfg.ControlDt
-		motorJ += pe * cfg.ControlDt
-		totalJ += total * cfg.ControlDt
+		st.hvacJ += pw.Total() * cfg.ControlDt
+		st.motorJ += pe * cfg.ControlDt
+		st.totalJ += total * cfg.ControlDt
 
 		if t >= cfg.SettleS {
-			comfortCount++
-			err := tz - cfg.TargetC
-			trackSq += err * err
-			if tz < ctx.ComfortLowC || tz > ctx.ComfortHighC {
-				comfortViol++
+			st.comfortCount++
+			err := st.tz - cfg.TargetC
+			st.trackSq += err * err
+			if st.tz < ctx.ComfortLowC || st.tz > ctx.ComfortHighC {
+				st.comfortViol++
 			}
 		}
 
-		tz = x[0]
+		st.tz = x[0]
+		st.k++
+
+		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil && st.k < n && st.k%opts.CheckpointEvery == 0 {
+			ck, err := r.Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("sim: checkpoint at step %d: %w", st.k, err)
+			}
+			if err := opts.OnCheckpoint(ck); err != nil {
+				return nil, fmt.Errorf("sim: checkpoint at step %d: %w", st.k, err)
+			}
+		}
 	}
 
 	simT := float64(n) * cfg.ControlDt
-	res.AvgHVACW = hvacJ / simT
-	res.AvgMotorW = motorJ / simT
-	res.AvgTotalW = totalJ / simT
-	res.HVACEnergyKWh = hvacJ / 3.6e6
+	res.AvgHVACW = st.hvacJ / simT
+	res.AvgMotorW = st.motorJ / simT
+	res.AvgTotalW = st.totalJ / simT
+	res.HVACEnergyKWh = st.hvacJ / 3.6e6
 	res.FinalSoC = b.SoC()
 	res.Events = b.Events()
 	dev, avg, err := b.CycleStats()
@@ -392,9 +447,9 @@ func (r *Runner) Run(ctrl control.Controller) (*Result, error) {
 		return nil, err
 	}
 	res.DeltaSoH = dsoh
-	if comfortCount > 0 {
-		res.ComfortViolationFrac = comfortViol / comfortCount
-		res.RMSTrackingErrC = math.Sqrt(trackSq / comfortCount)
+	if st.comfortCount > 0 {
+		res.ComfortViolationFrac = st.comfortViol / st.comfortCount
+		res.RMSTrackingErrC = math.Sqrt(st.trackSq / st.comfortCount)
 	}
 	return res, nil
 }

@@ -58,8 +58,26 @@ type Manifest struct {
 	GoVersion string `json:"go_version"`
 	// Runs are the recorded sweeps, in execution order.
 	Runs []RunInfo `json:"runs"`
+	// Resume is the resume lineage: one entry per journal this
+	// invocation replayed finished jobs from. Empty for uninterrupted
+	// runs; it is the only manifest section a resumed run is allowed to
+	// differ in.
+	Resume []ResumeInfo `json:"resume,omitempty"`
 	// Metrics is the deterministic metric snapshot taken at Finalize.
 	Metrics Snapshot `json:"metrics,omitempty"`
+}
+
+// ResumeInfo records one journal a resumed invocation replayed from.
+type ResumeInfo struct {
+	// Journal is the journal file's path.
+	Journal string `json:"journal"`
+	// SweepFingerprint is the journal header's sweep fingerprint.
+	SweepFingerprint string `json:"sweep_fingerprint"`
+	// ReplayedJobs counts the finished jobs taken from the journal
+	// instead of re-executing.
+	ReplayedJobs int `json:"replayed_jobs"`
+	// Git is the journal header's code version.
+	Git string `json:"git,omitempty"`
 }
 
 // NewManifest starts a manifest for the named tool.
@@ -80,6 +98,17 @@ func (m *Manifest) AddRun(r RunInfo) {
 	}
 	m.mu.Lock()
 	m.Runs = append(m.Runs, r)
+	m.mu.Unlock()
+}
+
+// AddResume appends one journal's resume-lineage record. Safe for
+// concurrent callers.
+func (m *Manifest) AddResume(r ResumeInfo) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.Resume = append(m.Resume, r)
 	m.mu.Unlock()
 }
 

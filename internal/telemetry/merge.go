@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// This file is the journal-replay side of the metrics registry: a
+// Snapshot that was serialized into a sweep journal (per-job metric
+// state) can be folded back into a live registry, so a resumed sweep's
+// final registry — replayed jobs merged, fresh jobs recorded live — is
+// identical to an uninterrupted run's.
+
+// UnmarshalJSON parses the {"le": "...", "count": N} form MarshalJSON
+// emits, restoring the +Inf upper bound from its string spelling.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.LE == "+Inf" {
+		b.Upper = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(raw.LE, 64)
+		if err != nil {
+			return fmt.Errorf("telemetry: bucket bound %q: %w", raw.LE, err)
+		}
+		b.Upper = v
+	}
+	b.Count = raw.Count
+	return nil
+}
+
+// Merge folds a snapshot into the registry: counters add their totals,
+// gauges take the snapshot's value (each per-job gauge series lives
+// under job-unique labels, so last-write-wins is exact), and histograms
+// add their de-cumulated per-bucket counts, observation counts, and
+// sums. Instruments are registered on first use, so merging into an
+// empty registry reconstructs the snapshot exactly. Counter totals and
+// bucket counts are small integers, which float64 addition carries
+// exactly, so merge order cannot perturb the result.
+func (r *Registry) Merge(snap Snapshot) error {
+	if r == nil {
+		return nil
+	}
+	for i := range snap {
+		m := &snap[i]
+		switch m.Kind {
+		case "counter":
+			r.Counter(m.Name, m.Labels...).Add(m.Value)
+		case "gauge":
+			r.Gauge(m.Name, m.Labels...).Set(m.Value)
+		case "histogram":
+			if len(m.Buckets) == 0 {
+				return fmt.Errorf("telemetry: merge histogram %q: no buckets", m.Name)
+			}
+			uppers := make([]float64, 0, len(m.Buckets)-1)
+			for _, b := range m.Buckets {
+				if !math.IsInf(b.Upper, 1) {
+					uppers = append(uppers, b.Upper)
+				}
+			}
+			h := r.Histogram(m.Name, uppers, m.Labels...)
+			if len(h.counts) != len(m.Buckets) {
+				return fmt.Errorf("telemetry: merge histogram %q: %d buckets, registry has %d", m.Name, len(m.Buckets), len(h.counts))
+			}
+			for j, u := range uppers {
+				if h.uppers[j] != u {
+					return fmt.Errorf("telemetry: merge histogram %q: bucket bound %v, registry has %v", m.Name, u, h.uppers[j])
+				}
+			}
+			var prev uint64
+			for j := range m.Buckets {
+				if c := m.Buckets[j].Count; c >= prev {
+					h.counts[j].Add(c - prev)
+					prev = c
+				} else {
+					return fmt.Errorf("telemetry: merge histogram %q: non-cumulative bucket counts", m.Name)
+				}
+			}
+			h.count.Add(m.Count)
+			h.sum.Add(m.Value)
+		default:
+			return fmt.Errorf("telemetry: merge: unknown metric kind %q for %q", m.Kind, m.Name)
+		}
+	}
+	return nil
+}

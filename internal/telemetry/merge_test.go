@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// populate fills a registry with one instrument of each kind, labeled
+// the way sweep jobs label their series.
+func populate(reg *Registry) {
+	reg.Counter("sim_steps_total", L("cycle", "ECE15")).Add(150)
+	reg.Counter("sim_steps_total", L("cycle", "UDDS")).Add(120)
+	reg.Gauge("supervisor_level", L("cycle", "ECE15")).Set(2)
+	h := reg.Histogram("solver_iterations", []float64{1, 2, 5, 10}, L("cycle", "ECE15"))
+	for _, v := range []float64{0.5, 1.5, 3, 7, 20} {
+		h.Observe(v)
+	}
+}
+
+// TestMergeReconstructsSnapshot pins the journal-replay contract: a
+// snapshot merged into an empty registry reproduces the original
+// snapshot byte for byte — including after a JSON round trip, which is
+// how snapshots travel through journal records.
+func TestMergeReconstructsSnapshot(t *testing.T) {
+	src := NewRegistry()
+	populate(src)
+	snap := src.Snapshot(nil)
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewRegistry()
+	if err := dst.Merge(decoded); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := snap.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Snapshot(nil).WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("merged registry differs from source:\n%s\nvs\n%s", b.String(), a.String())
+	}
+}
+
+// TestMergeAccumulates: merging two job snapshots sums counters and
+// histograms exactly, matching a registry that recorded both jobs live.
+func TestMergeAccumulates(t *testing.T) {
+	live := NewRegistry()
+	populate(live)
+	populate(live)
+
+	merged := NewRegistry()
+	one := NewRegistry()
+	populate(one)
+	snap := one.Snapshot(nil)
+	if err := merged.Merge(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(snap); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := live.Snapshot(nil).WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Snapshot(nil).WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("double merge != double record:\n%s\nvs\n%s", b.String(), a.String())
+	}
+}
+
+func TestMergeRejectsMalformedHistograms(t *testing.T) {
+	dst := NewRegistry()
+	if err := dst.Merge(Snapshot{{Name: "h", Kind: "histogram"}}); err == nil {
+		t.Error("histogram without buckets accepted")
+	}
+	if err := dst.Merge(Snapshot{{Name: "x", Kind: "exotic"}}); err == nil {
+		t.Error("unknown metric kind accepted")
+	}
+	// Non-cumulative bucket counts are corrupt.
+	bad := Snapshot{{
+		Name: "h2", Kind: "histogram", Count: 3, Value: 1,
+		Buckets: []BucketCount{{Upper: 1, Count: 5}, {Upper: math.Inf(1), Count: 2}},
+	}}
+	if err := dst.Merge(bad); err == nil {
+		t.Error("non-cumulative buckets accepted")
+	}
+}
+
+func TestBucketCountJSONRoundTrip(t *testing.T) {
+	for _, b := range []BucketCount{{Upper: 0.5, Count: 3}, {Upper: math.Inf(1), Count: 9}} {
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got BucketCount
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: %v", data, err)
+		}
+		if got.Count != b.Count || (got.Upper != b.Upper && !(math.IsInf(got.Upper, 1) && math.IsInf(b.Upper, 1))) {
+			t.Errorf("round trip %+v -> %s -> %+v", b, data, got)
+		}
+	}
+	var bad BucketCount
+	if err := json.Unmarshal([]byte(`{"le":"nope","count":1}`), &bad); err == nil {
+		t.Error("unparseable bucket bound accepted")
+	}
+}
