@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json clean test-faults test-resume fuzz-qp check
+.PHONY: all build test race vet bench bench-json bench-gate clean test-faults test-resume fuzz-qp check
 
 all: build vet test
 
@@ -34,8 +34,19 @@ bench-json:
 	{ $(GO) test -run '^$$' -bench 'Sweep16|CoSimOnOff' -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'Forecast|RunOnOff' -benchmem ./internal/sim ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_sweep.json
-	$(GO) test -run '^$$' -bench 'MPCSolveStep|QPInteriorPoint|SQPSolveWarm|LUSolve' -benchmem . \
+	$(GO) test -run '^$$' -bench 'MPCSolveStep|QPInteriorPoint|QPStructured|SQPSolveWarm|LUSolve' -benchmem . \
 	| $(GO) run ./cmd/benchjson -o BENCH_solver.json
+
+# Solver-path regression gate: rerun the solver benches and fail (exit 1)
+# when BenchmarkMPCSolveStep's ns/op regresses more than 15 % against the
+# committed BENCH_solver.json — the backstop that keeps the structured
+# backend's ≥10× win from eroding silently. On pass, the snapshot is
+# rewritten in place so `git diff BENCH_solver.json` shows the drift.
+# The 3 s benchtime matches how the committed snapshot was produced;
+# short runs are too noisy to gate at 15 % on shared CI hardware.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'MPCSolveStep|QPInteriorPoint|QPStructured|SQPSolveWarm|LUSolve' -benchmem -benchtime 3s . \
+	| $(GO) run ./cmd/benchjson -gate BENCH_solver.json -o BENCH_solver.json
 
 # Fault-injection and observability conformance under the race detector:
 # the injector and supervisor unit tests, the telemetry registry/trace
@@ -60,13 +71,18 @@ test-resume:
 	$(GO) test ./cmd/evbench/...
 	$(GO) test -fuzz=FuzzParseJournal -fuzztime=10s ./internal/runner/
 
-# Coverage-guided fuzzing of the QP interior-point solver (open-ended;
-# interrupt when satisfied).
+# Coverage-guided fuzzing of the QP interior-point solver: the dense
+# 2-variable front door (FuzzSolve) and the stage-structured KKT backend
+# (FuzzStageKKT — ill-conditioned, non-SPD, degenerate, and
+# band-violating stage QPs; go test fuzzes one target per invocation, so
+# the two run back to back).
 fuzz-qp:
-	$(GO) test -fuzz=FuzzSolve -fuzztime=2m ./internal/qp/
+	$(GO) test -fuzz='^FuzzSolve$$' -fuzztime=1m ./internal/qp/
+	$(GO) test -fuzz='^FuzzStageKKT$$' -fuzztime=1m ./internal/qp/
 
 # Pre-merge gate: full build + vet + tests, fault and crash-safety
 # suites under -race, and short fuzz smokes of the QP solver and the
 # journal parser.
 check: all test-faults test-resume
-	$(GO) test -fuzz=FuzzSolve -fuzztime=10s ./internal/qp/
+	$(GO) test -fuzz='^FuzzSolve$$' -fuzztime=10s ./internal/qp/
+	$(GO) test -fuzz='^FuzzStageKKT$$' -fuzztime=10s ./internal/qp/

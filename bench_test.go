@@ -160,6 +160,12 @@ func BenchmarkMPCSolveStep(b *testing.B) {
 	}
 }
 
+// BenchmarkQPInteriorPoint measures the cold solve path: a workspace
+// pre-sized with qp.NewWorkspaceFor, no prior solve — the configuration a
+// controller hits on its very first control step. Pre-sizing moves every
+// buffer acquisition out of Solve, so the allocs/op column must stay at
+// zero (it used to read 24 allocs / 82 KB per solve when this bench let
+// Solve size a fresh arena lazily).
 func BenchmarkQPInteriorPoint(b *testing.B) {
 	n := 60
 	h := mat.Identity(n)
@@ -175,9 +181,10 @@ func BenchmarkQPInteriorPoint(b *testing.B) {
 		ain.Set(n+i, i, -1)
 	}
 	p := &qp.Problem{H: h, C: c, Ain: ain, Bin: bin}
+	opt := qp.Options{Work: qp.NewWorkspaceFor(p)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := qp.Solve(p, qp.Options{}); err != nil {
+		if _, err := qp.Solve(p, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -203,6 +210,112 @@ func BenchmarkQPInteriorPointWarm(b *testing.B) {
 	}
 	p := &qp.Problem{H: h, C: c, Ain: ain, Bin: bin}
 	opt := qp.Options{Work: qp.NewWorkspace()}
+	if _, err := qp.Solve(p, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qp.Solve(p, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// stageBenchQP builds a stage QP with the MPC subproblem's exact shape —
+// 12 stages of 7 variables, 3 equality and 14 inequality rows per stage,
+// block-tridiagonal Hessian band — from deterministic pseudo-random
+// data. Used by the structured-vs-dense backend pair below.
+func stageBenchQP() *qp.Problem {
+	const nst, nv, ne, ni = 12, 7, 3, 14
+	n, meq, min := nst*nv, nst*ne, nst*ni
+	val := func(i, j int) float64 { return float64((i*37+j*17)%23)/23 - 0.5 }
+	h := mat.NewDense(n, n)
+	for k := 0; k < nst; k++ {
+		o := k * nv
+		for i := 0; i < nv; i++ {
+			for j := 0; j < nv; j++ {
+				var acc float64
+				for l := 0; l < nv; l++ {
+					acc += val(o+i, l) * val(o+j, l)
+				}
+				if i == j {
+					acc += 2
+				}
+				h.Set(o+i, o+j, acc)
+			}
+		}
+		if k > 0 {
+			for i := 0; i < nv; i++ {
+				for j := 0; j < nv; j++ {
+					v := 0.1 * val(o+i, o-nv+j)
+					h.Set(o+i, o-nv+j, v)
+					h.Set(o-nv+j, o+i, v)
+				}
+			}
+		}
+	}
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = val(i, i+1)
+	}
+	aeq := mat.NewDense(meq, n)
+	beq := make([]float64, meq)
+	for k := 0; k < nst; k++ {
+		lo := 0
+		if k > 0 {
+			lo = (k - 1) * nv
+		}
+		for r := 0; r < ne; r++ {
+			row := k*ne + r
+			for j := lo; j < (k+1)*nv; j++ {
+				aeq.Set(row, j, val(row, j))
+			}
+			beq[row] = 0.05 * val(row, 0)
+		}
+	}
+	ain := mat.NewDense(min, n)
+	bin := make([]float64, min)
+	for k := 0; k < nst; k++ {
+		o := k * nv
+		for i := 0; i < nv; i++ {
+			ain.Set(k*ni+i, o+i, 1)
+			bin[k*ni+i] = 2
+			ain.Set(k*ni+nv+i, o+i, -1)
+			bin[k*ni+nv+i] = 2
+		}
+	}
+	return &qp.Problem{
+		H: h, C: c, Aeq: aeq, Beq: beq, Ain: ain, Bin: bin,
+		Stages: qp.UniformStages(nst, nv, ne, ni),
+	}
+}
+
+// BenchmarkQPStructured and BenchmarkQPStructuredDense solve the same
+// MPC-shaped stage QP through the block-tridiagonal Riccati backend and
+// the dense reference path; their ratio is the per-solve win of
+// exploiting the horizon structure (the end-to-end controller win is
+// BenchmarkMPCSolveStep's).
+func BenchmarkQPStructured(b *testing.B) {
+	p := stageBenchQP()
+	opt := qp.Options{Work: qp.NewWorkspaceFor(p)}
+	res, err := qp.Solve(p, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Structured {
+		b.Fatal("bench problem did not take the structured path")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qp.Solve(p, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQPStructuredDense(b *testing.B) {
+	p := stageBenchQP()
+	opt := qp.Options{Work: qp.NewWorkspaceFor(p), Backend: qp.BackendDense}
 	if _, err := qp.Solve(p, opt); err != nil {
 		b.Fatal(err)
 	}

@@ -52,6 +52,9 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	gate := flag.String("gate", "", "baseline snapshot to gate against: exit 1 when the gated benchmark's ns/op regresses beyond -gate-tol")
+	gateBench := flag.String("gate-bench", "BenchmarkMPCSolveStep", "benchmark name the -gate check compares")
+	gateTol := flag.Float64("gate-tol", 0.15, "allowed fractional ns/op regression for -gate")
 	flag.Parse()
 
 	rep, err := Parse(os.Stdin)
@@ -60,6 +63,18 @@ func main() {
 	}
 	if len(rep.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)"))
+	}
+
+	if *gate != "" {
+		base, err := loadReport(*gate)
+		if err != nil {
+			fatal(err)
+		}
+		msg, err := Gate(rep, base, *gateBench, *gateTol)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson:", msg)
 	}
 
 	w := io.Writer(os.Stdout)
@@ -143,6 +158,60 @@ func parseLine(line string) (Benchmark, bool) {
 		b.Metrics[f[i+1]] = v
 	}
 	return b, true
+}
+
+// loadReport reads a committed snapshot back for gating.
+func loadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// find returns the first benchmark with the given name.
+func (r *Report) find(name string) *Benchmark {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// Gate compares the named benchmark's ns/op between a fresh report and a
+// committed baseline. It returns an error when the benchmark is missing
+// from either report or when the fresh time exceeds baseline·(1+tol) —
+// the CI regression gate for the MPC solve path. On success it returns a
+// one-line summary of the comparison.
+func Gate(fresh, baseline *Report, name string, tol float64) (string, error) {
+	fb := fresh.find(name)
+	if fb == nil {
+		return "", fmt.Errorf("gate: %s missing from fresh results", name)
+	}
+	bb := baseline.find(name)
+	if bb == nil {
+		return "", fmt.Errorf("gate: %s missing from baseline", name)
+	}
+	fNS, ok := fb.Metrics["ns/op"]
+	if !ok || fNS <= 0 {
+		return "", fmt.Errorf("gate: %s has no ns/op in fresh results", name)
+	}
+	bNS, ok := bb.Metrics["ns/op"]
+	if !ok || bNS <= 0 {
+		return "", fmt.Errorf("gate: %s has no ns/op in baseline", name)
+	}
+	ratio := fNS / bNS
+	if ratio > 1+tol {
+		return "", fmt.Errorf("gate: %s regressed %.1f%%: %.0f ns/op vs baseline %.0f ns/op (tolerance %.0f%%)",
+			name, (ratio-1)*100, fNS, bNS, tol*100)
+	}
+	return fmt.Sprintf("gate: %s ok: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
+		name, fNS, bNS, (ratio-1)*100, tol*100), nil
 }
 
 func fatal(err error) {

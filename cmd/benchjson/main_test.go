@@ -55,6 +55,51 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func report(name string, ns float64) *Report {
+	return &Report{Benchmarks: []Benchmark{
+		{Name: name, Procs: 1, Iterations: 10, Metrics: map[string]float64{"ns/op": ns}},
+	}}
+}
+
+func TestGate(t *testing.T) {
+	base := report("BenchmarkMPCSolveStep", 1000)
+	cases := []struct {
+		name  string
+		fresh *Report
+		ok    bool
+	}{
+		{"improvement", report("BenchmarkMPCSolveStep", 500), true},
+		{"unchanged", report("BenchmarkMPCSolveStep", 1000), true},
+		{"within tolerance", report("BenchmarkMPCSolveStep", 1140), true},
+		{"beyond tolerance", report("BenchmarkMPCSolveStep", 1200), false},
+		{"missing from fresh", report("BenchmarkOther", 100), false},
+	}
+	for _, tc := range cases {
+		msg, err := Gate(tc.fresh, base, "BenchmarkMPCSolveStep", 0.15)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected gate failure: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: gate passed (%q), want failure", tc.name, msg)
+		}
+	}
+	// Missing from the baseline is also a hard failure (a renamed
+	// benchmark must not silently disable the gate).
+	if _, err := Gate(report("BenchmarkMPCSolveStep", 100), report("BenchmarkOther", 100),
+		"BenchmarkMPCSolveStep", 0.15); err == nil {
+		t.Error("missing baseline entry passed the gate")
+	}
+}
+
+func TestGateRejectsMissingNsOp(t *testing.T) {
+	fresh := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkMPCSolveStep", Metrics: map[string]float64{"B/op": 0}},
+	}}
+	if _, err := Gate(fresh, report("BenchmarkMPCSolveStep", 1000), "BenchmarkMPCSolveStep", 0.15); err == nil {
+		t.Error("fresh result without ns/op passed the gate")
+	}
+}
+
 func TestParseIgnoresNoise(t *testing.T) {
 	rep, err := Parse(strings.NewReader("random line\nBenchmarkBroken abc\nPASS\n"))
 	if err != nil {

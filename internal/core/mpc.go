@@ -30,10 +30,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"evclimate/internal/cabin"
 	"evclimate/internal/control"
 	"evclimate/internal/mat"
+	"evclimate/internal/qp"
 	"evclimate/internal/sqp"
 	"evclimate/internal/telemetry"
 	"evclimate/internal/units"
@@ -155,6 +157,11 @@ type Controller struct {
 	telSolves  map[string]*telemetry.Counter
 	telIters   *telemetry.Histogram
 	telQPIters *telemetry.Histogram
+	// telRTF is the real-time factor gauge: solve wall time ÷ control
+	// period. Below 1 the controller keeps up with real time; the solve
+	// is only timed when the gauge is bound, so inactive sinks see no
+	// clock reads.
+	telRTF *telemetry.Gauge
 }
 
 // New validates the configuration and builds the controller.
@@ -217,6 +224,7 @@ func New(cfg Config) (*Controller, error) {
 		MIneq:     n * ineqPerStep,
 		Ineq:      func(z, out []float64) { c.inequalities(z, &c.hor, out) },
 		IneqJac:   func(z []float64, jac *mat.Dense) { c.inequalitiesJac(z, &c.hor, jac) },
+		Stages:    c.horizonStructure(),
 	}
 	c.bindInstruments()
 	return c, nil
@@ -225,7 +233,7 @@ func New(cfg Config) (*Controller, error) {
 // bindInstruments (re)resolves the solver instruments on the config's
 // sink, detaching them when it is nil or inactive.
 func (c *Controller) bindInstruments() {
-	c.telSolves, c.telIters, c.telQPIters = nil, nil, nil
+	c.telSolves, c.telIters, c.telQPIters, c.telRTF = nil, nil, nil, nil
 	tel := c.cfg.Telemetry
 	if tel == nil || !tel.Active() {
 		return
@@ -237,6 +245,9 @@ func (c *Controller) bindInstruments() {
 	c.telSolves["fallback"] = tel.Counter("mpc_solves_total", telemetry.L("status", "fallback"))
 	c.telIters = tel.Histogram("mpc_sqp_iterations", telemetry.IterationBuckets)
 	c.telQPIters = tel.Histogram("mpc_qp_iterations", telemetry.IterationBuckets)
+	// Wall-clock derived; the "_real_time_factor" suffix keeps it out of
+	// deterministic manifests (telemetry.DeterministicFilter).
+	c.telRTF = tel.Gauge("mpc_real_time_factor")
 }
 
 // BindTelemetry implements control.TelemetryBinder: solver counters and
@@ -357,29 +368,46 @@ func (c *Controller) buildHorizon(ctx control.StepContext) *horizonData {
 	return h
 }
 
-// Variable layout (paper Eq. 20's z = [x, i, u]):
+// Variable layout: stage-major (multiple-shooting order). Stage k owns
+// the 7 contiguous variables
 //
-//	z[0..n−1]                  x_1..x_N   cabin temperatures
-//	z[n+4k+0..3]               i_k = [Ts_k, Tc_k, dr_k, mz_k]
-//	z[5n+2k+0..1]              u_k = [Ph_k, Pc_k] coil powers (aux)
-func (c *Controller) idxX(k int) int  { return k - 1 } // x_k, k ≥ 1
-func (c *Controller) idxTs(k int) int { return c.cfg.Horizon + 4*k }
-func (c *Controller) idxTc(k int) int { return c.cfg.Horizon + 4*k + 1 }
-func (c *Controller) idxDr(k int) int { return c.cfg.Horizon + 4*k + 2 }
-func (c *Controller) idxMz(k int) int { return c.cfg.Horizon + 4*k + 3 }
-func (c *Controller) idxPh(k int) int { return 5*c.cfg.Horizon + 2*k }
-func (c *Controller) idxPc(k int) int { return 5*c.cfg.Horizon + 2*k + 1 }
+//	z[7k+0..5]   [Ts_k, Tc_k, dr_k, mz_k, Ph_k, Pc_k]   inputs + coil powers
+//	z[7k+6]      x_{k+1}                                next cabin temperature
+//
+// so every constraint of stage k touches only the variables of stages
+// k−1 (through x_k) and k. That is exactly the backward-support contract
+// of qp.StageStructure: the SQP subproblems factor block-tridiagonally
+// instead of densely. (The paper's Eq. 20 z = [x, i, u] grouping is
+// mathematically identical — this is a permutation.)
+func (c *Controller) idxX(k int) int  { return 7*(k-1) + 6 } // x_k, k ≥ 1
+func (c *Controller) idxTs(k int) int { return 7 * k }
+func (c *Controller) idxTc(k int) int { return 7*k + 1 }
+func (c *Controller) idxDr(k int) int { return 7*k + 2 }
+func (c *Controller) idxMz(k int) int { return 7*k + 3 }
+func (c *Controller) idxPh(k int) int { return 7*k + 4 }
+func (c *Controller) idxPc(k int) int { return 7*k + 5 }
 
 // nz returns the decision-vector length.
 func (c *Controller) nz() int { return 7 * c.cfg.Horizon }
 
+// stageVars is the per-stage variable count of the layout above.
+const stageVars = 7
+
+// horizonStructure declares the stage structure of the horizon NLP for
+// the structured QP backend: stageVars variables, 3 equality rows
+// (dynamics, heater power, cooler power) and ineqPerStep inequality rows
+// per prediction step.
+func (c *Controller) horizonStructure() *qp.StageStructure {
+	return qp.UniformStages(c.cfg.Horizon, stageVars, 3, ineqPerStep)
+}
+
 // stateAt returns the cabin temperature at the start of step k and
 // whether it is a decision variable (k ≥ 1).
-func stateAt(z []float64, h *horizonData, k int) (float64, bool) {
+func (c *Controller) stateAt(z []float64, h *horizonData, k int) (float64, bool) {
 	if k == 0 {
 		return h.tz0, false
 	}
-	return z[k-1], true
+	return z[c.idxX(k)], true
 }
 
 // hvacPowerAt returns Ph + Pc + Pf at step k for iterate z, in watts.
@@ -468,18 +496,18 @@ func (c *Controller) gradient(z []float64, h *horizonData, grad []float64) {
 	grad[c.idxX(h.n)] += 2 * w.Comfort * float64(h.n) * (z[c.idxX(h.n)] - h.targetC)
 }
 
-// Equality constraints, 3 per step k:
+// Equality constraints, stage-major, 3 per step k:
 //
-//	row k        : dynamics residual (Eqs. 18–19, trapezoidal), scaled by
-//	               Δt/Mc so it reads in kelvins
-//	row n + 2k   : Ph_k − (cp/ηh)·mz·(Ts − Tc)/1000 = 0   (Eq. 10, kW)
-//	row n + 2k+1 : Pc_k − (cp/ηc)·mz·(Tm − Tc)/1000 = 0   (Eqs. 9, 11, kW)
+//	row 3k   : dynamics residual (Eqs. 18–19, trapezoidal), scaled by
+//	           Δt/Mc so it reads in kelvins
+//	row 3k+1 : Ph_k − (cp/ηh)·mz·(Ts − Tc)/1000 = 0   (Eq. 10, kW)
+//	row 3k+2 : Pc_k − (cp/ηc)·mz·(Tm − Tc)/1000 = 0   (Eqs. 9, 11, kW)
 func (c *Controller) equalities(z []float64, h *horizonData, out []float64) {
 	p := c.cfg.Cabin
 	ah := p.AirCpJKgK / p.EtaHeat
 	ac := p.AirCpJKgK / p.EtaCool
 	for k := 0; k < h.n; k++ {
-		xk, _ := stateAt(z, h, k)
+		xk, _ := c.stateAt(z, h, k)
 		xk1 := z[c.idxX(k+1)]
 		ts := z[c.idxTs(k)]
 		tc := z[c.idxTc(k)]
@@ -489,11 +517,11 @@ func (c *Controller) equalities(z []float64, h *horizonData, out []float64) {
 		q := h.solarW[k] + p.ShellUAWK*(h.outsideC[k]-xbar)
 		supply := mz * p.AirCpJKgK * (ts - xbar)
 		rowScale := h.dt / p.ThermalCapacitanceJK
-		out[k] = (xk1 - xk) - rowScale*(q+supply)
+		out[3*k] = (xk1 - xk) - rowScale*(q+supply)
 
 		tm := (1-dr)*h.outsideC[k] + dr*xk
-		out[h.n+2*k] = z[c.idxPh(k)] - ah*mz*(ts-tc)/1000
-		out[h.n+2*k+1] = z[c.idxPc(k)] - ac*mz*(tm-tc)/1000
+		out[3*k+1] = z[c.idxPh(k)] - ah*mz*(ts-tc)/1000
+		out[3*k+2] = z[c.idxPc(k)] - ac*mz*(tm-tc)/1000
 	}
 }
 
@@ -507,28 +535,28 @@ func (c *Controller) equalitiesJac(z []float64, h *horizonData, jac *mat.Dense) 
 		tc := z[c.idxTc(k)]
 		dr := z[c.idxDr(k)]
 		mz := z[c.idxMz(k)]
-		xk, xIsVar := stateAt(z, h, k)
+		xk, xIsVar := c.stateAt(z, h, k)
 		xk1 := z[c.idxX(k+1)]
 		xbar := (xk + xk1) / 2
 
 		// Dynamics row (scaled by Δt/Mc).
 		rowScale := h.dt / p.ThermalCapacitanceJK
-		jac.Set(k, c.idxX(k+1), 1+rowScale*(p.ShellUAWK/2+mz*p.AirCpJKgK/2))
+		jac.Set(3*k, c.idxX(k+1), 1+rowScale*(p.ShellUAWK/2+mz*p.AirCpJKgK/2))
 		if xIsVar {
-			jac.Set(k, c.idxX(k), -1+rowScale*(p.ShellUAWK/2+mz*p.AirCpJKgK/2))
+			jac.Set(3*k, c.idxX(k), -1+rowScale*(p.ShellUAWK/2+mz*p.AirCpJKgK/2))
 		}
-		jac.Set(k, c.idxTs(k), -rowScale*mz*p.AirCpJKgK)
-		jac.Set(k, c.idxMz(k), -rowScale*p.AirCpJKgK*(ts-xbar))
+		jac.Set(3*k, c.idxTs(k), -rowScale*mz*p.AirCpJKgK)
+		jac.Set(3*k, c.idxMz(k), -rowScale*p.AirCpJKgK*(ts-xbar))
 
 		// Heater power definition row (kW).
-		r := h.n + 2*k
+		r := 3*k + 1
 		jac.Set(r, c.idxPh(k), 1)
 		jac.Set(r, c.idxTs(k), -ah*mz/1000)
 		jac.Set(r, c.idxTc(k), ah*mz/1000)
 		jac.Set(r, c.idxMz(k), -ah*(ts-tc)/1000)
 
 		// Cooler power definition row (kW).
-		r = h.n + 2*k + 1
+		r = 3*k + 2
 		tm := (1-dr)*h.outsideC[k] + dr*xk
 		jac.Set(r, c.idxPc(k), 1)
 		jac.Set(r, c.idxTc(k), ac*mz/1000)
@@ -564,7 +592,7 @@ func (c *Controller) inequalities(z []float64, h *horizonData, out []float64) {
 		tc := z[c.idxTc(k)]
 		dr := z[c.idxDr(k)]
 		mz := z[c.idxMz(k)]
-		xhat, _ := stateAt(z, h, k)
+		xhat, _ := c.stateAt(z, h, k)
 		tm := (1-dr)*h.outsideC[k] + dr*xhat
 		o := out[k*ineqPerStep:]
 		o[0] = p.MinAirFlowKgS - mz
@@ -587,7 +615,7 @@ func (c *Controller) inequalities(z []float64, h *horizonData, out []float64) {
 func (c *Controller) inequalitiesJac(z []float64, h *horizonData, jac *mat.Dense) {
 	for k := 0; k < h.n; k++ {
 		dr := z[c.idxDr(k)]
-		xhat, xIsVar := stateAt(z, h, k)
+		xhat, xIsVar := c.stateAt(z, h, k)
 		r := k * ineqPerStep
 		jac.Set(r+0, c.idxMz(k), -1)
 		jac.Set(r+1, c.idxMz(k), 1)
@@ -636,20 +664,14 @@ func (c *Controller) initialGuess(h *horizonData, z []float64) {
 }
 
 // shiftWarmStart advances the previous solution by one step into z,
-// which must not alias prev.
+// which must not alias prev. The stage-major layout makes the shift two
+// block copies: stages 1..n−1 slide down one slot (inputs, coil powers,
+// and the next-state variable all travel together), and the final stage
+// repeats the previous plan's last stage.
 func (c *Controller) shiftWarmStart(prev []float64, h *horizonData, z []float64) {
-	n := h.n
-	copy(z, prev)
-	for k := 1; k < n; k++ {
-		z[c.idxX(k)] = prev[c.idxX(k+1)]
-	}
-	for k := 0; k < n-1; k++ {
-		for j := 0; j < 4; j++ {
-			z[c.cfg.Horizon+4*k+j] = prev[c.cfg.Horizon+4*(k+1)+j]
-		}
-		z[c.idxPh(k)] = prev[c.idxPh(k+1)]
-		z[c.idxPc(k)] = prev[c.idxPc(k+1)]
-	}
+	last := stageVars * (h.n - 1)
+	copy(z[:last], prev[stageVars:])
+	copy(z[last:], prev[last:])
 }
 
 // Decide implements control.Controller: it solves the horizon problem and
@@ -673,7 +695,14 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 		opt.HardIterCap = ctx.SolverIterBudget
 	}
 
+	var t0 time.Time
+	if c.telRTF != nil {
+		t0 = time.Now()
+	}
 	res, err := sqp.Solve(prob, z0, opt)
+	if c.telRTF != nil {
+		c.telRTF.Set(time.Since(t0).Seconds() / c.cfg.Dt)
+	}
 	c.solves++
 	c.lastSolve = control.SolveInfo{Status: "fallback"}
 	if res != nil {
@@ -737,7 +766,17 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 		c.telQPIters.Observe(float64(c.lastSolve.QPIterations))
 		c.telSolves[c.lastSolve.Status].Inc()
 	}
-	out, _ := c.model.ClampForEnvironment(in, ctx.OutsideC, ctx.CabinTempC)
+	out, mix := c.model.ClampForEnvironment(in, ctx.OutsideC, ctx.CabinTempC)
+	// Exact heater/cooler complementarity on the emitted move: the
+	// finite-tolerance solve drives min(Ph, Pc) toward zero but can leave
+	// a few watts of the opposite coil active, which the plant would
+	// dutifully burn. Raising the coil temperature to min(Ts, Tm) keeps
+	// the supply temperature — and therefore the cabin trajectory —
+	// exactly as planned while strictly reducing coil power, so the
+	// emitted move is never worse than the optimizer's.
+	if pw := c.model.PowersFor(out, mix); pw.HeaterW > 0 && pw.CoolerW > 0 {
+		out.CoilTempC = math.Min(out.SupplyTempC, mix)
+	}
 	return out
 }
 
@@ -748,5 +787,9 @@ func (c *Controller) PredictedPlan() []float64 {
 	if !c.havePrev {
 		return nil
 	}
-	return mat.CloneVec(c.prevZ[:c.cfg.Horizon])
+	plan := make([]float64, c.cfg.Horizon)
+	for k := 1; k <= c.cfg.Horizon; k++ {
+		plan[k-1] = c.prevZ[c.idxX(k)]
+	}
+	return plan
 }

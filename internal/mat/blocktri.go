@@ -1,0 +1,299 @@
+package mat
+
+import "math"
+
+// LDL holds an unpivoted LDLᵀ factorization A = L·D·Lᵀ of a symmetric
+// matrix, with L unit lower triangular and D diagonal. Unlike Cholesky it
+// admits negative pivots, which makes it the right factorization for the
+// symmetric quasi-definite saddle-point blocks of an interior-point KKT
+// system (Vanderbei: every symmetric permutation of a quasi-definite
+// matrix factors as LDLᵀ with a nonsingular diagonal, no pivoting
+// needed). Only the lower triangle of the input is read.
+type LDL struct {
+	l    *Dense    // unit lower triangular factor (diagonal implicitly 1)
+	d    []float64 // pivots
+	dinv []float64 // reciprocal pivots (solve-path fast path)
+	t    []float64 // scaled-row scratch for the factorization
+}
+
+// Reserve pre-sizes the factor storage for n×n factorizations so the
+// first LDLFactorizeInto call with that size performs no allocation.
+func (f *LDL) Reserve(n int) {
+	if f.l == nil || f.l.rows != n {
+		f.l = NewDense(n, n)
+	}
+	f.d = growVec(f.d, n)
+	f.dinv = growVec(f.dinv, n)
+	f.t = growVec(f.t, n)
+}
+
+// LDLFactorizeInto computes the LDLᵀ factorization of a into f, reusing
+// f's storage when the dimensions match (allocation-free after the first
+// call with a given size). Only the lower triangle of a is read. signs,
+// when non-nil, declares the expected sign of each pivot (+1 or −1, the
+// quasi-definite inertia pattern); a pivot that is zero, non-finite, or
+// of the wrong sign aborts with ErrNotSPD, signalling the caller to fall
+// back to a pivoted factorization. A nil signs only rejects zero and
+// non-finite pivots. On error the contents of f are unspecified.
+func LDLFactorizeInto(f *LDL, a *Dense, signs []int8) error {
+	n, c := a.Dims()
+	if n != c {
+		panic(ErrShape)
+	}
+	if signs != nil && len(signs) != n {
+		panic(ErrShape)
+	}
+	f.Reserve(n)
+	ad, ld, d, dinv, t := a.data, f.l.data, f.d[:n], f.dinv[:n], f.t[:n]
+	for j := 0; j < n; j++ {
+		// d_j = a_jj − Σ_k l_jk² d_k, with the scaled row t_k = l_jk·d_k
+		// hoisted so the rank update below is a plain dot product.
+		rowJ := ld[j*n : j*n+j]
+		tj := t[:j]
+		diag := ad[j*n+j]
+		for k, ljk := range rowJ {
+			tk := ljk * d[k]
+			tj[k] = tk
+			diag -= ljk * tk
+		}
+		if diag == 0 || math.IsNaN(diag) || math.IsInf(diag, 0) {
+			return ErrNotSPD
+		}
+		if signs != nil && ((signs[j] > 0) != (diag > 0)) {
+			return ErrNotSPD
+		}
+		d[j] = diag
+		inv := 1 / diag
+		dinv[j] = inv
+		// l_ij = (a_ij − Σ_k l_ik t_k) / d_j
+		for i := j + 1; i < n; i++ {
+			rowI := ld[i*n : i*n+j]
+			s := ad[i*n+j]
+			for k, tk := range tj {
+				s -= rowI[k] * tk
+			}
+			ld[i*n+j] = s * inv
+		}
+	}
+	return nil
+}
+
+// SolveInto solves A·x = b into x using the factorization and returns x.
+// b and x may alias (the solve runs in place when they do).
+func (f *LDL) SolveInto(b, x []float64) []float64 {
+	n, _ := f.l.Dims()
+	if len(b) != n || len(x) != n {
+		panic(ErrShape)
+	}
+	ld, dinv := f.l.data, f.dinv
+	// Forward substitution L·y = b (unit diagonal), y stored in x; safe
+	// in place because position i only reads positions j < i.
+	for i := 0; i < n; i++ {
+		row := ld[i*n : i*n+i]
+		s := b[i]
+		for j, l := range row {
+			s -= l * x[j]
+		}
+		x[i] = s
+	}
+	// Diagonal solve D·z = y via the reciprocal pivots.
+	for i := 0; i < n; i++ {
+		x[i] *= dinv[i]
+	}
+	// Backward substitution Lᵀ·x = z in saxpy form: once x[j] is final,
+	// subtract its column contribution from x[0..j−1]. Row j of L is the
+	// column j of Lᵀ, so the sweep reads contiguous memory.
+	for j := n - 1; j > 0; j-- {
+		v := x[j]
+		if v == 0 {
+			continue
+		}
+		row := ld[j*n : j*n+j]
+		for i, l := range row {
+			x[i] -= l * v
+		}
+	}
+	return x
+}
+
+// BlockTriDiag factors a symmetric block-tridiagonal matrix
+//
+//	M = ⎡ B_0  C_1ᵀ            ⎤
+//	    ⎢ C_1  B_1  C_2ᵀ       ⎥
+//	    ⎢      C_2  B_2   ⋱    ⎥
+//	    ⎣            ⋱     ⋱   ⎦
+//
+// by the block LDLᵀ recursion S_0 = B_0, W_k = C_k·S_{k−1}⁻¹,
+// S_k = B_k − W_k·C_kᵀ, with each Schur complement S_k factored by
+// unpivoted scalar LDLᵀ. For a stage-structured interior-point KKT
+// system this is the Riccati recursion: O(N·m³) instead of the dense
+// O((N·m)³). All factor and scratch storage lives in the struct and is
+// reused across Factorize calls — allocation-free once sized (or after
+// Reserve).
+type BlockTriDiag struct {
+	dims []int
+	off  []int    // prefix offsets into the full vector, len(dims)+1
+	fact []LDL    // factor of S_k
+	s    []*Dense // Schur complement scratch (lower triangle)
+	w    []*Dense // W_k = C_k·S_{k−1}⁻¹, dims[k]×dims[k−1]; w[0] unused
+}
+
+// Reserve pre-sizes every internal buffer for block dimensions dims so
+// the first Factorize with matching dimensions performs no allocation.
+// dims must be positive.
+func (f *BlockTriDiag) Reserve(dims []int) {
+	if len(dims) == len(f.dims) {
+		same := true
+		for i, d := range dims {
+			if f.dims[i] != d {
+				same = false
+				break
+			}
+		}
+		if same && f.s != nil {
+			return
+		}
+	}
+	n := len(dims)
+	f.dims = append(f.dims[:0], dims...)
+	f.off = growInts(f.off, n+1)
+	f.off[0] = 0
+	for k, d := range dims {
+		if d <= 0 {
+			panic(ErrShape)
+		}
+		f.off[k+1] = f.off[k] + d
+	}
+	f.fact = make([]LDL, n)
+	f.s = make([]*Dense, n)
+	f.w = make([]*Dense, n)
+	for k := 0; k < n; k++ {
+		f.fact[k].Reserve(dims[k])
+		f.s[k] = NewDense(dims[k], dims[k])
+		if k > 0 {
+			f.w[k] = NewDense(dims[k], dims[k-1])
+		}
+	}
+}
+
+// Factorize computes the factorization from the diagonal blocks diag[k]
+// (dims[k]×dims[k] symmetric; only the lower triangle is read) and the
+// sub-diagonal blocks sub[k] (dims[k]×dims[k−1] for k ≥ 1; sub[0] is
+// ignored and may be nil). signs, when non-nil, is the full-length
+// expected pivot sign pattern (see LDLFactorizeInto), sliced per block.
+// The input blocks are not modified. Returns ErrNotSPD when any Schur
+// complement fails to factor with the expected inertia, in which case the
+// caller should fall back to a dense pivoted factorization.
+func (f *BlockTriDiag) Factorize(diag, sub []*Dense, signs []int8) error {
+	n := len(diag)
+	if n == 0 || len(sub) != n {
+		panic(ErrShape)
+	}
+	sized := len(f.dims) == n && f.s != nil
+	for k, b := range diag {
+		r, c := b.Dims()
+		if r != c {
+			panic(ErrShape)
+		}
+		if sized && f.dims[k] != r {
+			sized = false
+		}
+	}
+	if !sized {
+		dims := make([]int, n)
+		for k, b := range diag {
+			dims[k], _ = b.Dims()
+		}
+		f.Reserve(dims)
+	}
+	dims := f.dims
+	if signs != nil && len(signs) != f.off[n] {
+		panic(ErrShape)
+	}
+	for k := 0; k < n; k++ {
+		m := dims[k]
+		sk := f.s[k]
+		sk.CopyFrom(diag[k])
+		if k > 0 {
+			// W_k = C_k·S_{k−1}⁻¹ row by row: row r of W_k is
+			// S_{k−1}⁻¹·(row r of C_k), S being symmetric.
+			ck, wk := sub[k], f.w[k]
+			mp := dims[k-1]
+			if r, c := ck.Dims(); r != m || c != mp {
+				panic(ErrShape)
+			}
+			for r := 0; r < m; r++ {
+				f.fact[k-1].SolveInto(ck.RawRow(r), wk.RawRow(r))
+			}
+			// S_k = B_k − W_k·C_kᵀ, lower triangle only.
+			for i := 0; i < m; i++ {
+				wi, si := wk.RawRow(i), sk.RawRow(i)
+				for j := 0; j <= i; j++ {
+					cj := ck.RawRow(j)
+					var acc float64
+					for l := 0; l < mp; l++ {
+						acc += wi[l] * cj[l]
+					}
+					si[j] -= acc
+				}
+			}
+		}
+		var sg []int8
+		if signs != nil {
+			sg = signs[f.off[k]:f.off[k+1]]
+		}
+		if err := LDLFactorizeInto(&f.fact[k], sk, sg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SolveInto solves M·x = b into x using the factorization and returns x.
+// The last Factorize call's sub blocks are not needed again: W_k is
+// retained internally. b and x may alias.
+func (f *BlockTriDiag) SolveInto(b, x []float64) []float64 {
+	n := len(f.dims)
+	dim := f.off[n]
+	if len(b) != dim || len(x) != dim {
+		panic(ErrShape)
+	}
+	if &x[0] != &b[0] {
+		copy(x, b)
+	}
+	// Forward: z_k = b_k − W_k·z_{k−1}.
+	for k := 1; k < n; k++ {
+		wk := f.w[k]
+		xk := x[f.off[k]:f.off[k+1]]
+		xp := x[f.off[k-1]:f.off[k]]
+		for i := range xk {
+			wi := wk.RawRow(i)
+			var acc float64
+			for l, v := range xp {
+				acc += wi[l] * v
+			}
+			xk[i] -= acc
+		}
+	}
+	// Diagonal: u_k = S_k⁻¹·z_k.
+	for k := 0; k < n; k++ {
+		xk := x[f.off[k]:f.off[k+1]]
+		f.fact[k].SolveInto(xk, xk)
+	}
+	// Backward: x_k = u_k − W_{k+1}ᵀ·x_{k+1}.
+	for k := n - 2; k >= 0; k-- {
+		wn := f.w[k+1]
+		xk := x[f.off[k]:f.off[k+1]]
+		xn := x[f.off[k+1]:f.off[k+2]]
+		for j, v := range xn {
+			if v == 0 {
+				continue
+			}
+			wj := wn.RawRow(j)
+			for i := range xk {
+				xk[i] -= wj[i] * v
+			}
+		}
+	}
+	return x
+}

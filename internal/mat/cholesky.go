@@ -8,6 +8,14 @@ type Cholesky struct {
 	l *Dense
 }
 
+// Reserve pre-sizes the factor storage for n×n factorizations so the
+// first CholeskyFactorizeInto call with that size performs no allocation.
+func (c *Cholesky) Reserve(n int) {
+	if c.l == nil || c.l.rows != n {
+		c.l = NewDense(n, n)
+	}
+}
+
 // CholeskyFactorize computes the Cholesky factorization of the symmetric
 // positive definite matrix a. Only the lower triangle of a is read.
 // It returns ErrNotSPD if a pivot is non-positive.

@@ -11,6 +11,15 @@ type LU struct {
 	sign int   // +1 or −1, the determinant of the permutation
 }
 
+// Reserve pre-sizes the factor storage for n×n factorizations so the
+// first FactorizeInto call with that size performs no allocation.
+func (f *LU) Reserve(n int) {
+	if f.lu == nil || f.lu.rows != n {
+		f.lu = NewDense(n, n)
+	}
+	f.piv = growInts(f.piv, n)
+}
+
 // Factorize computes the LU factorization of the square matrix a with
 // partial (row) pivoting. It returns ErrSingular if a pivot is exactly
 // zero; near-singular systems succeed here but may produce large residuals.

@@ -36,6 +36,25 @@ type kktFactor struct {
 // errNotSPD signals the caller to fall back to LU.
 var errNotSPD = errors.New("qp: KKT K-block not SPD")
 
+// reserve pre-sizes every factor and scratch buffer for an n-variable
+// problem with meq equality rows so the first factorize call performs no
+// allocation.
+func (f *kktFactor) reserve(n, meq int) {
+	f.chK.Reserve(n)
+	f.n = n
+	f.mq = meq
+	if meq > 0 {
+		f.y = mat.NewDense(n, meq)
+		f.sMat = mat.NewDense(meq, meq)
+		f.col = make([]float64, n)
+		f.t = make([]float64, meq)
+		f.yd = make([]float64, n)
+		f.chS.Reserve(meq)
+	} else {
+		f.y = nil
+	}
+}
+
 // factorize computes the factorization of K (n×n, dense symmetric) and,
 // when aeq is non-nil, the Schur complement for the equality block,
 // reusing the receiver's buffers.

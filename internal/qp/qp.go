@@ -61,6 +61,14 @@ type Problem struct {
 	Beq []float64
 	Ain *mat.Dense
 	Bin []float64
+	// Stages, when non-nil, declares receding-horizon stage structure
+	// (see StageStructure): Solve then factors the interior-point KKT
+	// system with a block-tridiagonal Riccati recursion instead of the
+	// dense reference path, after verifying the declared sparsity against
+	// the matrix data. A structurally inconsistent declaration (counts
+	// not summing to the problem dimensions) is ErrBadProblem; declared
+	// but non-conforming matrix data silently uses the dense path.
+	Stages *StageStructure
 }
 
 // Options tunes the solver. The zero value selects defaults.
@@ -71,8 +79,15 @@ type Options struct {
 	Tol float64
 	// Reg is the static diagonal regularization added to the KKT system
 	// (default 1e-9) — it keeps the factorization well-posed when H is
-	// only positive semidefinite.
+	// only positive semidefinite. Both KKT backends use the same Reg, so
+	// the structured path solves the identical linear system as the dense
+	// reference.
 	Reg float64
+	// Backend selects the KKT factorization path (default BackendAuto:
+	// structured when the problem declares conforming stage structure,
+	// dense otherwise). BackendDense forces the dense reference path —
+	// equivalence tests solve the same problem both ways.
+	Backend Backend
 	// Work, when non-nil, is a reusable solver workspace: repeated Solve
 	// calls with same-shaped problems perform no allocation, and the
 	// slices in the returned Result alias the workspace (valid until the
@@ -108,6 +123,13 @@ type Result struct {
 	Status Status
 	// PrimalInfeas and DualInfeas are the final scaled residual norms.
 	PrimalInfeas, DualInfeas float64
+	// Structured reports that every KKT factorization of the solve used
+	// the stage-structured Riccati backend. It is false when no structure
+	// was declared or selected, when the declared structure did not
+	// conform to the matrix data, or when a stage factorization lost
+	// quasi-definiteness mid-solve and the solver demoted to the dense
+	// path for the remaining iterations.
+	Structured bool
 }
 
 func (p *Problem) validate() (n, meq, min int, err error) {
@@ -155,6 +177,11 @@ func (p *Problem) validate() (n, meq, min int, err error) {
 	if p.Ain != nil && !p.Ain.AllFinite() {
 		return 0, 0, 0, fmt.Errorf("%w: non-finite inequality matrix", ErrBadProblem)
 	}
+	if p.Stages != nil {
+		if err := p.Stages.Check(n, meq, min); err != nil {
+			return 0, 0, 0, err
+		}
+	}
 	return n, meq, min, nil
 }
 
@@ -185,6 +212,23 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 	if min == 0 {
 		return solveEquality(p, n, meq, opt, ws)
 	}
+
+	// Stage-structured backend selection. banded (constant for the whole
+	// solve) says the declared structure conforms to the matrix data, so
+	// the banded matvecs are valid; stageActive starts equal and is
+	// demoted to false — for the remaining iterations — if a stage
+	// factorization loses quasi-definiteness.
+	var st *stageKKT
+	banded := false
+	if p.Stages != nil && opt.Backend != BackendDense {
+		if ws.stage == nil {
+			ws.stage = &stageKKT{}
+		}
+		st = ws.stage
+		st.ensure(p.Stages, n, meq, min)
+		banded = st.conforms(p)
+	}
+	stageActive := banded
 
 	// Interior-point state.
 	x := ws.x
@@ -223,20 +267,41 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		res.Iterations = iter + 1
 
-		// Residuals.
-		hx := p.H.MulVecInto(x, ws.hx)
+		// Residuals (banded matvecs when the structure conforms: the
+		// stage windows skip the zero blocks the dense products wade
+		// through, which matters once the factorization is cheap).
+		var hx []float64
+		if banded {
+			hx = st.mulH(p.H, x, ws.hx)
+		} else {
+			hx = p.H.MulVecInto(x, ws.hx)
+		}
 		for i := 0; i < n; i++ {
 			rd[i] = hx[i] + p.C[i]
 		}
 		if meq > 0 {
-			mat.Axpy(1, p.Aeq.MulVecTInto(y, ws.tmpN), rd)
-			aeqx := p.Aeq.MulVecInto(x, ws.aeqx)
+			var aty, aeqx []float64
+			if banded {
+				aty = st.mulAT(p.Aeq, st.eoff, y, ws.tmpN)
+				aeqx = st.mulA(p.Aeq, st.eoff, x, ws.aeqx)
+			} else {
+				aty = p.Aeq.MulVecTInto(y, ws.tmpN)
+				aeqx = p.Aeq.MulVecInto(x, ws.aeqx)
+			}
+			mat.Axpy(1, aty, rd)
 			for i := 0; i < meq; i++ {
 				rp[i] = aeqx[i] - p.Beq[i]
 			}
 		}
-		mat.Axpy(1, p.Ain.MulVecTInto(z, ws.tmpN), rd)
-		ainx := p.Ain.MulVecInto(x, ws.ax)
+		var atz, ainx []float64
+		if banded {
+			atz = st.mulAT(p.Ain, st.ioff, z, ws.tmpN)
+			ainx = st.mulA(p.Ain, st.ioff, x, ws.ax)
+		} else {
+			atz = p.Ain.MulVecTInto(z, ws.tmpN)
+			ainx = p.Ain.MulVecInto(x, ws.ax)
+		}
+		mat.Axpy(1, atz, rd)
 		for i := 0; i < min; i++ {
 			rc[i] = ainx[i] + s[i] - p.Bin[i]
 		}
@@ -249,61 +314,80 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 			break
 		}
 
-		// Assemble the reduced KKT matrix
-		//   [ H + AinᵀD Ain + regI    Aeqᵀ      ] [dx]   [−r1]
-		//   [ Aeq                     −regI     ] [dy] = [−rp]
-		// with D = diag(z/s).
-		kBlock := ws.kBlock
-		kBlock.CopyFrom(p.H)
-		for i := 0; i < n; i++ {
-			kBlock.Add(i, i, opt.Reg)
-		}
+		// The barrier weights d = z/s feed every backend; a nonpositive
+		// or non-finite ratio means the iterate is beyond repair.
+		badD := false
 		for k := 0; k < min; k++ {
 			d := z[k] / s[k]
 			if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
-				res.Status = NumericalFailure
+				badD = true
 				break
 			}
-			arow := p.Ain.RawRow(k)
-			for i, aki := range arow {
-				if aki == 0 {
-					continue
-				}
-				krow := kBlock.RawRow(i)
-				for j, akj := range arow {
-					if akj != 0 {
-						krow[j] += d * aki * akj
-					}
-				}
-			}
 		}
-		if res.Status == NumericalFailure {
+		if badD {
+			res.Status = NumericalFailure
 			break
 		}
 
-		// Preferred path: structured Cholesky + Schur factorization.
-		// Fallback: dense LU of the full saddle-point system when the
-		// K-block is not numerically SPD (extreme barrier weights).
+		// Assemble and factor the reduced KKT matrix
+		//   [ H + AinᵀD Ain + regI    Aeqᵀ      ] [dx]   [−r1]
+		//   [ Aeq                     −regI     ] [dy] = [−rp]
+		// with D = diag(z/s). Structured path first; a stage block that
+		// loses quasi-definiteness demotes this and all later iterations
+		// of the solve to the dense reference path.
+		if stageActive {
+			st.assemble(p, z, s, opt.Reg)
+			if st.factorize() != nil {
+				stageActive = false
+			}
+		}
 		useLU := false
-		if kerr := ws.kf.factorize(kBlock, p.Aeq, opt.Reg); kerr != nil {
-			useLU = true
-			ws.ensureKKT(n + meq)
-			kkt := ws.kkt.Zero()
+		if !stageActive {
+			kBlock := ws.kBlock
+			kBlock.CopyFrom(p.H)
 			for i := 0; i < n; i++ {
-				copy(kkt.RawRow(i)[:n], kBlock.RawRow(i))
+				kBlock.Add(i, i, opt.Reg)
 			}
-			for i := 0; i < meq; i++ {
-				arow := p.Aeq.RawRow(i)
-				krow := kkt.RawRow(n + i)
-				for j, v := range arow {
-					krow[j] = v
-					kkt.Set(j, n+i, v)
+			for k := 0; k < min; k++ {
+				d := z[k] / s[k]
+				arow := p.Ain.RawRow(k)
+				for i, aki := range arow {
+					if aki == 0 {
+						continue
+					}
+					krow := kBlock.RawRow(i)
+					for j, akj := range arow {
+						if akj != 0 {
+							krow[j] += d * aki * akj
+						}
+					}
 				}
-				krow[n+i] = -opt.Reg
 			}
-			if ferr := mat.FactorizeInto(&ws.lu, kkt); ferr != nil {
-				res.Status = NumericalFailure
-				break
+
+			// Preferred dense path: structured Cholesky + Schur
+			// factorization. Fallback: dense LU of the full saddle-point
+			// system when the K-block is not numerically SPD (extreme
+			// barrier weights).
+			if kerr := ws.kf.factorize(kBlock, p.Aeq, opt.Reg); kerr != nil {
+				useLU = true
+				ws.ensureKKT(n + meq)
+				kkt := ws.kkt.Zero()
+				for i := 0; i < n; i++ {
+					copy(kkt.RawRow(i)[:n], kBlock.RawRow(i))
+				}
+				for i := 0; i < meq; i++ {
+					arow := p.Aeq.RawRow(i)
+					krow := kkt.RawRow(n + i)
+					for j, v := range arow {
+						krow[j] = v
+						kkt.Set(j, n+i, v)
+					}
+					krow[n+i] = -opt.Reg
+				}
+				if ferr := mat.FactorizeInto(&ws.lu, kkt); ferr != nil {
+					res.Status = NumericalFailure
+					break
+				}
 			}
 		}
 
@@ -313,9 +397,18 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 			for k := 0; k < min; k++ {
 				tmp[k] = (z[k]*rc[k] - rszLocal[k]) / s[k]
 			}
-			r1 := p.Ain.MulVecTInto(tmp, ws.r1)
+			var r1 []float64
+			if banded {
+				r1 = st.mulAT(p.Ain, st.ioff, tmp, ws.r1)
+			} else {
+				r1 = p.Ain.MulVecTInto(tmp, ws.r1)
+			}
 			mat.Axpy(1, rd, r1)
-			if !useLU {
+			if stageActive {
+				rhs1 := mat.ScaleVecInto(ws.rhs1, -1, r1)
+				rhs2 := mat.ScaleVecInto(ws.rhs2, -1, rp)
+				st.solveInto(rhs1, rhs2, dx, dy)
+			} else if !useLU {
 				rhs1 := mat.ScaleVecInto(ws.rhs1, -1, r1)
 				rhs2 := mat.ScaleVecInto(ws.rhs2, -1, rp)
 				ws.kf.solveInto(rhs1, rhs2, dx, dy)
@@ -331,7 +424,12 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 				copy(dx, ws.sol[:n])
 				copy(dy, ws.sol[n:])
 			}
-			aindx := p.Ain.MulVecInto(dx, ws.aindx)
+			var aindx []float64
+			if banded {
+				aindx = st.mulA(p.Ain, st.ioff, dx, ws.aindx)
+			} else {
+				aindx = p.Ain.MulVecInto(dx, ws.aindx)
+			}
 			for k := 0; k < min; k++ {
 				ds[k] = -rc[k] - aindx[k]
 				dz[k] = -(rszLocal[k] + z[k]*ds[k]) / s[k]
@@ -383,6 +481,7 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 	res.X = x
 	res.EqDuals = y
 	res.InDuals = z
+	res.Structured = stageActive
 	res.Objective = p.objectiveInto(x, ws.hx)
 	if res.Status == NumericalFailure {
 		return res, fmt.Errorf("qp: numerical failure after %d iterations", res.Iterations)

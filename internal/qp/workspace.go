@@ -39,12 +39,39 @@ type Workspace struct {
 	dxA, dyA, dsA, dzA []float64
 	dx, dy, ds, dz     []float64
 
+	// Stage-structured KKT backend, created on first use when the
+	// problem declares a StageStructure. It re-sizes itself when the
+	// stage layout changes, so it survives ensure untouched.
+	stage *stageKKT
+
 	res Result
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized on first
 // use and re-sized only when the problem dimensions change.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// NewWorkspaceFor returns a workspace pre-sized for p — including the
+// dense fallback factors and, when p declares stage structure, the
+// block-tridiagonal backend — so even the first Solve performs no
+// allocation. An invalid problem yields an empty workspace that sizes
+// itself lazily like NewWorkspace.
+func NewWorkspaceFor(p *Problem) *Workspace {
+	w := NewWorkspace()
+	n, meq, min, err := p.validate()
+	if err != nil {
+		return w
+	}
+	w.ensure(n, meq, min)
+	w.ensureKKT(n + meq)
+	w.lu.Reserve(n + meq)
+	w.kf.reserve(n, meq)
+	if p.Stages != nil {
+		w.stage = &stageKKT{}
+		w.stage.ensure(p.Stages, n, meq, min)
+	}
+	return w
+}
 
 // ensure sizes the workspace for an n-variable problem with meq equality
 // and min inequality constraints. It is cheap when the dimensions are

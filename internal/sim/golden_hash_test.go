@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"evclimate/internal/core"
+	"evclimate/internal/drivecycle"
+)
+
+// fnv1a64 folds a float64 sequence into an FNV-1a hash of the IEEE-754
+// bit patterns. Any single-bit change anywhere in the trajectory changes
+// the digest.
+func fnv1a64(h uint64, vals []float64) uint64 {
+	const prime = 1099511628211
+	for _, v := range vals {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// mpcTrajectoryHash is the FNV-1a digest of the MPC controller's full
+// closed-loop trajectory on ECE15 (hot soak, 35 °C / 400 W solar):
+// per control step, the four applied HVAC inputs followed by the cabin
+// temperature. Computed on linux/amd64; Go does not fuse multiply-adds
+// on amd64, so the pin is stable across amd64 hosts. Regenerate (run
+// with -run TestMPCTrajectoryBitwiseGolden -v after an intended solver
+// or model change) rather than loosening — this pin exists to catch
+// *unintended* bit drift in the stage-structured solve path, which the
+// tolerance-based goldens in internal/runner cannot see.
+const mpcTrajectoryHash = 0x70da48337552c5aa
+
+// TestMPCTrajectoryBitwiseGolden pins the MPC/ECE15 trajectory bitwise.
+func TestMPCTrajectoryBitwiseGolden(t *testing.T) {
+	mpc, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := drivecycle.ECE15().Profile(1).WithAmbient(35).WithSolar(400)
+	cfg := DefaultConfig(prof)
+	cfg.ControlDt = core.DefaultConfig().Dt
+	cfg.ForecastSteps = core.DefaultConfig().Horizon
+	cfg.UseAmbientStart = true
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(mpc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &res.Trace
+	if len(tr.Inputs) == 0 || len(tr.Inputs) != len(tr.CabinC) {
+		t.Fatalf("trace shape: %d inputs, %d temps", len(tr.Inputs), len(tr.CabinC))
+	}
+	const offset64 = 14695981039346656037
+	h := uint64(offset64)
+	for i, in := range tr.Inputs {
+		h = fnv1a64(h, []float64{
+			in.SupplyTempC, in.CoilTempC, in.Recirc, in.AirFlowKgS, tr.CabinC[i],
+		})
+	}
+	if h != mpcTrajectoryHash {
+		t.Fatalf("MPC/ECE15 trajectory hash = %#016x, golden %#016x (%d steps)",
+			h, uint64(mpcTrajectoryHash), len(tr.Inputs))
+	}
+}

@@ -94,6 +94,16 @@ type Problem struct {
 	Ineq func(x []float64, out []float64)
 	// IneqJac writes the MIneq×N Jacobian of Ineq into jac. Optional.
 	IneqJac func(x []float64, jac *mat.Dense)
+	// Stages, when non-nil, declares receding-horizon stage structure on
+	// the variables and constraints (see qp.StageStructure). It is
+	// forwarded to every QP subproblem so the interior-point KKT systems
+	// factor block-tridiagonally, and it switches the BFGS Hessian
+	// approximation to per-stage block-diagonal updates — a dense rank-two
+	// update would immediately destroy the band the declaration promises.
+	// The constraint Jacobians must honor the stage support contract;
+	// rows that stray out of band silently demote the subproblems to the
+	// dense path.
+	Stages *qp.StageStructure
 }
 
 // Options tunes the solver; the zero value selects defaults.
@@ -127,6 +137,12 @@ type Options struct {
 	// MaxIterations), exceeding it reports Status BudgetExceeded and
 	// ErrBudgetExceeded. When both are set the tighter one applies.
 	HardIterCap int
+	// Solver is the KKT backend hint passed to the QP subproblems
+	// (default qp.BackendAuto: structured whenever Problem.Stages is
+	// declared and conforming). qp.BackendDense forces the dense
+	// reference path and dense BFGS updates — useful for A/B equivalence
+	// runs against the structured backend.
+	Solver qp.Backend
 	// Work, when non-nil, is a reusable solver workspace: repeated Solve
 	// calls with same-shaped problems perform no per-iteration allocation,
 	// and the slices in the returned Result alias the workspace (valid
@@ -334,12 +350,33 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	if p.MIneq > 0 && p.Ineq == nil {
 		return nil, fmt.Errorf("%w: MIneq=%d but Ineq is nil", ErrBadProblem, p.MIneq)
 	}
+	if p.Stages != nil {
+		if err := p.Stages.Check(p.N, p.MEq, p.MIneq); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadProblem, err)
+		}
+	}
 	ws := opt.Work
 	if ws == nil {
 		ws = NewWorkspace()
 	}
 	ws.ensure(p)
 	ev := &evaluator{p: p, opt: &opt, ws: ws}
+
+	// Stage-structured mode: per-stage variable offsets drive the
+	// block-diagonal BFGS updates below.
+	structured := p.Stages != nil && opt.Solver != qp.BackendDense
+	var voff []int
+	if structured {
+		nst := p.Stages.Stages()
+		if cap(ws.voff) < nst+1 {
+			ws.voff = make([]int, nst+1)
+		}
+		voff = ws.voff[:nst+1]
+		voff[0] = 0
+		for k := 0; k < nst; k++ {
+			voff[k+1] = voff[k] + p.Stages.NV[k]
+		}
+	}
 
 	// Double-buffered iterate state: the locals holding the current point
 	// and its derivatives swap with their *New partners on every accepted
@@ -418,7 +455,7 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 
 		// QP subproblem: min ½dᵀBd + gᵀd  s.t.  Je·d = −ce, Ji·d ≤ −ci.
 		sub := &ws.sub
-		*sub = qp.Problem{H: b, C: g}
+		*sub = qp.Problem{H: b, C: g, Stages: p.Stages}
 		if je != nil {
 			sub.Aeq = je
 			sub.Beq = mat.ScaleVecInto(ws.beqNeg, -1, ce)
@@ -435,7 +472,7 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		if qpTol < 1e-8 {
 			qpTol = 1e-8
 		}
-		qpOpts := qp.Options{Tol: qpTol, Work: ws.qpWork}
+		qpOpts := qp.Options{Tol: qpTol, Backend: opt.Solver, Work: ws.qpWork}
 		qr, err := qp.Solve(sub, qpOpts)
 		if qr != nil {
 			res.QPIterations += qr.Iterations
@@ -577,7 +614,11 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 			mat.Axpy(-1, ws.tmpN, yVec)
 		}
 		sVec := mat.SubVecInto(ws.sVec, xNew, x)
-		updateBFGS(b, sVec, yVec, ws.bs, ws.bfgsR)
+		if structured {
+			updateBFGSBlocks(b, voff, sVec, yVec, ws.bs, ws.bfgsR)
+		} else {
+			updateBFGS(b, sVec, yVec, ws.bs, ws.bfgsR)
+		}
 
 		x, xNew = xNew, x
 		f = fNew
@@ -619,11 +660,42 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 }
 
 // updateBFGS applies the damped BFGS update (Powell 1978) to b in place,
-// keeping it positive definite. bs and r are caller scratch (length n);
-// the rank-two update runs on raw row slices so the n² inner loop carries
-// no per-element bounds-check or method-call overhead.
+// keeping it positive definite. bs and r are caller scratch (length n).
 func updateBFGS(b *mat.Dense, s, y, bs, r []float64) {
-	b.MulVecInto(s, bs)
+	n, _ := b.Dims()
+	updateBFGSBlock(b, 0, n, s, y, bs, r)
+}
+
+// updateBFGSBlocks applies the damped update independently to each
+// diagonal stage block of b, leaving off-block entries untouched (zero
+// from the scaled-identity seed). Each block update preserves positive
+// definiteness of its block, so the block-diagonal approximation stays PD
+// and — unlike a dense rank-two update — inside the block-tridiagonal
+// band the stage declaration promises to the QP backend. Curvature
+// between stages is discarded; that costs some BFGS accuracy but keeps
+// the subproblems structured, which is the better trade in the MPC hot
+// path.
+func updateBFGSBlocks(b *mat.Dense, voff []int, s, y, bs, r []float64) {
+	for k := 0; k+1 < len(voff); k++ {
+		lo, hi := voff[k], voff[k+1]
+		updateBFGSBlock(b, lo, hi, s[lo:hi], y[lo:hi], bs[lo:hi], r[lo:hi])
+	}
+}
+
+// updateBFGSBlock runs the damped update on the diagonal sub-block
+// b[lo:hi, lo:hi]; s, y, bs, r are the corresponding slices (length
+// hi−lo). The rank-two update runs on raw row slices so the inner loop
+// carries no per-element bounds-check or method-call overhead.
+func updateBFGSBlock(b *mat.Dense, lo, hi int, s, y, bs, r []float64) {
+	m := hi - lo
+	for i := 0; i < m; i++ {
+		row := b.RawRow(lo + i)[lo:hi]
+		var acc float64
+		for j, v := range row {
+			acc += v * s[j]
+		}
+		bs[i] = acc
+	}
 	sBs := mat.Dot(s, bs)
 	if sBs <= 0 {
 		return
@@ -641,11 +713,10 @@ func updateBFGS(b *mat.Dense, s, y, bs, r []float64) {
 	if sr <= 1e-14*mat.Norm2(s)*mat.Norm2(r) {
 		return
 	}
-	n, _ := b.Dims()
-	for i := 0; i < n; i++ {
-		row := b.RawRow(i)
+	for i := 0; i < m; i++ {
+		row := b.RawRow(lo + i)[lo:hi]
 		ri, bi := r[i], bs[i]
-		for j := 0; j < n; j++ {
+		for j := 0; j < m; j++ {
 			row[j] += ri*r[j]/sr - bi*bs[j]/sBs
 		}
 	}

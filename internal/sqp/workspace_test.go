@@ -229,3 +229,65 @@ func TestWarmSolveNoAllocs(t *testing.T) {
 		t.Fatalf("warm sqp.Solve allocates %v objects/op, want ≤ 2", allocs)
 	}
 }
+
+// Warm solves with a declared stage structure — block-diagonal BFGS plus
+// the structured QP backend — meet the same allocation contract as the
+// dense path. This is the exact configuration the MPC runs every control
+// step.
+func TestWarmStructuredSolveNoAllocs(t *testing.T) {
+	// Two stages of two variables; one equality and two bound rows per
+	// stage, every row supported on its own stage (trivially in-band).
+	p := &Problem{
+		N: 4,
+		Objective: func(x []float64) float64 {
+			return x[0]*x[0] + 2*x[1]*x[1] + 3*x[2]*x[2] + x[3]*x[3] + x[0]*x[1] + 0.5*x[1]*x[2]
+		},
+		Gradient: func(x, g []float64) {
+			g[0] = 2*x[0] + x[1]
+			g[1] = 4*x[1] + x[0] + 0.5*x[2]
+			g[2] = 6*x[2] + 0.5*x[1]
+			g[3] = 2 * x[3]
+		},
+		MEq: 2,
+		Eq: func(x, out []float64) {
+			out[0] = x[0] + x[1] - 1
+			out[1] = x[2] + x[3] - 1
+		},
+		EqJac: func(x []float64, jac *mat.Dense) {
+			jac.Set(0, 0, 1)
+			jac.Set(0, 1, 1)
+			jac.Set(1, 2, 1)
+			jac.Set(1, 3, 1)
+		},
+		MIneq: 4,
+		Ineq: func(x, out []float64) {
+			out[0] = -x[0]
+			out[1] = -x[1]
+			out[2] = -x[2]
+			out[3] = -x[3]
+		},
+		IneqJac: func(x []float64, jac *mat.Dense) {
+			jac.Set(0, 0, -1)
+			jac.Set(1, 1, -1)
+			jac.Set(2, 2, -1)
+			jac.Set(3, 3, -1)
+		},
+		Stages: qp.UniformStages(2, 2, 1, 2),
+	}
+	x0 := []float64{0.4, 0.6, 0.5, 0.5}
+	ws := NewWorkspace()
+	opt := Options{Work: ws}
+	if res, err := Solve(p, x0, opt); err != nil { // size the workspace
+		t.Fatal(err)
+	} else if res.Status != Converged {
+		t.Fatalf("structured warm-up did not converge: %v", res.Status)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Solve(p, x0, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("warm structured sqp.Solve allocates %v objects/op, want ≤ 2", allocs)
+	}
+}

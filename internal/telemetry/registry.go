@@ -245,15 +245,17 @@ type Snapshot []Metric
 
 // DeterministicFilter accepts every metric whose value is a pure
 // function of scenario and seed, rejecting wall-clock-derived series by
-// the naming convention that their names end in "_seconds" or "_ns",
-// and durability bookkeeping (journal replays, checkpoints, watchdog
-// retries) by the "resume_" name prefix — how many jobs were replayed
-// or retried depends on when a sweep was interrupted, not on what it
-// computed, and a resumed run's manifest must match an uninterrupted
-// run's. The run manifest snapshots through this filter so equal runs
-// produce byte-identical manifests.
+// the naming convention that their names end in "_seconds", "_ns", or
+// "_real_time_factor" (a duration ratio is as machine-dependent as the
+// duration itself), and durability bookkeeping (journal replays,
+// checkpoints, watchdog retries) by the "resume_" name prefix — how many
+// jobs were replayed or retried depends on when a sweep was interrupted,
+// not on what it computed, and a resumed run's manifest must match an
+// uninterrupted run's. The run manifest snapshots through this filter so
+// equal runs produce byte-identical manifests.
 func DeterministicFilter(name string) bool {
 	return !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_ns") &&
+		!strings.HasSuffix(name, "_real_time_factor") &&
 		!strings.HasPrefix(name, "resume_")
 }
 

@@ -17,8 +17,9 @@
 // pure function of the scenario and its seed, so two runs of the same
 // spec produce byte-identical exports at any worker count. Wall-clock
 // metrics are segregated by naming convention — names ending in
-// "_seconds" or "_ns" — and excluded by DeterministicFilter, which the
-// run manifest applies to its metric snapshot.
+// "_seconds", "_ns", or "_real_time_factor" — and excluded by
+// DeterministicFilter, which the run manifest applies to its metric
+// snapshot.
 package telemetry
 
 // Label is one key=value metric dimension. Sweep-level sinks label
