@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-gate clean test-faults test-resume fuzz-qp check
+.PHONY: all build test race vet bench bench-json bench-gate clean test-faults test-resume test-fabric fuzz-qp check
 
 all: build vet test
 
@@ -71,6 +71,15 @@ test-resume:
 	$(GO) test ./cmd/evbench/...
 	$(GO) test -fuzz=FuzzParseJournal -fuzztime=10s ./internal/runner/
 
+# Distributed-fabric suite under the race detector: the sharding /
+# lease / quarantine unit tests, the topology byte-identity proof
+# (1 and 3 workers vs single-process), the chaos test (subprocess
+# workers, SIGKILL one mid-run, restart the coordinator from its
+# journal), and the evbench -serve/-join CLI round trip.
+test-fabric:
+	$(GO) test -race ./internal/fabric/...
+	$(GO) test -run 'ServeJoin' ./cmd/evbench/
+
 # Coverage-guided fuzzing of the QP interior-point solver: the dense
 # 2-variable front door (FuzzSolve) and the stage-structured KKT backend
 # (FuzzStageKKT — ill-conditioned, non-SPD, degenerate, and
@@ -80,9 +89,9 @@ fuzz-qp:
 	$(GO) test -fuzz='^FuzzSolve$$' -fuzztime=1m ./internal/qp/
 	$(GO) test -fuzz='^FuzzStageKKT$$' -fuzztime=1m ./internal/qp/
 
-# Pre-merge gate: full build + vet + tests, fault and crash-safety
-# suites under -race, and short fuzz smokes of the QP solver and the
-# journal parser.
-check: all test-faults test-resume
+# Pre-merge gate: full build + vet + tests, fault, crash-safety, and
+# distributed-fabric suites under -race, and short fuzz smokes of the
+# QP solver and the journal parser.
+check: all test-faults test-resume test-fabric
 	$(GO) test -fuzz='^FuzzSolve$$' -fuzztime=10s ./internal/qp/
 	$(GO) test -fuzz='^FuzzStageKKT$$' -fuzztime=10s ./internal/qp/

@@ -19,6 +19,14 @@
 // backoff; -checkpoint-every N checkpoints in-flight jobs every N sim
 // steps so resumption continues mid-cycle.
 //
+// Distributed sweeps: -serve ADDR coordinates the "dist" scenario grid
+// over the crash-tolerant fabric (internal/fabric), leasing sharded
+// work units to any number of `evbench -join URL` workers on this or
+// other machines. Workers that die are reaped and their units
+// reassigned; with -journal the coordinator itself survives a crash
+// and resumes. The stitched result — trace, metrics, manifest — is
+// byte-identical to `evbench -exp dist` run single-process.
+//
 // All scenario grids execute on the internal/runner worker pool; results
 // are deterministic for any worker count. One result cache is shared
 // across the whole invocation, so experiments that evaluate the same
@@ -39,6 +47,7 @@ import (
 	"time"
 
 	"evclimate/internal/experiments"
+	"evclimate/internal/fabric"
 	"evclimate/internal/faults"
 	"evclimate/internal/runner"
 	"evclimate/internal/telemetry"
@@ -57,7 +66,7 @@ func main() {
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("evbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run: all|fig1|fig5|fig6|fig7|fig8|table1")
+	exp := fs.String("exp", "all", "experiment to run: all|fig1|fig5|fig6|fig7|fig8|table1 (opt-in: ablate|faults|fleet|dist)")
 	ambient := fs.Float64("ambient", 35, "hot-day ambient temperature (°C) for figs 5-8")
 	solar := fs.Float64("solar", 400, "solar thermal load (W)")
 	quick := fs.Bool("quick", false, "truncate profiles to 200 s for a fast smoke run")
@@ -76,6 +85,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	retries := fs.Int("retries", 0, "retry attempts for crashed or timed-out jobs (total attempts = retries+1)")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "checkpoint in-flight jobs every N sim steps (needs -journal)")
 	fsyncEvery := fs.Int("fsync-every", 1, "fsync the journal every N records")
+	serve := fs.String("serve", "", "coordinate the dist sweep over the fabric on this address (e.g. :7070)")
+	join := fs.String("join", "", "join a fabric coordinator as a worker (e.g. http://host:7070)")
+	unitSize := fs.Int("unit", 0, "jobs per leased fabric work unit (0 = default)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "fabric lease heartbeat deadline (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,6 +98,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *resume && *journalDir == "" {
 		fmt.Fprintln(stderr, "evbench: -resume needs -journal")
+		return 2
+	}
+	if *serve != "" && *join != "" {
+		fmt.Fprintln(stderr, "evbench: -serve and -join are mutually exclusive")
 		return 2
 	}
 
@@ -104,6 +121,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			FsyncEvery:      *fsyncEvery,
 			CheckpointEvery: *checkpointEvery,
 		}
+	}
+
+	// A joining worker is a pure executor: it pulls leased units, runs
+	// them through the local pool, and streams records back. All
+	// artifacts (trace, metrics, manifest, journal) live with the
+	// coordinator, so the worker path skips the wiring below entirely.
+	if *join != "" {
+		return joinFabric(ctx, *join, cache, opts, stdout, stderr)
 	}
 
 	// Observability wiring: one registry and trace log shared by every
@@ -150,6 +175,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// process reports the combined outcome.
 	var failures []string
 	run := func(name string, fn func() error) {
+		if *serve != "" {
+			return // serving the fabric replaces the experiment loop
+		}
 		if *exp != "all" && *exp != name {
 			return
 		}
@@ -192,7 +220,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return nil
 	})
 
-	if (*exp == "all" || *exp == "fig7" || *exp == "fig8") && ctx.Err() == nil {
+	if (*exp == "all" || *exp == "fig7" || *exp == "fig8") && *serve == "" && ctx.Err() == nil {
 		start := time.Now()
 		cycles, err := experiments.RunCycles(opts)
 		if err != nil {
@@ -270,6 +298,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return nil
 	})
 
+	// The single-process form of the distributable sweep — the baseline
+	// the fabric's output is byte-compared against (and the overhead
+	// reference for EXPERIMENTS.md).
+	runExplicit("dist", func() error {
+		sw, err := experiments.RunDist(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.RenderDist(sw))
+		return sweepFailures(sw)
+	})
+
 	runExplicit("fleet", func() error {
 		summary, err := experiments.RunFleet(experiments.FleetConfig{
 			Trips: 10, Workers: *workers, Ctx: ctx,
@@ -282,9 +322,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return nil
 	})
 
-	if !strings.Contains("all fig1 fig5 fig6 fig7 fig8 table1 ablate fleet faults", *exp) {
+	if !strings.Contains("all fig1 fig5 fig6 fig7 fig8 table1 ablate fleet faults dist", *exp) {
 		fmt.Fprintf(stderr, "evbench: unknown experiment %q\n", *exp)
 		return 2
+	}
+
+	if *serve != "" && ctx.Err() == nil {
+		start := time.Now()
+		if err := serveDist(ctx, *serve, *unitSize, *leaseTTL, cache, opts, stdout); err != nil && ctx.Err() == nil {
+			fmt.Fprintf(stderr, "evbench: dist: %v\n", err)
+			failures = append(failures, "dist")
+		} else if err == nil {
+			fmt.Fprintf(stdout, "[dist completed in %s]\n\n", time.Since(start).Truncate(time.Millisecond))
+		}
 	}
 
 	if cache != nil {
@@ -352,6 +402,99 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return code
+}
+
+// serveDist coordinates the dist sweep over the fabric: shard, lease to
+// joining workers, journal completions, and stitch the byte-identical
+// sweep once every unit lands. Shares the caller's observability and
+// journal wiring, so -trace/-metrics/-manifest/-journal/-resume mean
+// the same thing they do single-process.
+func serveDist(ctx context.Context, addr string, unitSize int, leaseTTL time.Duration, cache *runner.Cache, opts experiments.Options, stdout io.Writer) error {
+	params := experiments.DistParams(opts)
+	spec, err := experiments.DistSpec(params)
+	if err != nil {
+		return err
+	}
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Spec:       spec,
+		SpecName:   "dist",
+		Params:     params,
+		Label:      "dist",
+		UnitSize:   unitSize,
+		LeaseTTL:   leaseTTL,
+		Journal:    opts.Journal,
+		Telemetry:  opts.Telemetry,
+		TraceLog:   opts.TraceLog,
+		TraceSteps: opts.TraceSteps,
+		Manifest:   opts.Manifest,
+		Cache:      cache,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	if err := coord.Serve(addr); err != nil {
+		return err
+	}
+	p := coord.Snapshot()
+	fmt.Fprintf(stdout, "[coordinating %d jobs in %d units on %s — workers join with: evbench -join http://%s]\n",
+		p.Jobs, p.Units, coord.Addr, coord.Addr)
+	if n := coord.Resumed(); n > 0 {
+		fmt.Fprintf(stdout, "[resumed: %d job(s) replayed from the journal]\n", n)
+	}
+	if err := coord.Wait(ctx); err != nil {
+		return err // interrupted: journal is flushed, -resume continues
+	}
+	sw, err := coord.Stitch()
+	if err != nil {
+		return err
+	}
+	// Let every worker hear the Done reply before the listener goes away,
+	// so they all exit promptly instead of retrying a dead port.
+	coord.Drain(5 * time.Second)
+	fmt.Fprint(stdout, experiments.RenderDist(sw))
+	return sweepFailures(sw)
+}
+
+// joinFabric runs the worker side of the fabric until the coordinator
+// reports the sweep done, returning an evbench exit code.
+func joinFabric(ctx context.Context, url string, cache *runner.Cache, opts experiments.Options, stdout, stderr io.Writer) int {
+	w := fabric.NewWorker(fabric.WorkerConfig{
+		URL:        url,
+		Specs:      experiments.FabricSpecs(),
+		Workers:    opts.Workers,
+		JobTimeout: opts.JobTimeout,
+		Retry:      opts.Retry,
+		Cache:      cache,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "evbench: worker: "+format+"\n", args...)
+		},
+	})
+	done, err := w.Run(ctx)
+	switch {
+	case err != nil && ctx.Err() != nil:
+		fmt.Fprintln(stderr, "evbench: worker interrupted; the coordinator reclaims its lease")
+		return 3
+	case err != nil:
+		fmt.Fprintf(stderr, "evbench: worker: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "[worker done: %d job(s) completed here]\n", done)
+	return 0
+}
+
+// sweepFailures folds a stitched sweep's per-job errors into one error.
+func sweepFailures(sw *runner.Sweep) error {
+	failed := 0
+	for i := range sw.Jobs {
+		if sw.Jobs[i].Err != nil {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failed, len(sw.Jobs))
+	}
+	return nil
 }
 
 // writeFileWith creates path and hands it to fn, closing on all paths.

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"net"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -20,8 +21,9 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "nope"},
 		{"-no-such-flag"},
-		{"-resume"},                 // needs -journal
-		{"-checkpoint-every", "50"}, // needs -journal
+		{"-resume"},                           // needs -journal
+		{"-checkpoint-every", "50"},           // needs -journal
+		{"-serve", ":0", "-join", "http://x"}, // one role per process
 	}
 	for _, args := range cases {
 		if code, _, _ := runCLI(context.Background(), args...); code != 2 {
@@ -70,6 +72,49 @@ func TestInterruptedExitsThreeWithResumeHint(t *testing.T) {
 	code, _, errOut = runCLI(ctx, "-exp", "fig1", "-journal", dir)
 	if code != 3 || !strings.Contains(errOut, "-resume") {
 		t.Errorf("journaled interrupt: exit %d, stderr %q — want 3 with a -resume hint", code, errOut)
+	}
+}
+
+// TestServeJoinDistRoundTrip drives the distributed surface end to end:
+// one -serve coordinator and one -join worker in the same process, over
+// a real TCP port, finishing the quick dist sweep with exit 0 on both
+// sides. The worker ignores its own -quick/-ambient flags — it rebuilds
+// the sweep from the coordinator's wire params, which is what keeps the
+// two expansions identical.
+func TestServeJoinDistRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	type outcome struct {
+		code        int
+		out, errOut string
+	}
+	served := make(chan outcome, 1)
+	go func() {
+		code, out, errOut := runCLI(context.Background(), "-serve", addr, "-quick", "-workers", "2")
+		served <- outcome{code, out, errOut}
+	}()
+
+	code, out, errOut := runCLI(context.Background(), "-join", "http://"+addr, "-workers", "2")
+	if code != 0 {
+		t.Fatalf("worker: exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "worker done") {
+		t.Errorf("worker stdout missing completion note: %s", out)
+	}
+
+	sr := <-served
+	if sr.code != 0 {
+		t.Fatalf("coordinator: exit %d, stderr: %s", sr.code, sr.errOut)
+	}
+	for _, want := range []string{"coordinating", "Distributable sweep", "dist completed"} {
+		if !strings.Contains(sr.out, want) {
+			t.Errorf("coordinator stdout missing %q: %s", want, sr.out)
+		}
 	}
 }
 

@@ -1,0 +1,310 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"evclimate/internal/cabin"
+	"evclimate/internal/control"
+	"evclimate/internal/runner"
+	"evclimate/internal/telemetry"
+)
+
+// chaosEnvURL and chaosEnvID hand the coordinator address and worker
+// identity to re-executed worker subprocesses.
+const (
+	chaosEnvURL = "EVCLIMATE_FABRIC_CHAOS_URL"
+	chaosEnvID  = "EVCLIMATE_FABRIC_CHAOS_ID"
+)
+
+// paced wraps a controller with a per-Decide sleep, slowing jobs down
+// without perturbing the trajectory — so SIGKILLs land mid-sweep.
+type paced struct {
+	inner control.Controller
+	delay time.Duration
+}
+
+func (c *paced) Name() string { return c.inner.Name() }
+func (c *paced) Reset()       { c.inner.Reset() }
+func (c *paced) Decide(sc control.StepContext) cabin.Inputs {
+	time.Sleep(c.delay)
+	return c.inner.Decide(sc)
+}
+
+// pacedSpec slows a controller family down (distinct label, so the
+// fingerprints stay honest about what ran).
+func pacedSpec(inner runner.ControllerSpec, delay time.Duration) runner.ControllerSpec {
+	s := inner
+	s.Label = inner.Label + "+paced"
+	s.New = func() (control.Controller, error) {
+		c, err := inner.New()
+		if err != nil {
+			return nil, err
+		}
+		return &paced{inner: c, delay: delay}, nil
+	}
+	return s
+}
+
+// chaosBuilder is the acceptance sweep: 2 cycles × 7 ambients × 5
+// targets × 3 controllers = 210 jobs, one controller family paced so
+// the sweep takes long enough to kill things mid-run.
+func chaosBuilder(params map[string]string) (runner.Spec, error) {
+	return runner.Spec{
+		Controllers: []runner.ControllerSpec{
+			runner.OnOffSpec(1),
+			runner.FuzzySpec(1),
+			pacedSpec(runner.OnOffSpec(1), 1500*time.Microsecond),
+		},
+		Cycles: []runner.CycleSpec{{Name: "ECE15"}, {Name: "UDDS"}},
+		Envs: []runner.Env{
+			{AmbientC: -10}, {AmbientC: 0}, {AmbientC: 10}, {AmbientC: 20},
+			{AmbientC: 28, SolarW: 300}, {AmbientC: 35, SolarW: 400}, {AmbientC: 40, SolarW: 600},
+		},
+		Targets:     []float64{22, 23, 24, 25, 26},
+		MaxProfileS: 40,
+		BaseSeed:    20150601,
+	}, nil
+}
+
+func chaosSpecs() *Registry {
+	specs := NewSpecRegistry()
+	specs.Register("chaos", chaosBuilder)
+	return specs
+}
+
+// TestFabricChaosWorkerHelper is not a test: it is the worker process
+// the chaos test spawns (and kills). It joins the coordinator named in
+// the environment and works until the sweep completes.
+func TestFabricChaosWorkerHelper(t *testing.T) {
+	url := os.Getenv(chaosEnvURL)
+	if url == "" {
+		t.Skip("helper: run by TestFabricChaosKillWorkerAndCoordinator")
+	}
+	wk := NewWorker(WorkerConfig{
+		URL:     url,
+		ID:      os.Getenv(chaosEnvID),
+		Specs:   chaosSpecs(),
+		Workers: 2,
+		// Generous retry budget: workers must ride out the coordinator
+		// restart, not die with it.
+		Connect:         runner.RetryPolicy{BaseBackoff: 50 * time.Millisecond, MaxBackoff: 500 * time.Millisecond},
+		ConnectAttempts: 20,
+		Git:             "test",
+	})
+	if _, err := wk.Run(context.Background()); err != nil {
+		t.Fatalf("worker %s: %v", os.Getenv(chaosEnvID), err)
+	}
+}
+
+// spawnChaosWorker re-executes the test binary as one fabric worker.
+func spawnChaosWorker(t *testing.T, url, id string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestFabricChaosWorkerHelper$")
+	cmd.Env = append(os.Environ(), chaosEnvURL+"="+url, chaosEnvID+"="+id)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// chaosCoordinator builds (or rebuilds, with resume) the acceptance
+// sweep's coordinator over the given journal directory.
+func chaosCoordinator(t *testing.T, dir string, resume bool, reg *telemetry.Registry, tl *telemetry.TraceLog, man *telemetry.Manifest) *Coordinator {
+	t.Helper()
+	spec, err := chaosBuilder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Spec:     spec,
+		SpecName: "chaos",
+		Label:    "chaos",
+		UnitSize: 8,
+		// Short TTL so the killed worker's leases reclaim quickly.
+		LeaseTTL:  1 * time.Second,
+		Reclaim:   runner.RetryPolicy{BaseBackoff: 20 * time.Millisecond, MaxBackoff: 100 * time.Millisecond},
+		Journal:   &runner.JournalConfig{Dir: dir, Resume: resume, FsyncEvery: 4, Git: "test"},
+		Telemetry: reg,
+		TraceLog:  tl,
+		Manifest:  man,
+		Git:       "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+// TestFabricChaosKillWorkerAndCoordinator is the acceptance chaos run:
+// a coordinator and three worker processes execute a 210-scenario
+// sweep; one worker is SIGKILLed mid-run and the coordinator itself is
+// stopped and restarted from its journal. The sweep must still finish
+// with zero lost and zero duplicated jobs, and the stitched metrics,
+// traces, manifest, and results must be byte-identical to a
+// single-process run of the same spec — the worker-count determinism
+// guarantee extended across process topologies, kills included.
+func TestFabricChaosKillWorkerAndCoordinator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos run")
+	}
+
+	// Golden single-process artifacts.
+	spec, err := chaosBuilder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refReg := telemetry.NewRegistry()
+	refTL := &telemetry.TraceLog{}
+	refMan := telemetry.NewManifest("evbench")
+	refSw, err := runner.Run(context.Background(), spec, runner.Options{
+		Workers: 8, Telemetry: refReg, TraceLog: refTL, Manifest: refMan, ManifestLabel: "chaos",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refSw.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	ref := collect(t, refReg, refTL, refMan, refSw)
+
+	// Phase 1: coordinator + three workers; kill one worker mid-run.
+	dir := t.TempDir()
+	reg1 := telemetry.NewRegistry()
+	// The phase-1 trace log is scratch (stitching happens after the
+	// restart, from journaled records), but it must exist so /spec asks
+	// workers to collect spans from the start.
+	coord := chaosCoordinator(t, dir, false, reg1, &telemetry.TraceLog{}, nil)
+	if err := coord.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := coord.Addr
+	url := "http://" + addr
+
+	var workers []*exec.Cmd
+	for i := 0; i < 3; i++ {
+		workers = append(workers, spawnChaosWorker(t, url, fmt.Sprintf("chaos-w%d", i)))
+	}
+	defer func() {
+		for _, w := range workers {
+			if w.Process != nil {
+				w.Process.Kill()
+			}
+			w.Wait()
+		}
+	}()
+
+	// Wait for real progress, then SIGKILL worker 0.
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		p := coord.Snapshot()
+		if p.Completed >= 20 {
+			break
+		}
+		if p.Done || time.Now().After(deadline) {
+			t.Fatalf("no kill window: %+v", p)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := workers[0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	workers[0].Wait()
+	t.Logf("killed worker 0 at %+v", coord.Snapshot())
+
+	// Now kill the coordinator itself and restart it from the journal,
+	// on the same address, with fresh telemetry/trace/manifest sinks.
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := telemetry.NewRegistry()
+	tl2 := &telemetry.TraceLog{}
+	man2 := telemetry.NewManifest("evbench")
+	coord2 := chaosCoordinator(t, dir, true, reg2, tl2, man2)
+	defer coord2.Close()
+	if coord2.Resumed() == 0 {
+		t.Error("restarted coordinator replayed nothing from the journal")
+	}
+	// The old port may linger in TIME_WAIT; retry briefly.
+	var serveErr error
+	for i := 0; i < 100; i++ {
+		if serveErr = coord2.Serve(addr); serveErr == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if serveErr != nil {
+		t.Fatalf("restart on %s: %v", addr, serveErr)
+	}
+	t.Logf("restarted coordinator: replayed %d jobs", coord2.Resumed())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := coord2.Wait(ctx); err != nil {
+		t.Fatalf("sweep never finished: %v (%+v)", err, coord2.Snapshot())
+	}
+	for _, w := range workers[1:] {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("surviving worker failed: %v", err)
+		}
+	}
+
+	// Zero lost, zero duplicated: every job completed exactly once.
+	p := coord2.Snapshot()
+	if p.Completed != p.Jobs || p.Failed != 0 || p.UnitsQuarantined != 0 {
+		t.Fatalf("progress = %+v, want all %d jobs completed cleanly", p, p.Jobs)
+	}
+
+	sw, err := coord2.Stitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, reg2, tl2, man2, sw)
+	for _, cmp := range []struct {
+		name     string
+		got, ref []byte
+	}{
+		{"metrics", got.metrics, ref.metrics},
+		{"trace", got.trace, ref.trace},
+		{"manifest", got.manifest, ref.manifest},
+		{"results", got.results, ref.results},
+	} {
+		if !bytes.Equal(cmp.got, cmp.ref) {
+			a, b := cmp.got, cmp.ref
+			t.Errorf("%s differs from single-process run after chaos\nfabric: %.300s\nref:    %.300s",
+				cmp.name, a, b)
+		}
+	}
+
+	// The journal on disk tells the story: lease grants, expiries from
+	// the killed worker, and exactly 210 distinct job records.
+	files, err := filepath.Glob(filepath.Join(dir, "*.journal"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("journal files = %v (%v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runner.ParseJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != p.Jobs {
+		t.Errorf("journal holds %d distinct jobs, want %d", len(rep.Records), p.Jobs)
+	}
+	if len(rep.Leases) == 0 {
+		t.Error("journal recorded no lease events")
+	}
+}

@@ -1,0 +1,744 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"evclimate/internal/runner"
+	"evclimate/internal/telemetry"
+)
+
+// Defaults for the lease machinery.
+const (
+	// DefaultUnitSize is the target number of jobs per leased unit.
+	DefaultUnitSize = 8
+	// DefaultLeaseTTL is the heartbeat deadline before a lease expires.
+	DefaultLeaseTTL = 10 * time.Second
+	// DefaultQuarantineAfter is the number of distinct workers a unit
+	// must fail on before it is quarantined.
+	DefaultQuarantineAfter = 3
+	// leasePollWait is the wait hint handed to workers when no unit is
+	// leasable right now.
+	leasePollWait = 250 * time.Millisecond
+)
+
+// CoordinatorConfig configures one sweep's coordinator.
+type CoordinatorConfig struct {
+	// Spec is the sweep to distribute; the coordinator expands it once.
+	Spec runner.Spec
+	// SpecName and Params are the wire identity workers rebuild the spec
+	// from (via their local builder registry).
+	SpecName string
+	Params   map[string]string
+	// Label names the sweep in the manifest and the journal file.
+	Label string
+	// UnitSize is the target jobs per leased unit (0 = DefaultUnitSize).
+	UnitSize int
+	// LeaseTTL is the heartbeat deadline (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// QuarantineAfter quarantines a unit once its lease has been lost on
+	// this many distinct workers (0 = DefaultQuarantineAfter).
+	QuarantineAfter int
+	// Reclaim paces re-leasing of an expired unit: attempt n waits
+	// Reclaim.Delay(unitSeed, n) — the exact backoff policy job retry
+	// uses, so the two paths cannot drift.
+	Reclaim runner.RetryPolicy
+	// Journal, when non-nil, journals every lease event and completion
+	// through the runner's append-only journal, making a coordinator
+	// crash resumable (open with Resume to pick a journal back up).
+	Journal *runner.JournalConfig
+	// Telemetry, when non-nil, carries the fabric counters live and
+	// receives every job's merged metric contribution at Stitch.
+	Telemetry *telemetry.Registry
+	// TraceLog, when non-nil, receives every job's step spans at Stitch,
+	// in expansion order; workers are asked to collect spans.
+	TraceLog *telemetry.TraceLog
+	// TraceSteps caps each job's span ring on the workers.
+	TraceSteps int
+	// Manifest, when non-nil, records the stitched run and any journal
+	// resume lineage.
+	Manifest *telemetry.Manifest
+	// Cache, when non-nil, is the content-addressed shared result cache:
+	// served to joining workers over /cache, fed by every successful
+	// completion, so results deduplicate by scenario fingerprint across
+	// the whole fleet.
+	Cache *runner.Cache
+	// Git overrides the build stamp (tests pin it; "" = git describe).
+	Git string
+}
+
+// unit lease states.
+const (
+	unitPending = iota
+	unitLeased
+	unitDone
+	unitQuarantined
+)
+
+// unit is one leased shard of the expansion.
+type unit struct {
+	id   int
+	jobs []int // expansion indexes, ascending
+	// seed derives the unit's reclaim-backoff jitter stream.
+	seed int64
+
+	state   int
+	lease   uint64
+	worker  string
+	expires time.Time
+	// notBefore delays re-leasing after an expiry (reclaim backoff).
+	notBefore time.Time
+	// failedOn is the set of distinct workers that lost this unit's
+	// lease; reaching QuarantineAfter quarantines the unit.
+	failedOn map[string]bool
+}
+
+// Coordinator shards one expanded sweep into leased units and serves
+// them to workers until every unit is done or quarantined.
+type Coordinator struct {
+	cfg  CoordinatorConfig
+	jobs []runner.Job
+	fps  []string // per-job fingerprints, hex, index-aligned
+	fp   string   // sweep fingerprint, hex
+	git  string
+
+	mu       sync.Mutex
+	units    []*unit
+	byLease  map[uint64]*unit
+	records  map[int]*runner.JournalRecord
+	workers  map[string]time.Time // worker id -> last seen
+	leaseSeq uint64
+	done     chan struct{}
+	resumed  int // jobs replayed from the journal at open
+
+	jnl *runner.Journal
+
+	// fabric_* instruments (excluded from deterministic snapshots).
+	cGranted, cExpired, cReclaimed, cQuarantined *telemetry.Counter
+	cRecords, cDuplicates                        *telemetry.Counter
+	gWorkersLive, gUnitsDone, gJobsDone          *telemetry.Gauge
+
+	srv *http.Server
+	ln  net.Listener
+	// Addr is the bound listen address once Serve returns.
+	Addr string
+
+	reapStop chan struct{}
+}
+
+// NewCoordinator expands the spec, shards it into units, and (when
+// configured) opens or resumes the journal, replaying completed jobs.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.UnitSize <= 0 {
+		cfg.UnitSize = DefaultUnitSize
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.QuarantineAfter <= 0 {
+		cfg.QuarantineAfter = DefaultQuarantineAfter
+	}
+	jobs, err := runner.Expand(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		jobs:     jobs,
+		fps:      make([]string, len(jobs)),
+		fp:       telemetry.FormatFingerprint(runner.SweepFingerprint(jobs)),
+		git:      cfg.Git,
+		byLease:  make(map[uint64]*unit),
+		records:  make(map[int]*runner.JournalRecord),
+		workers:  make(map[string]time.Time),
+		done:     make(chan struct{}),
+		reapStop: make(chan struct{}),
+	}
+	if c.git == "" {
+		c.git = telemetry.GitDescribe("")
+	}
+	for i := range jobs {
+		c.fps[i] = telemetry.FormatFingerprint(jobs[i].Fingerprint())
+	}
+	for id, idxs := range shardUnits(jobs, cfg.UnitSize) {
+		c.units = append(c.units, &unit{
+			id: id, jobs: idxs, seed: jobs[idxs[0]].Seed,
+			failedOn: make(map[string]bool),
+		})
+	}
+	c.resolveCounters()
+
+	if cfg.Journal != nil {
+		jc := *cfg.Journal
+		if jc.Git == "" {
+			jc.Git = c.git
+		}
+		jnl, err := runner.OpenJournal(&jc, cfg.Label, jobs)
+		if err != nil {
+			return nil, err
+		}
+		c.jnl = jnl
+		// Replay completions; failed records are re-run, mirroring the
+		// pool's resume semantics.
+		for i := range jobs {
+			rec := jnl.Replayed(i)
+			if rec == nil || rec.Err != "" {
+				continue
+			}
+			if rec.Fingerprint != c.fps[i] {
+				jnl.Close()
+				return nil, fmt.Errorf("%w: journal record for job %d has fingerprint %s, this expansion has %s",
+					runner.ErrJournalMismatch, i, rec.Fingerprint, c.fps[i])
+			}
+			c.records[i] = rec
+			c.resumed++
+			c.publishCache(&jobs[i], rec)
+		}
+		for _, u := range c.units {
+			if c.unitComplete(u) {
+				u.state = unitDone
+			}
+		}
+		if c.resumed > 0 && cfg.Manifest != nil {
+			cfg.Manifest.AddResume(telemetry.ResumeInfo{
+				Journal:          jnl.Path(),
+				SweepFingerprint: jnl.Header().SweepFingerprint,
+				ReplayedJobs:     c.resumed,
+				Git:              jnl.Header().Git,
+			})
+		}
+	}
+	c.refreshGauges()
+	c.checkDone()
+	return c, nil
+}
+
+// resolveCounters registers the fabric instruments once, up front. All
+// fabric_* series are topology-dependent bookkeeping; the deterministic
+// filter excludes them from manifests.
+func (c *Coordinator) resolveCounters() {
+	reg := c.cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	c.cGranted = reg.Counter("fabric_leases_granted_total")
+	c.cExpired = reg.Counter("fabric_leases_expired_total")
+	c.cReclaimed = reg.Counter("fabric_leases_reclaimed_total")
+	c.cQuarantined = reg.Counter("fabric_units_quarantined_total")
+	c.cRecords = reg.Counter("fabric_records_total")
+	c.cDuplicates = reg.Counter("fabric_records_duplicate_total")
+	c.gWorkersLive = reg.Gauge("fabric_workers_live")
+	c.gUnitsDone = reg.Gauge("fabric_units_done")
+	c.gJobsDone = reg.Gauge("fabric_jobs_completed")
+}
+
+// unitComplete reports whether every job of a unit has a record
+// (caller holds mu, or is still constructing).
+func (c *Coordinator) unitComplete(u *unit) bool {
+	for _, i := range u.jobs {
+		if c.records[i] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// publishCache shares a successful, non-escalated record's result under
+// its scenario fingerprint (caller holds mu, or is still constructing).
+func (c *Coordinator) publishCache(job *runner.Job, rec *runner.JournalRecord) {
+	if c.cfg.Cache == nil || rec.Err != "" || rec.EscalatedTo != "" || rec.Result == nil {
+		return
+	}
+	c.cfg.Cache.Put(job.Fingerprint(), rec.Result, time.Duration(rec.ElapsedNs))
+}
+
+// refreshGauges updates the progress gauges (caller holds mu, or is
+// still constructing).
+func (c *Coordinator) refreshGauges() {
+	if c.cfg.Telemetry == nil {
+		return
+	}
+	doneUnits := 0
+	for _, u := range c.units {
+		if u.state == unitDone {
+			doneUnits++
+		}
+	}
+	c.gUnitsDone.Set(float64(doneUnits))
+	c.gJobsDone.Set(float64(len(c.records)))
+	live := 0
+	cut := time.Now().Add(-2 * c.cfg.LeaseTTL)
+	for _, seen := range c.workers {
+		if seen.After(cut) {
+			live++
+		}
+	}
+	c.gWorkersLive.Set(float64(live))
+}
+
+// checkDone closes the done channel once every unit is done or
+// quarantined (caller holds mu, or is still constructing).
+func (c *Coordinator) checkDone() {
+	for _, u := range c.units {
+		if u.state != unitDone && u.state != unitQuarantined {
+			return
+		}
+	}
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+}
+
+// reap expires overdue leases: the unit returns to pending behind a
+// seeded-jitter reclaim backoff, the loss is journaled, and a unit that
+// has now failed on QuarantineAfter distinct workers is quarantined
+// (caller holds mu).
+func (c *Coordinator) reap(now time.Time) {
+	for _, u := range c.units {
+		if u.state != unitLeased || now.Before(u.expires) {
+			continue
+		}
+		delete(c.byLease, u.lease)
+		u.failedOn[u.worker] = true
+		c.cExpired.Inc()
+		c.journalLease("expire", u)
+		if len(u.failedOn) >= c.cfg.QuarantineAfter {
+			u.state = unitQuarantined
+			c.cQuarantined.Inc()
+			c.journalLease("quarantine", u)
+			continue
+		}
+		u.state = unitPending
+		u.notBefore = now.Add(c.cfg.Reclaim.Delay(u.seed, len(u.failedOn)))
+		c.cReclaimed.Inc()
+	}
+	c.refreshGauges()
+	c.checkDone()
+}
+
+// journalLease appends one lease event (best-effort: lease records are
+// audit data, not correctness data).
+func (c *Coordinator) journalLease(event string, u *unit) {
+	if c.jnl == nil {
+		return
+	}
+	c.jnl.AppendLease(&runner.LeaseRecord{Event: event, Unit: u.id, Worker: u.worker, Lease: u.lease})
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and starts the fabric protocol
+// endpoints plus a background lease reaper. The bound address is in
+// c.Addr.
+func (c *Coordinator) Serve(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/spec", c.handleSpec)
+	mux.HandleFunc("/lease", c.handleLease)
+	mux.HandleFunc("/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/complete", c.handleComplete)
+	mux.HandleFunc("/snapshot", c.handleSnapshot)
+	mux.HandleFunc("/cache", c.handleCache)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	c.ln = ln
+	c.Addr = ln.Addr().String()
+	c.srv = &http.Server{Handler: mux}
+	go c.srv.Serve(ln)
+	go c.reapLoop()
+	return nil
+}
+
+// reapLoop expires leases even while no requests arrive.
+func (c *Coordinator) reapLoop() {
+	t := time.NewTicker(c.cfg.LeaseTTL / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.reapStop:
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			c.reap(now)
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Wait blocks until the sweep completes (every unit done or
+// quarantined) or the context cancels.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the listener, the reaper, and the journal. Idempotent
+// enough for defer-after-Serve-failure (nil fields are skipped).
+func (c *Coordinator) Close() error {
+	var errs []error
+	if c.srv != nil {
+		errs = append(errs, c.srv.Close())
+		c.srv = nil
+	}
+	select {
+	case <-c.reapStop:
+	default:
+		close(c.reapStop)
+	}
+	if c.jnl != nil {
+		errs = append(errs, c.jnl.Close())
+		c.jnl = nil
+	}
+	return errors.Join(errs...)
+}
+
+// Drain blocks until every recently-seen worker has been told the sweep
+// is done (workers exit on that reply) or the timeout passes. Closing
+// the coordinator immediately after Wait would strand the other workers
+// — the ones that didn't deliver the final completion — retrying a dead
+// port through their whole connect budget before giving up with an
+// error; draining first lets them all exit promptly and cleanly.
+func (c *Coordinator) Drain(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		live := c.progressLocked().WorkersLive
+		c.mu.Unlock()
+		if live == 0 || !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(leasePollWait / 2)
+	}
+}
+
+// Resumed returns the number of jobs replayed from the journal when the
+// coordinator opened.
+func (c *Coordinator) Resumed() int { return c.resumed }
+
+// SweepFingerprint returns the expansion's identity in hex.
+func (c *Coordinator) SweepFingerprint() string { return c.fp }
+
+// Snapshot returns the live progress (also served at /snapshot).
+func (c *Coordinator) Snapshot() Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.progressLocked()
+}
+
+func (c *Coordinator) progressLocked() Progress {
+	p := Progress{
+		SweepFingerprint: c.fp,
+		Jobs:             len(c.jobs),
+		Units:            len(c.units),
+		Completed:        len(c.records),
+	}
+	for _, rec := range c.records {
+		if rec.Err != "" {
+			p.Failed++
+		}
+	}
+	for _, u := range c.units {
+		switch u.state {
+		case unitDone:
+			p.UnitsDone++
+		case unitLeased:
+			p.UnitsLeased++
+		case unitQuarantined:
+			p.UnitsQuarantined++
+		}
+	}
+	cut := time.Now().Add(-2 * c.cfg.LeaseTTL)
+	for _, seen := range c.workers {
+		if seen.After(cut) {
+			p.WorkersLive++
+		}
+	}
+	select {
+	case <-c.done:
+		p.Done = true
+	default:
+	}
+	return p
+}
+
+// Stitch folds the collected records into a Sweep, in expansion order:
+// results rebuilt via the journal replay path, metric snapshots merged
+// into the registry, step spans appended to the trace log, and the run
+// recorded in the manifest — byte-identical artifacts to a
+// single-process run of the same spec, whatever topology executed it.
+// Jobs of quarantined units carry ErrUnitQuarantined.
+func (c *Coordinator) Stitch() (*runner.Sweep, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]runner.JobResult, len(c.jobs))
+	for i := range c.jobs {
+		rec := c.records[i]
+		switch {
+		case rec == nil:
+			out[i] = runner.JobResult{Job: c.jobs[i],
+				Err: fmt.Errorf("job %d: %w", i, ErrUnitQuarantined)}
+			continue
+		case rec.Err != "":
+			out[i] = runner.JobResult{
+				Job:      c.jobs[i],
+				Err:      errors.New(rec.Err),
+				Elapsed:  time.Duration(rec.ElapsedNs),
+				Attempts: rec.Attempts,
+				Replayed: true,
+			}
+		default:
+			jr, err := runner.ReplayRecord(&c.jobs[i], rec)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = jr
+		}
+		if c.cfg.Telemetry != nil {
+			if err := c.cfg.Telemetry.Merge(rec.Metrics); err != nil {
+				return nil, fmt.Errorf("fabric: stitch job %d: %w", i, err)
+			}
+		}
+		if c.cfg.TraceLog != nil && len(rec.Spans) > 0 {
+			spans := make([]telemetry.StepSpan, len(rec.Spans))
+			copy(spans, rec.Spans)
+			for k := range spans {
+				spans[k].Job = i
+			}
+			c.cfg.TraceLog.Append(spans...)
+		}
+	}
+	sw := &runner.Sweep{Spec: c.cfg.Spec, Jobs: out}
+	if c.cfg.Telemetry != nil {
+		sw.Metrics = c.cfg.Telemetry.Snapshot(nil)
+	}
+	if c.cfg.Manifest != nil {
+		c.cfg.Manifest.AddRun(runner.ManifestRunInfo(c.cfg.Label, c.cfg.Spec.BaseSeed, c.jobs))
+	}
+	return sw, nil
+}
+
+// --- HTTP handlers ---
+
+// writeJSON writes v as the response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// httpError writes a JSON error with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (c *Coordinator) handleSpec(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, SpecDesc{
+		Name:             c.cfg.SpecName,
+		Params:           c.cfg.Params,
+		SweepFingerprint: c.fp,
+		Jobs:             len(c.jobs),
+		Units:            len(c.units),
+		LeaseTTLMs:       c.cfg.LeaseTTL.Milliseconds(),
+		Trace:            c.cfg.TraceLog != nil,
+		TraceSteps:       c.cfg.TraceSteps,
+		Cache:            c.cfg.Cache != nil,
+		Git:              c.git,
+		GoVersion:        runtime.Version(),
+	})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "fabric: bad lease request: %v", err)
+		return
+	}
+	if req.SweepFingerprint != c.fp {
+		httpError(w, http.StatusConflict,
+			"fabric: worker expansion %s does not match sweep %s (mismatched binary, flags, or seed)",
+			req.SweepFingerprint, c.fp)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[req.Worker] = now
+	c.reap(now)
+	select {
+	case <-c.done:
+		// The worker exits on this reply; drop it from the live set so
+		// Drain knows it has been told.
+		delete(c.workers, req.Worker)
+		writeJSON(w, LeaseReply{Done: true})
+		return
+	default:
+	}
+	var pick *unit
+	for _, u := range c.units {
+		if u.state == unitPending && !now.Before(u.notBefore) {
+			pick = u
+			break
+		}
+	}
+	if pick == nil {
+		writeJSON(w, LeaseReply{WaitMs: leasePollWait.Milliseconds()})
+		return
+	}
+	c.leaseSeq++
+	pick.state = unitLeased
+	pick.lease = c.leaseSeq
+	pick.worker = req.Worker
+	pick.expires = now.Add(c.cfg.LeaseTTL)
+	c.byLease[pick.lease] = pick
+	c.cGranted.Inc()
+	c.journalLease("grant", pick)
+	fps := make([]string, len(pick.jobs))
+	for i, idx := range pick.jobs {
+		fps[i] = c.fps[idx]
+	}
+	writeJSON(w, LeaseReply{
+		Lease:        pick.lease,
+		Unit:         pick.id,
+		Jobs:         pick.jobs,
+		Fingerprints: fps,
+		TTLMs:        c.cfg.LeaseTTL.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "fabric: bad heartbeat: %v", err)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[req.Worker] = now
+	u := c.byLease[req.Lease]
+	if u == nil || u.state != unitLeased || u.worker != req.Worker {
+		writeJSON(w, HeartbeatReply{OK: false})
+		return
+	}
+	u.expires = now.Add(c.cfg.LeaseTTL)
+	writeJSON(w, HeartbeatReply{OK: true, TTLMs: c.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "fabric: bad completion: %v", err)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[req.Worker] = now
+
+	// Validate everything before accepting anything: a fingerprint
+	// mismatch means a drifted binary, and none of its results can be
+	// trusted.
+	for _, rec := range req.Records {
+		if rec == nil || rec.Index < 0 || rec.Index >= len(c.jobs) {
+			httpError(w, http.StatusBadRequest, "fabric: completion with out-of-range job index")
+			return
+		}
+		if rec.Fingerprint != c.fps[rec.Index] {
+			httpError(w, http.StatusConflict,
+				"fabric: record for job %d has fingerprint %s, this sweep has %s (mismatched binary or spec)",
+				rec.Index, rec.Fingerprint, c.fps[rec.Index])
+			return
+		}
+	}
+	rep := CompleteReply{}
+	for _, rec := range req.Records {
+		if c.records[rec.Index] != nil {
+			// A reassigned unit finishing twice: first completion wins,
+			// so stitching stays deterministic.
+			rep.Duplicates++
+			c.cDuplicates.Inc()
+			continue
+		}
+		c.records[rec.Index] = rec
+		rep.Accepted++
+		c.cRecords.Inc()
+		c.publishCache(&c.jobs[rec.Index], rec)
+		if c.jnl != nil {
+			if err := c.jnl.Append(rec); err != nil {
+				// Journal failure is fatal for crash-safety claims; back
+				// the record out so a retry can land it.
+				delete(c.records, rec.Index)
+				httpError(w, http.StatusInternalServerError, "fabric: journal append: %v", err)
+				return
+			}
+		}
+	}
+	// Mark any units this completion finished (normally req.Unit, but a
+	// restarted coordinator may have resharded state, so recheck all
+	// non-done units touched by these records).
+	touched := map[int]bool{}
+	for _, rec := range req.Records {
+		touched[rec.Index] = true
+	}
+	for _, u := range c.units {
+		if u.state == unitDone || u.state == unitQuarantined {
+			continue
+		}
+		hit := false
+		for _, i := range u.jobs {
+			if touched[i] {
+				hit = true
+				break
+			}
+		}
+		if hit && c.unitComplete(u) {
+			if u.state == unitLeased {
+				delete(c.byLease, u.lease)
+			}
+			u.state = unitDone
+		}
+	}
+	c.refreshGauges()
+	c.checkDone()
+	select {
+	case <-c.done:
+		rep.Done = true
+		// The worker exits on a Done completion reply, like on a Done
+		// lease reply; drop it from the live set for Drain.
+		delete(c.workers, req.Worker)
+	default:
+	}
+	writeJSON(w, rep)
+}
+
+func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	p := c.progressLocked()
+	c.mu.Unlock()
+	writeJSON(w, p)
+}
+
+// handleCache serves the shared result cache's wire form so joining
+// workers inherit every collected result; without a cache it reports
+// 404 and workers simply run everything.
+func (c *Coordinator) handleCache(w http.ResponseWriter, r *http.Request) {
+	if c.cfg.Cache == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	c.cfg.Cache.Save(w)
+}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -60,6 +61,23 @@ func (c *Cache) put(key uint64, res *sim.Result, elapsed time.Duration) {
 	c.m[key] = cacheEntry{res: res, elapsed: elapsed}
 }
 
+// Put inserts a result under its scenario fingerprint with the
+// wall-clock its simulation cost. The fabric coordinator publishes
+// every successful completion through here, so later hits on the same
+// fingerprint — a reassigned unit, a joining worker — skip the
+// simulation entirely. Results are shared pointers; callers must treat
+// them as read-only after insertion.
+func (c *Cache) Put(key uint64, res *sim.Result, elapsed time.Duration) {
+	c.put(key, res, elapsed)
+}
+
+// Get returns the cached result for a scenario fingerprint, counting
+// the lookup in the hit/miss statistics.
+func (c *Cache) Get(key uint64) (*sim.Result, bool) {
+	res, _, ok := c.get(key)
+	return res, ok
+}
+
 // Stats returns the hit/miss counters and the number of cached cells.
 func (c *Cache) Stats() (hits, misses, entries int) {
 	c.mu.Lock()
@@ -93,41 +111,27 @@ type cacheFileEntry struct {
 	ElapsedNs int64       `json:"elapsed_ns"`
 }
 
-// SaveFile persists the cache beside a sweep's journal, atomically
-// (temp file + rename). Entries survive process restarts; a later
-// LoadFile restores them.
-func (c *Cache) SaveFile(path string) error {
+// Save writes the cache's wire form — the same content-addressed JSON
+// the disk file holds — to w. It is the payload the fabric's /cache
+// endpoint serves, so a worker joining a sweep inherits every result
+// the coordinator has already collected.
+func (c *Cache) Save(w io.Writer) error {
 	c.mu.Lock()
 	cf := cacheFile{Version: cacheFileVersion, Entries: make(map[string]cacheFileEntry, len(c.m))}
 	for k, e := range c.m {
 		cf.Entries[fmt.Sprintf("%016x", k)] = cacheFileEntry{Result: e.res, ElapsedNs: int64(e.elapsed)}
 	}
 	c.mu.Unlock()
-	data, err := json.Marshal(&cf)
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return json.NewEncoder(w).Encode(&cf)
 }
 
-// LoadFile merges a saved cache into this one. A missing file is not
-// an error (a first run has nothing to load); an unreadable or
-// version-mismatched file is discarded wholesale — a cache can always
-// be rebuilt, so suspicion means invalidation, never failure.
-func (c *Cache) LoadFile(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return nil
-		}
-		return err
-	}
+// Load merges a cache wire form read from r into this one. Unreadable
+// or version-mismatched payloads are discarded wholesale — a cache can
+// always be rebuilt, so suspicion means invalidation, never failure.
+// Existing entries win over incoming ones.
+func (c *Cache) Load(r io.Reader) error {
 	var cf cacheFile
-	if err := json.Unmarshal(data, &cf); err != nil {
+	if err := json.NewDecoder(r).Decode(&cf); err != nil {
 		return nil
 	}
 	if cf.Version != cacheFileVersion {
@@ -145,6 +149,36 @@ func (c *Cache) LoadFile(path string) error {
 		}
 	}
 	return nil
+}
+
+// SaveFile persists the cache beside a sweep's journal, atomically
+// (temp file + rename). Entries survive process restarts; a later
+// LoadFile restores them.
+func (c *Cache) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile merges a saved cache into this one. A missing file is not
+// an error (a first run has nothing to load); see Load for the
+// invalidation policy.
+func (c *Cache) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	return c.Load(f)
 }
 
 // Fingerprint hashes everything that determines the job's outcome: the

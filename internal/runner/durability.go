@@ -60,6 +60,13 @@ func resolveJobCounters(reg *telemetry.Registry) jobCounters {
 	}
 }
 
+// recordMode reports whether jobs run with private registries and
+// produce journal-form records: journal mode, or an OnRecord stream
+// (the fabric worker path).
+func (pe *poolEnv) recordMode() bool {
+	return pe.opts.Journal != nil || pe.opts.OnRecord != nil
+}
+
 // resolveCounters registers the pool's instruments once, up front.
 // Durability counters register only when their feature is enabled, so
 // sweeps that never journal or retry keep their metric snapshots
@@ -69,12 +76,12 @@ func (pe *poolEnv) resolveCounters() {
 	if reg == nil {
 		return
 	}
-	if pe.opts.Journal == nil {
+	if !pe.recordMode() {
 		pe.shared = resolveJobCounters(reg)
 	} else {
 		pe.telReplayed = reg.Counter("resume_journal_replayed_total")
 		pe.telRecords = reg.Counter("resume_journal_records_total")
-		if pe.opts.Journal.CheckpointEvery > 0 {
+		if pe.opts.Journal != nil && pe.opts.Journal.CheckpointEvery > 0 {
 			pe.telCkpts = reg.Counter("resume_checkpoints_total")
 		}
 	}
@@ -86,10 +93,12 @@ func (pe *poolEnv) resolveCounters() {
 	}
 }
 
-// replay reconstructs a finished job from its journal record: the
-// result, the step-trace ring, and the metric contribution, exactly as
-// the live execution produced them.
-func (pe *poolEnv) replay(job *Job, i int, rec *JournalRecord) (JobResult, error) {
+// ReplayRecord reconstructs a finished job's result from its
+// journal-form record after validating the record's fingerprint
+// against the job — the shared replay path of journal resume and the
+// fabric coordinator's stitch. The caller folds rec.Metrics and
+// rec.Spans into its own registry and trace log.
+func ReplayRecord(job *Job, rec *JournalRecord) (JobResult, error) {
 	fp := telemetry.FormatFingerprint(job.Fingerprint())
 	if rec.Fingerprint != fp {
 		return JobResult{}, fmt.Errorf("%w: record for job %d has fingerprint %s, this expansion has %s",
@@ -98,7 +107,7 @@ func (pe *poolEnv) replay(job *Job, i int, rec *JournalRecord) (JobResult, error
 	if rec.Result == nil {
 		return JobResult{}, fmt.Errorf("runner: journal record for job %d has no result", job.Index)
 	}
-	jr := JobResult{
+	return JobResult{
 		Job:         *job,
 		Result:      rec.Result,
 		Elapsed:     time.Duration(rec.ElapsedNs),
@@ -106,6 +115,16 @@ func (pe *poolEnv) replay(job *Job, i int, rec *JournalRecord) (JobResult, error
 		Attempts:    rec.Attempts,
 		EscalatedTo: rec.EscalatedTo,
 		Replayed:    true,
+	}, nil
+}
+
+// replay reconstructs a finished job from its journal record: the
+// result, the step-trace ring, and the metric contribution, exactly as
+// the live execution produced them.
+func (pe *poolEnv) replay(job *Job, i int, rec *JournalRecord) (JobResult, error) {
+	jr, err := ReplayRecord(job, rec)
+	if err != nil {
+		return JobResult{}, err
 	}
 	if pe.traces != nil {
 		ring := telemetry.NewStepTrace(pe.opts.TraceSteps)
@@ -191,7 +210,7 @@ func (pe *poolEnv) runOne(ctx context.Context, i int) JobResult {
 	}
 	// Journal the outcome — except a shutdown-in-progress abort, which
 	// resumes from its checkpoint instead of replaying a partial result.
-	if pe.jnl != nil && ctx.Err() == nil {
+	if (pe.jnl != nil || pe.opts.OnRecord != nil) && ctx.Err() == nil {
 		jrec := &JournalRecord{
 			Kind:        "job",
 			Index:       job.Index,
@@ -211,8 +230,13 @@ func (pe *poolEnv) runOne(ctx context.Context, i int) JobResult {
 			jrec.Err = jr.Err.Error()
 			jrec.Result = nil
 		}
-		if err := pe.jnl.Append(jrec); err != nil && jr.Err == nil {
-			jr.Err = fmt.Errorf("runner: journal append: %w", err)
+		if pe.jnl != nil {
+			if err := pe.jnl.Append(jrec); err != nil && jr.Err == nil {
+				jr.Err = fmt.Errorf("runner: journal append: %w", err)
+			}
+		}
+		if pe.opts.OnRecord != nil {
+			pe.opts.OnRecord(jrec)
 		}
 		pe.telRecords.Inc()
 	}
@@ -252,7 +276,7 @@ func (pe *poolEnv) executeAttempt(ctx context.Context, job *Job, spec *Controlle
 			rec = telemetry.NewStepTrace(opts.TraceSteps)
 		}
 		reg := opts.Telemetry
-		if pe.jnl != nil && reg != nil {
+		if pe.recordMode() && reg != nil {
 			priv = telemetry.NewRegistry()
 			reg = priv
 		}

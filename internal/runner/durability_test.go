@@ -245,8 +245,8 @@ func TestRetryExhaustionAndNonRetryable(t *testing.T) {
 func TestBackoffDeterministicAndBounded(t *testing.T) {
 	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: 100 * time.Millisecond, MaxBackoff: 5 * time.Second}
 	for attempt := 1; attempt <= 8; attempt++ {
-		d := backoffDelay(p, 42, attempt)
-		if d != backoffDelay(p, 42, attempt) {
+		d := p.Delay(42, attempt)
+		if d != p.Delay(42, attempt) {
 			t.Fatalf("attempt %d: backoff not deterministic", attempt)
 		}
 		bound := p.BaseBackoff << (attempt - 1)
@@ -257,9 +257,9 @@ func TestBackoffDeterministicAndBounded(t *testing.T) {
 			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, bound/2, bound)
 		}
 	}
-	if backoffDelay(p, 1, 1) == backoffDelay(p, 2, 1) &&
-		backoffDelay(p, 1, 2) == backoffDelay(p, 2, 2) &&
-		backoffDelay(p, 1, 3) == backoffDelay(p, 2, 3) {
+	if p.Delay(1, 1) == p.Delay(2, 1) &&
+		p.Delay(1, 2) == p.Delay(2, 2) &&
+		p.Delay(1, 3) == p.Delay(2, 3) {
 		t.Error("jitter ignores the seed across three attempts")
 	}
 }

@@ -23,9 +23,10 @@ import (
 const JournalVersion = 1
 
 // ErrJournalMismatch reports a journal whose header does not describe
-// the sweep being resumed — a different spec, seed, or code version.
+// the sweep being resumed — a different spec, seed, schema, or build.
 // Resuming such a journal would stitch results from two different
-// experiments, so the pool refuses.
+// experiments, so the pool refuses with a hard, typed error (never a
+// silent re-run); every wrapped message carries a remediation hint.
 var ErrJournalMismatch = errors.New("runner: journal does not match this sweep")
 
 // JournalConfig enables the crash-safe job journal on a sweep: an
@@ -98,11 +99,30 @@ type JournalRecord struct {
 	Metrics telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
+// LeaseRecord journals one fabric lease event: a unit granted to a
+// worker, an expired lease reclaimed, or a unit quarantined. Leases are
+// audit and telemetry records — resume correctness derives from job
+// records alone (every lease outstanding at crash time is implicitly
+// expired by the restart).
+type LeaseRecord struct {
+	Kind string `json:"kind"` // "lease"
+	// Event is "grant", "expire", or "quarantine".
+	Event string `json:"event"`
+	// Unit is the leased work unit's index.
+	Unit int `json:"unit"`
+	// Worker is the holding worker's self-reported identity.
+	Worker string `json:"worker"`
+	// Lease is the coordinator-assigned lease id.
+	Lease uint64 `json:"lease"`
+}
+
 // JournalReplay is a parsed journal: the header, the latest record per
 // job index, and whether the final record was torn (a crash mid-write).
 type JournalReplay struct {
 	Header  JournalHeader
 	Records map[int]*JournalRecord
+	// Leases are the fabric lease events, in append order.
+	Leases []LeaseRecord
 	// Torn reports that the final line failed to parse and was dropped.
 	Torn bool
 	// ValidLen is the byte length of the parseable prefix; resuming
@@ -135,6 +155,7 @@ type Journal struct {
 	fsyncEvery int
 	sinceSync  int
 	replay     map[int]*JournalRecord
+	leases     []LeaseRecord
 }
 
 // journalFileName derives the journal file name from the sweep label
@@ -154,24 +175,33 @@ func journalFileName(label string, fp uint64) string {
 	return fmt.Sprintf("%s-%s.journal", s, telemetry.FormatFingerprint(fp))
 }
 
-// openSweepJournal creates the journal for a job list, or resumes an
+// OpenJournal creates the journal for a job list, or resumes an
 // existing one when cfg.Resume is set (refusing on any header
-// mismatch). A pre-existing journal without Resume is an error.
+// mismatch). A pre-existing journal without Resume is an error. The
+// sweep pool opens its journal here; the distributed fabric's
+// coordinator uses the same format (and therefore the same resume
+// semantics) for its lease/completion log.
+func OpenJournal(cfg *JournalConfig, label string, jobs []Job) (*Journal, error) {
+	return openSweepJournal(cfg, label, jobs)
+}
+
+// openSweepJournal implements OpenJournal.
 func openSweepJournal(cfg *JournalConfig, label string, jobs []Job) (*Journal, error) {
 	git := cfg.Git
 	if git == "" {
 		git = telemetry.GitDescribe("")
 	}
+	fp := SweepFingerprint(jobs)
 	h := JournalHeader{
 		Kind:             "header",
 		Version:          JournalVersion,
 		Label:            label,
-		SweepFingerprint: telemetry.FormatFingerprint(SweepFingerprint(jobs)),
+		SweepFingerprint: telemetry.FormatFingerprint(fp),
 		Git:              git,
 		GoVersion:        runtime.Version(),
 		Jobs:             len(jobs),
 	}
-	path := filepath.Join(cfg.Dir, journalFileName(label, SweepFingerprint(jobs)))
+	path := filepath.Join(cfg.Dir, journalFileName(label, fp))
 	if _, err := os.Stat(path); err == nil {
 		if !cfg.Resume {
 			return nil, fmt.Errorf("runner: journal %s already exists; resume it or remove it to start over", path)
@@ -180,10 +210,45 @@ func openSweepJournal(cfg *JournalConfig, label string, jobs []Job) (*Journal, e
 	} else if !errors.Is(err, fs.ErrNotExist) {
 		return nil, err
 	}
+	// Resume asked for, but no journal exists under this sweep's
+	// fingerprint. If the directory holds journals for the same label
+	// under a different fingerprint, the spec, seed, or profile changed
+	// since they were written — silently starting a fresh journal here
+	// would quietly re-run every finished job, so refuse with the typed
+	// mismatch error instead.
+	if cfg.Resume {
+		if stale := siblingJournals(cfg.Dir, label, path); len(stale) > 0 {
+			return nil, fmt.Errorf("%w: no journal for sweep %s in %s, but found %s — "+
+				"the spec, seed, or profile changed since that journal was written; "+
+				"re-run the original spec to resume it, or drop -resume (or point "+
+				"-journal at a fresh directory) to deliberately start over",
+				ErrJournalMismatch, h.SweepFingerprint, cfg.Dir, strings.Join(stale, ", "))
+		}
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	return createJournal(path, h, cfg.FsyncEvery)
+}
+
+// siblingJournals lists journals in dir that share a sweep label with
+// path but record a different fingerprint — the signature of a -resume
+// whose spec drifted from the journaled run.
+func siblingJournals(dir, label string, path string) []string {
+	prefix := strings.TrimSuffix(filepath.Base(journalFileName(label, 0)), "0000000000000000.journal")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var stale []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, ".journal") &&
+			name != filepath.Base(path) {
+			stale = append(stale, name)
+		}
+	}
+	return stale
 }
 
 // createJournal starts a fresh journal with the given header.
@@ -220,16 +285,26 @@ func resumeJournal(path string, want JournalHeader, fsyncEvery int) (*Journal, e
 	got := rep.Header
 	switch {
 	case got.Version != want.Version:
-		return nil, fmt.Errorf("%w: %s was written by journal schema v%d, this build writes v%d",
+		return nil, fmt.Errorf("%w: %s was written by journal schema v%d, this build writes v%d — "+
+			"finish the run with the build that wrote it, or remove the journal to start over",
 			ErrJournalMismatch, path, got.Version, want.Version)
 	case got.SweepFingerprint != want.SweepFingerprint:
-		return nil, fmt.Errorf("%w: %s records sweep %s, this spec expands to %s (spec or seed changed)",
+		return nil, fmt.Errorf("%w: %s records sweep %s, this spec expands to %s (spec or seed changed) — "+
+			"re-run the original spec, or remove the journal to start over",
 			ErrJournalMismatch, path, got.SweepFingerprint, want.SweepFingerprint)
 	case got.Git != want.Git:
-		return nil, fmt.Errorf("%w: %s was written at %s, this build is %s",
-			ErrJournalMismatch, path, got.Git, want.Git)
+		return nil, fmt.Errorf("%w: %s was written at code version %s, this build is %s — "+
+			"results from two builds must not be stitched; check out %s to finish the run, "+
+			"or remove the journal to start over on this build",
+			ErrJournalMismatch, path, got.Git, want.Git, got.Git)
+	case got.GoVersion != want.GoVersion:
+		return nil, fmt.Errorf("%w: %s was written by %s, this binary is built with %s — "+
+			"floating-point results can differ across toolchains; rebuild with %s to finish "+
+			"the run, or remove the journal to start over",
+			ErrJournalMismatch, path, got.GoVersion, want.GoVersion, got.GoVersion)
 	case got.Jobs != want.Jobs:
-		return nil, fmt.Errorf("%w: %s records %d jobs, this sweep has %d",
+		return nil, fmt.Errorf("%w: %s records %d jobs, this sweep has %d — "+
+			"re-run the original spec, or remove the journal to start over",
 			ErrJournalMismatch, path, got.Jobs, want.Jobs)
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
@@ -246,7 +321,8 @@ func resumeJournal(path string, want JournalHeader, fsyncEvery int) (*Journal, e
 		f.Close()
 		return nil, err
 	}
-	return &Journal{path: path, f: f, header: got, fsyncEvery: fsyncEvery, replay: rep.Records}, nil
+	return &Journal{path: path, f: f, header: got, fsyncEvery: fsyncEvery,
+		replay: rep.Records, leases: rep.Leases}, nil
 }
 
 // ReadJournal parses a journal file. See ParseJournal.
@@ -299,8 +375,11 @@ func ParseJournal(data []byte) (*JournalReplay, error) {
 		}
 		var r JournalRecord
 		err := json.Unmarshal(line, &r)
-		if err == nil && (r.Kind != "job" || r.Index < 0) {
+		if err == nil && r.Kind != "job" && r.Kind != "lease" {
 			err = fmt.Errorf("runner: journal record kind %q", r.Kind)
+		}
+		if err == nil && r.Kind == "job" && r.Index < 0 {
+			err = fmt.Errorf("runner: journal job record with negative index")
 		}
 		if err != nil || !complete {
 			if last {
@@ -310,8 +389,16 @@ func ParseJournal(data []byte) (*JournalReplay, error) {
 			}
 			return nil, fmt.Errorf("runner: corrupt journal record at line %d: %v", lineNo, err)
 		}
-		rec := r
-		rep.Records[rec.Index] = &rec
+		if r.Kind == "lease" {
+			var lr LeaseRecord
+			if err := json.Unmarshal(line, &lr); err != nil {
+				return nil, fmt.Errorf("runner: corrupt journal lease record at line %d: %v", lineNo, err)
+			}
+			rep.Leases = append(rep.Leases, lr)
+		} else {
+			rec := r
+			rep.Records[rec.Index] = &rec
+		}
 		pos = next
 		rep.ValidLen = int64(pos)
 	}
@@ -324,6 +411,18 @@ func ParseJournal(data []byte) (*JournalReplay, error) {
 // Append journals one completed job and fsyncs on the configured
 // cadence. Safe for concurrent workers.
 func (j *Journal) Append(rec *JournalRecord) error {
+	return j.appendLine(rec)
+}
+
+// AppendLease journals one fabric lease event on the same fsync
+// cadence as job records.
+func (j *Journal) AppendLease(rec *LeaseRecord) error {
+	rec.Kind = "lease"
+	return j.appendLine(rec)
+}
+
+// appendLine marshals and appends one record of any kind.
+func (j *Journal) appendLine(rec any) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -344,6 +443,10 @@ func (j *Journal) Append(rec *JournalRecord) error {
 
 // Replayed returns the journal's record for a job index, or nil.
 func (j *Journal) Replayed(index int) *JournalRecord { return j.replay[index] }
+
+// ReplayedLeases returns the lease events a resumed journal carried, in
+// append order (nil for a fresh journal).
+func (j *Journal) ReplayedLeases() []LeaseRecord { return j.leases }
 
 // Header returns the journal's header.
 func (j *Journal) Header() JournalHeader { return j.header }

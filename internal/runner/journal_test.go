@@ -259,6 +259,7 @@ func TestJournalResumeRefusesMismatch(t *testing.T) {
 		{"version", func() JournalHeader { w := h; w.Version = 2; return w }(), "schema"},
 		{"fingerprint", func() JournalHeader { w := h; w.SweepFingerprint = "00000000feedface"; return w }(), "spec or seed changed"},
 		{"git", func() JournalHeader { w := h; w.Git = "g2"; return w }(), "this build is"},
+		{"goversion", func() JournalHeader { w := h; w.GoVersion = "go9.9"; return w }(), "toolchains"},
 		{"jobs", func() JournalHeader { w := h; w.Jobs = 5; return w }(), "jobs"},
 	}
 	for _, tc := range cases {
@@ -272,6 +273,95 @@ func TestJournalResumeRefusesMismatch(t *testing.T) {
 	if _, err := resumeJournal(path, h, 1); err != nil {
 		t.Errorf("matching header refused: %v", err)
 	}
+}
+
+// TestJournalResumeRefusesSilentRerun: resuming into a directory that
+// holds this label's journal under a *different* sweep fingerprint —
+// the spec or seed drifted since the journal was written — must fail
+// with the typed mismatch error and a remediation hint, not silently
+// open a fresh journal and re-run every finished job.
+func TestJournalResumeRefusesSilentRerun(t *testing.T) {
+	dir := t.TempDir()
+	opts, _, _ := journalOpts(dir, false)
+	if _, err := Run(context.Background(), quickSpec(), opts); err != nil {
+		t.Fatal(err)
+	}
+
+	drifted := quickSpec()
+	drifted.BaseSeed++ // new fingerprint, same label
+	ropts, _, _ := journalOpts(dir, true)
+	_, err := Run(context.Background(), drifted, ropts)
+	if !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("drifted resume: err = %v, want ErrJournalMismatch", err)
+	}
+	for _, frag := range []string{"spec, seed, or profile changed", "start over"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("drifted resume: err %q does not mention %q", err, frag)
+		}
+	}
+	// An unrelated label in the same directory is not a conflict.
+	other, _, _ := journalOpts(dir, true)
+	other.ManifestLabel = "other"
+	if _, err := Run(context.Background(), drifted, other); err != nil {
+		t.Errorf("fresh label in shared dir refused: %v", err)
+	}
+}
+
+// TestJournalLeaseRecordsRoundTrip: fabric lease events journal through
+// the same append-only log as job records and replay in append order,
+// without perturbing job replay.
+func TestJournalLeaseRecordsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jobs, err := Expand(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jnl, err := OpenJournal(&JournalConfig{Dir: dir, Git: "test-build"}, "lease", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []LeaseRecord{
+		{Event: "grant", Unit: 0, Worker: "a", Lease: 1},
+		{Event: "expire", Unit: 0, Worker: "a", Lease: 1},
+		{Event: "grant", Unit: 0, Worker: "b", Lease: 2},
+		{Event: "quarantine", Unit: 0, Worker: "b", Lease: 2},
+	}
+	for i := range events {
+		if err := jnl.AppendLease(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ReadJournal(findJournal(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 0 {
+		t.Errorf("lease events leaked into job records: %d", len(rep.Records))
+	}
+	if len(rep.Leases) != len(events) {
+		t.Fatalf("replayed %d lease events, want %d", len(rep.Leases), len(events))
+	}
+	for i, got := range rep.Leases {
+		want := events[i]
+		want.Kind = "lease"
+		if got != want {
+			t.Errorf("lease %d = %+v, want %+v", i, got, want)
+		}
+	}
+
+	// Resuming a journal that holds lease events still works.
+	jnl2, err := OpenJournal(&JournalConfig{Dir: dir, Resume: true, Git: "test-build"}, "lease", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(jnl2.ReplayedLeases()); got != len(events) {
+		t.Errorf("resume replayed %d lease events, want %d", got, len(events))
+	}
+	jnl2.Close()
 }
 
 func TestJournalTornTailToleratedAndTruncated(t *testing.T) {

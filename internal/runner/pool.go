@@ -52,6 +52,14 @@ type Options struct {
 	// journal refuses to resume a sweep whose fingerprint or code
 	// version changed.
 	Journal *JournalConfig
+	// OnRecord, when non-nil, receives each completed job's journal-form
+	// record — exactly what journal mode appends — whether or not a disk
+	// journal is configured. Jobs then run with job-private registries as
+	// in journal mode, so each record carries the job's complete metric
+	// contribution (requires Options.Telemetry). The distributed fabric's
+	// workers stream these records back to their coordinator. Calls come
+	// from worker goroutines; the callback must be concurrency-safe.
+	OnRecord func(rec *JournalRecord)
 	// JobTimeout, when positive, is the per-job watchdog: a wall-clock
 	// deadline threaded into the simulation and checked every control
 	// step, so a hung or runaway job aborts without stalling the pool.
@@ -190,15 +198,18 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Sweep, error) {
 		sw.Metrics = opts.Telemetry.Snapshot(nil)
 	}
 	if opts.Manifest != nil {
-		opts.Manifest.AddRun(runInfo(opts.ManifestLabel, spec.BaseSeed, jobs))
+		opts.Manifest.AddRun(ManifestRunInfo(opts.ManifestLabel, spec.BaseSeed, jobs))
 	}
 	return sw, nil
 }
 
-// runInfo builds the manifest record of one sweep: every job's seed and
-// fingerprint plus a sweep fingerprint hashing the base seed and the
-// job fingerprints in expansion order.
-func runInfo(label string, baseSeed int64, jobs []Job) telemetry.RunInfo {
+// ManifestRunInfo builds the manifest record of one sweep: every job's
+// seed and fingerprint plus a sweep fingerprint hashing the base seed
+// and the job fingerprints in expansion order. The pool records it for
+// every Run call; the distributed fabric's coordinator records the
+// identical structure, so a fabric manifest is byte-comparable to a
+// single-process one.
+func ManifestRunInfo(label string, baseSeed int64, jobs []Job) telemetry.RunInfo {
 	ri := telemetry.RunInfo{Label: label, BaseSeed: baseSeed, Jobs: make([]telemetry.JobInfo, 0, len(jobs))}
 	h := fnv.New64a()
 	var buf [8]byte

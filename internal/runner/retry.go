@@ -34,11 +34,14 @@ func Retryable(err error) bool {
 	return errors.Is(err, ErrJobPanicked) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// backoffDelay is the wait before retry attempt n (n ≥ 1 counts failed
+// Delay is the wait before retry attempt n (n ≥ 1 counts failed
 // attempts so far): exponential growth with a deterministic jitter
-// derived from the job seed and attempt number, so retry schedules are
-// reproducible per job yet decorrelated across the pool.
-func backoffDelay(p RetryPolicy, seed int64, attempt int) time.Duration {
+// derived from the seed and attempt number (splitmix64), so retry
+// schedules are reproducible per job yet decorrelated across the pool.
+// It is the single backoff policy of the stack: job retry and the
+// fabric's lease reclaim both derive their waits here, so the two
+// paths cannot drift.
+func (p RetryPolicy) Delay(seed int64, attempt int) time.Duration {
 	base := p.BaseBackoff
 	if base <= 0 {
 		base = 100 * time.Millisecond
@@ -66,7 +69,7 @@ func backoffDelay(p RetryPolicy, seed int64, attempt int) time.Duration {
 // sleepBackoff waits the attempt's backoff or returns early (false)
 // when the context cancels.
 func sleepBackoff(ctx context.Context, p RetryPolicy, seed int64, attempt int) bool {
-	t := time.NewTimer(backoffDelay(p, seed, attempt))
+	t := time.NewTimer(p.Delay(seed, attempt))
 	defer t.Stop()
 	select {
 	case <-t.C:

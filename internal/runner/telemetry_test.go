@@ -164,7 +164,7 @@ func TestGoldenManifest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ri := runInfo("golden", 20150601, jobs)
+	ri := ManifestRunInfo("golden", 20150601, jobs)
 
 	const wantSweepFP = "5b730a7f54cf0f64"
 	want := []struct {

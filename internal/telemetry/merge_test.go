@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -79,6 +80,63 @@ func TestMergeAccumulates(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Errorf("double merge != double record:\n%s\nvs\n%s", b.String(), a.String())
+	}
+}
+
+// TestMergeConcurrent is the fabric coordinator's merge contract under
+// the race detector: N per-job snapshot registries folded into one
+// shared registry from concurrent goroutines — the shape of completion
+// records arriving from parallel workers — produce the exact Prometheus
+// text a sequential merge does. Counters and bucket counts are small
+// integers, which float64 addition carries exactly, so interleaving
+// cannot perturb the totals; per-job gauges live under job-unique
+// labels, so last-write-wins never races across jobs.
+func TestMergeConcurrent(t *testing.T) {
+	const n = 24
+	snaps := make([]Snapshot, n)
+	for i := range snaps {
+		reg := NewRegistry()
+		populate(reg)
+		// A job-unique gauge series per snapshot (distinct label value),
+		// plus extra per-cycle counts so every snapshot is distinct.
+		reg.Counter("sim_steps_total", L("cycle", "ECE15")).Add(float64(i))
+		reg.Gauge("supervisor_level", L("job", FormatFingerprint(uint64(i)))).Set(float64(i % 4))
+		snaps[i] = reg.Snapshot(nil)
+	}
+
+	seq := NewRegistry()
+	for _, s := range snaps {
+		if err := seq.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	conc := NewRegistry()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := range snaps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = conc.Merge(snaps[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var a, b bytes.Buffer
+	if err := seq.Snapshot(nil).WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := conc.Snapshot(nil).WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("concurrent merge differs from sequential:\n%s\nvs\n%s", b.String(), a.String())
 	}
 }
 

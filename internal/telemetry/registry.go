@@ -247,16 +247,21 @@ type Snapshot []Metric
 // function of scenario and seed, rejecting wall-clock-derived series by
 // the naming convention that their names end in "_seconds", "_ns", or
 // "_real_time_factor" (a duration ratio is as machine-dependent as the
-// duration itself), and durability bookkeeping (journal replays,
+// duration itself), durability bookkeeping (journal replays,
 // checkpoints, watchdog retries) by the "resume_" name prefix — how many
 // jobs were replayed or retried depends on when a sweep was interrupted,
 // not on what it computed, and a resumed run's manifest must match an
-// uninterrupted run's. The run manifest snapshots through this filter so
-// equal runs produce byte-identical manifests.
+// uninterrupted run's — and distributed-fabric bookkeeping (leases
+// granted/expired/reclaimed, worker liveness) by the "fabric_" prefix:
+// which worker ran which unit is scheduling, not physics, and a fabric
+// run's manifest must match the single-process run's byte for byte. The
+// run manifest snapshots through this filter so equal runs produce
+// byte-identical manifests.
 func DeterministicFilter(name string) bool {
 	return !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_ns") &&
 		!strings.HasSuffix(name, "_real_time_factor") &&
-		!strings.HasPrefix(name, "resume_")
+		!strings.HasPrefix(name, "resume_") &&
+		!strings.HasPrefix(name, "fabric_")
 }
 
 // Snapshot copies the registry's current state. A nil filter keeps every
