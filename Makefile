@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-gate clean test-faults test-resume test-fabric fuzz-qp check
+.PHONY: all build test race vet bench bench-json bench-gate clean test-faults test-resume test-fabric test-thermal fuzz-qp check
 
 all: build vet test
 
@@ -38,15 +38,18 @@ bench-json:
 	| $(GO) run ./cmd/benchjson -o BENCH_solver.json
 
 # Solver-path regression gate: rerun the solver benches and fail (exit 1)
-# when BenchmarkMPCSolveStep's ns/op regresses more than 15 % against the
-# committed BENCH_solver.json — the backstop that keeps the structured
-# backend's ≥10× win from eroding silently. On pass, the snapshot is
-# rewritten in place so `git diff BENCH_solver.json` shows the drift.
-# The 3 s benchtime matches how the committed snapshot was produced;
-# short runs are too noisy to gate at 15 % on shared CI hardware.
+# when the ns/op of BenchmarkMPCSolveStep or its co-scheduling
+# counterpart BenchmarkMPCSolveStepThermal regresses more than 15 %
+# against the committed BENCH_solver.json — the backstop that keeps the
+# structured backend's ≥10× win from eroding silently at either decision
+# stride. On pass, the snapshot is rewritten in place so
+# `git diff BENCH_solver.json` shows the drift. The 3 s benchtime
+# matches how the committed snapshot was produced; short runs are too
+# noisy to gate at 15 % on shared CI hardware.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'MPCSolveStep|QPInteriorPoint|QPStructured|SQPSolveWarm|LUSolve' -benchmem -benchtime 3s . \
-	| $(GO) run ./cmd/benchjson -gate BENCH_solver.json -o BENCH_solver.json
+	| $(GO) run ./cmd/benchjson -gate BENCH_solver.json \
+	  -gate-bench 'BenchmarkMPCSolveStep,BenchmarkMPCSolveStepThermal' -o BENCH_solver.json
 
 # Fault-injection and observability conformance under the race detector:
 # the injector and supervisor unit tests, the telemetry registry/trace
@@ -80,6 +83,17 @@ test-fabric:
 	$(GO) test -race ./internal/fabric/...
 	$(GO) test -run 'ServeJoin' ./cmd/evbench/
 
+# Cold-climate thermal suite: the battery thermal network and heat-pump
+# unit tests, depot preconditioning, the calendar/cycle-stress aging
+# model, the co-scheduling MPC extension (structured-vs-dense
+# equivalence on the enlarged stage problem), and the sim-level thermal
+# integration — end-to-end cold runs, checkpoint bit-exactness with
+# thermal state, and the bitwise trajectory golden.
+test-thermal:
+	$(GO) test ./internal/thermal/... ./internal/charging/...
+	$(GO) test -run 'Thermal|Calendar|CycleStress' ./internal/battery/... ./internal/core/... ./internal/sim/...
+	$(GO) test -run 'Cold' ./internal/experiments/...
+
 # Coverage-guided fuzzing of the QP interior-point solver: the dense
 # 2-variable front door (FuzzSolve) and the stage-structured KKT backend
 # (FuzzStageKKT — ill-conditioned, non-SPD, degenerate, and
@@ -89,9 +103,9 @@ fuzz-qp:
 	$(GO) test -fuzz='^FuzzSolve$$' -fuzztime=1m ./internal/qp/
 	$(GO) test -fuzz='^FuzzStageKKT$$' -fuzztime=1m ./internal/qp/
 
-# Pre-merge gate: full build + vet + tests, fault, crash-safety, and
-# distributed-fabric suites under -race, and short fuzz smokes of the
-# QP solver and the journal parser.
-check: all test-faults test-resume test-fabric
+# Pre-merge gate: full build + vet + tests, fault, crash-safety,
+# distributed-fabric, and cold-climate thermal suites, and short fuzz
+# smokes of the QP solver and the journal parser.
+check: all test-faults test-resume test-fabric test-thermal
 	$(GO) test -fuzz='^FuzzSolve$$' -fuzztime=10s ./internal/qp/
 	$(GO) test -fuzz='^FuzzStageKKT$$' -fuzztime=10s ./internal/qp/

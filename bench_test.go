@@ -160,6 +160,32 @@ func BenchmarkMPCSolveStep(b *testing.B) {
 	}
 }
 
+// BenchmarkMPCSolveStepThermal is the co-scheduling counterpart of
+// BenchmarkMPCSolveStep: the same steady-state solve with the battery-
+// thermal extension enabled, so the enlarged per-stage decision stride
+// (pack state + heater/chiller channels) is gated alongside the paper's
+// cabin-only stride. The context is a deep-cold drive with a soaked
+// pack — the regime where every thermal constraint row is active.
+func BenchmarkMPCSolveStepThermal(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Thermal = core.DefaultThermalOptions()
+	mpc, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := control.StepContext{
+		Dt: 5, CabinTempC: -15, OutsideC: -20, SolarW: 0,
+		MotorPowerW: 10e3, SoC: 85, TargetC: 22,
+		ComfortLowC: 19, ComfortHighC: 25,
+		PackTempC: -18, PackThermal: true,
+	}
+	mpc.Decide(ctx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mpc.Decide(ctx)
+	}
+}
+
 // BenchmarkQPInteriorPoint measures the cold solve path: a workspace
 // pre-sized with qp.NewWorkspaceFor, no prior solve — the configuration a
 // controller hits on its very first control step. Pre-sizing moves every

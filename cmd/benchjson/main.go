@@ -53,7 +53,7 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	gate := flag.String("gate", "", "baseline snapshot to gate against: exit 1 when the gated benchmark's ns/op regresses beyond -gate-tol")
-	gateBench := flag.String("gate-bench", "BenchmarkMPCSolveStep", "benchmark name the -gate check compares")
+	gateBench := flag.String("gate-bench", "BenchmarkMPCSolveStep", "comma-separated benchmark names the -gate check compares")
 	gateTol := flag.Float64("gate-tol", 0.15, "allowed fractional ns/op regression for -gate")
 	flag.Parse()
 
@@ -70,11 +70,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		msg, err := Gate(rep, base, *gateBench, *gateTol)
-		if err != nil {
-			fatal(err)
+		for _, name := range strings.Split(*gateBench, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			msg, err := Gate(rep, base, name, *gateTol)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "benchjson:", msg)
 		}
-		fmt.Fprintln(os.Stderr, "benchjson:", msg)
 	}
 
 	w := io.Writer(os.Stdout)

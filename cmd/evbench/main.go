@@ -66,7 +66,7 @@ func main() {
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("evbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run: all|fig1|fig5|fig6|fig7|fig8|table1 (opt-in: ablate|faults|fleet|dist)")
+	exp := fs.String("exp", "all", "experiment to run: all|fig1|fig5|fig6|fig7|fig8|table1 (opt-in: ablate|faults|fleet|dist|cold)")
 	ambient := fs.Float64("ambient", 35, "hot-day ambient temperature (°C) for figs 5-8")
 	solar := fs.Float64("solar", 400, "solar thermal load (W)")
 	quick := fs.Bool("quick", false, "truncate profiles to 200 s for a fast smoke run")
@@ -85,7 +85,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	retries := fs.Int("retries", 0, "retry attempts for crashed or timed-out jobs (total attempts = retries+1)")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "checkpoint in-flight jobs every N sim steps (needs -journal)")
 	fsyncEvery := fs.Int("fsync-every", 1, "fsync the journal every N records")
-	serve := fs.String("serve", "", "coordinate the dist sweep over the fabric on this address (e.g. :7070)")
+	serve := fs.String("serve", "", "coordinate the selected distributable sweep (dist, or -exp cold) over the fabric on this address (e.g. :7070)")
 	join := fs.String("join", "", "join a fabric coordinator as a worker (e.g. http://host:7070)")
 	unitSize := fs.Int("unit", 0, "jobs per leased fabric work unit (0 = default)")
 	leaseTTL := fs.Duration("lease-ttl", 0, "fabric lease heartbeat deadline (0 = default)")
@@ -298,6 +298,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return nil
 	})
 
+	// The cold-climate integrated thermal sweep: soaked pack, heat-pump
+	// HVAC, co-scheduling MPC vs the cabin-only controllers.
+	runExplicit("cold", func() error {
+		sw, err := experiments.RunCold(opts)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.ColdRows(sw)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.RenderCold(rows))
+		return sweepFailures(sw)
+	})
+
 	// The single-process form of the distributable sweep — the baseline
 	// the fabric's output is byte-compared against (and the overhead
 	// reference for EXPERIMENTS.md).
@@ -322,18 +337,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return nil
 	})
 
-	if !strings.Contains("all fig1 fig5 fig6 fig7 fig8 table1 ablate fleet faults dist", *exp) {
+	if !strings.Contains("all fig1 fig5 fig6 fig7 fig8 table1 ablate fleet faults dist cold", *exp) {
 		fmt.Fprintf(stderr, "evbench: unknown experiment %q\n", *exp)
 		return 2
 	}
 
 	if *serve != "" && ctx.Err() == nil {
+		// -serve coordinates the selected distributable sweep; "dist" is
+		// the default workload, -exp cold serves the cold-climate grid.
+		name := "dist"
+		if *exp == "cold" {
+			name = "cold"
+		}
 		start := time.Now()
-		if err := serveDist(ctx, *serve, *unitSize, *leaseTTL, cache, opts, stdout); err != nil && ctx.Err() == nil {
-			fmt.Fprintf(stderr, "evbench: dist: %v\n", err)
-			failures = append(failures, "dist")
+		if err := serveFabric(ctx, name, *serve, *unitSize, *leaseTTL, cache, opts, stdout); err != nil && ctx.Err() == nil {
+			fmt.Fprintf(stderr, "evbench: %s: %v\n", name, err)
+			failures = append(failures, name)
 		} else if err == nil {
-			fmt.Fprintf(stdout, "[dist completed in %s]\n\n", time.Since(start).Truncate(time.Millisecond))
+			fmt.Fprintf(stdout, "[%s completed in %s]\n\n", name, time.Since(start).Truncate(time.Millisecond))
 		}
 	}
 
@@ -404,22 +425,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
-// serveDist coordinates the dist sweep over the fabric: shard, lease to
-// joining workers, journal completions, and stitch the byte-identical
-// sweep once every unit lands. Shares the caller's observability and
-// journal wiring, so -trace/-metrics/-manifest/-journal/-resume mean
-// the same thing they do single-process.
-func serveDist(ctx context.Context, addr string, unitSize int, leaseTTL time.Duration, cache *runner.Cache, opts experiments.Options, stdout io.Writer) error {
-	params := experiments.DistParams(opts)
-	spec, err := experiments.DistSpec(params)
+// serveFabric coordinates a named distributable sweep over the fabric:
+// shard, lease to joining workers, journal completions, and stitch the
+// byte-identical sweep once every unit lands. Shares the caller's
+// observability and journal wiring, so -trace/-metrics/-manifest/
+// -journal/-resume mean the same thing they do single-process. Workers
+// rebuild the spec by name from the shared FabricSpecs registry.
+func serveFabric(ctx context.Context, name, addr string, unitSize int, leaseTTL time.Duration, cache *runner.Cache, opts experiments.Options, stdout io.Writer) error {
+	var params map[string]string
+	var render func(*runner.Sweep) (string, error)
+	switch name {
+	case "cold":
+		params = experiments.ColdParams(opts)
+		render = func(sw *runner.Sweep) (string, error) {
+			rows, err := experiments.ColdRows(sw)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderCold(rows), nil
+		}
+	default:
+		params = experiments.DistParams(opts)
+		render = func(sw *runner.Sweep) (string, error) {
+			return experiments.RenderDist(sw), nil
+		}
+	}
+	spec, err := experiments.FabricSpecs().Build(name, params)
 	if err != nil {
 		return err
 	}
 	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
 		Spec:       spec,
-		SpecName:   "dist",
+		SpecName:   name,
 		Params:     params,
-		Label:      "dist",
+		Label:      name,
 		UnitSize:   unitSize,
 		LeaseTTL:   leaseTTL,
 		Journal:    opts.Journal,
@@ -452,7 +491,11 @@ func serveDist(ctx context.Context, addr string, unitSize int, leaseTTL time.Dur
 	// Let every worker hear the Done reply before the listener goes away,
 	// so they all exit promptly instead of retrying a dead port.
 	coord.Drain(5 * time.Second)
-	fmt.Fprint(stdout, experiments.RenderDist(sw))
+	out, err := render(sw)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, out)
 	return sweepFailures(sw)
 }
 

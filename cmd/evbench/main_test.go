@@ -118,6 +118,49 @@ func TestServeJoinDistRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServeJoinColdRoundTrip is the cold-climate counterpart of the
+// dist round trip: the coordinator serves the thermal-plant sweep by
+// its registered fabric name, the joining worker rebuilds the identical
+// expansion (including the thermal Base config) from the wire params,
+// and the stitched result renders the co-scheduling table.
+func TestServeJoinColdRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	type outcome struct {
+		code        int
+		out, errOut string
+	}
+	served := make(chan outcome, 1)
+	go func() {
+		code, out, errOut := runCLI(context.Background(),
+			"-exp", "cold", "-serve", addr, "-quick", "-workers", "2")
+		served <- outcome{code, out, errOut}
+	}()
+
+	code, out, errOut := runCLI(context.Background(), "-join", "http://"+addr, "-workers", "2")
+	if code != 0 {
+		t.Fatalf("worker: exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "worker done") {
+		t.Errorf("worker stdout missing completion note: %s", out)
+	}
+
+	sr := <-served
+	if sr.code != 0 {
+		t.Fatalf("coordinator: exit %d, stderr: %s", sr.code, sr.errOut)
+	}
+	for _, want := range []string{"coordinating", "Cold-climate sweep", "Thermal", "cold completed"} {
+		if !strings.Contains(sr.out, want) {
+			t.Errorf("coordinator stdout missing %q: %s", want, sr.out)
+		}
+	}
+}
+
 // TestJournalResumeRoundTrip drives the full CLI surface: a journaled
 // run, the exists-without-resume refusal, and a -resume re-run that
 // replays from the journal (and the persisted disk cache) successfully.

@@ -34,14 +34,24 @@ type ThermalParams struct {
 }
 
 // LeafThermal returns a plausible thermal parameter set for the 24 kWh
-// pack (air-cooled, ≈ 294 kg including enclosure).
+// pack (air-cooled, ≈ 294 kg including enclosure). The sink defaults to
+// the 25 °C room-temperature calibration point — scenario code should
+// prefer LeafThermalAt, which anchors the sink at the actual ambient.
 func LeafThermal() ThermalParams {
+	return LeafThermalAt(25)
+}
+
+// LeafThermalAt returns the Leaf pack thermal parameters with the
+// coolant/ambient sink at the given scenario ambient. An air-cooled pack
+// rejects heat to outside air, not to a 25 °C laboratory: a cold sweep
+// that keeps the default sink silently simulates a warm garage.
+func LeafThermalAt(ambientC float64) ThermalParams {
 	return ThermalParams{
 		MassKg:                294,
 		CpJKgK:                1000,
 		InternalResistanceOhm: 0.09, // pack-level DC resistance
 		CoolingUAWK:           35,
-		SinkC:                 25,
+		SinkC:                 ambientC,
 	}
 }
 
@@ -63,6 +73,11 @@ type ThermalState struct {
 	p ThermalParams
 	// TempC is the current lumped pack temperature.
 	TempC float64
+	// sinkC is the live sink temperature. It starts at the parameter
+	// value and follows SetSink as the environment changes — mutable
+	// state, so it rides through Snapshot/Restore rather than being
+	// frozen into the parameters.
+	sinkC float64
 	// heatJ and time accumulate mean-temperature statistics.
 	tempTimeIntegral float64
 	elapsedS         float64
@@ -73,14 +88,22 @@ func NewThermalState(p ThermalParams, initialC float64) (*ThermalState, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &ThermalState{p: p, TempC: initialC}, nil
+	return &ThermalState{p: p, TempC: initialC, sinkC: p.SinkC}, nil
 }
+
+// SetSink retargets the coolant/ambient sink — the per-scenario (or
+// per-step, for time-varying weather) ambient threading that keeps a
+// cold sweep from silently rejecting heat into a 25 °C laboratory.
+func (s *ThermalState) SetSink(ambientC float64) { s.sinkC = ambientC }
+
+// SinkC returns the live sink temperature.
+func (s *ThermalState) SinkC() float64 { return s.sinkC }
 
 // Step advances the pack temperature by dt seconds under pack current
 // currentA (sign irrelevant: Joule heating is I²R) and returns the new
 // temperature.
 func (s *ThermalState) Step(currentA, dt float64) float64 {
-	q := currentA*currentA*s.p.InternalResistanceOhm - s.p.CoolingUAWK*(s.TempC-s.p.SinkC)
+	q := currentA*currentA*s.p.InternalResistanceOhm - s.p.CoolingUAWK*(s.TempC-s.sinkC)
 	s.TempC += q * dt / (s.p.MassKg * s.p.CpJKgK)
 	s.tempTimeIntegral += s.TempC * dt
 	s.elapsedS += dt
@@ -92,19 +115,22 @@ func (s *ThermalState) Step(currentA, dt float64) float64 {
 // restored into a state built from the same ThermalParams.
 type ThermalSnapshot struct {
 	TempC            float64 `json:"temp_c"`
+	SinkC            float64 `json:"sink_c"`
 	TempTimeIntegral float64 `json:"temp_time_integral"`
 	ElapsedS         float64 `json:"elapsed_s"`
 }
 
-// Snapshot captures the thermal state for checkpointing.
+// Snapshot captures the thermal state for checkpointing, including the
+// live sink temperature (SetSink retargets are mutable state).
 func (s *ThermalState) Snapshot() ThermalSnapshot {
-	return ThermalSnapshot{TempC: s.TempC, TempTimeIntegral: s.tempTimeIntegral, ElapsedS: s.elapsedS}
+	return ThermalSnapshot{TempC: s.TempC, SinkC: s.sinkC, TempTimeIntegral: s.tempTimeIntegral, ElapsedS: s.elapsedS}
 }
 
 // Restore replaces the thermal state with a snapshot taken from a state
 // with the same parameters; Step then continues bit-for-bit.
 func (s *ThermalState) Restore(sn ThermalSnapshot) {
 	s.TempC = sn.TempC
+	s.sinkC = sn.SinkC
 	s.tempTimeIntegral = sn.TempTimeIntegral
 	s.elapsedS = sn.ElapsedS
 }

@@ -106,6 +106,12 @@ type Inputs struct {
 	Recirc float64
 	// AirFlowKgS is mz, the supply air mass flow, kg/s.
 	AirFlowKgS float64
+	// BattHeatW and BattChillW are the electric battery heater/chiller
+	// commands in watts (the cold-climate thermal-network branch). They
+	// are zero — and ignored by the plant — unless the simulation runs
+	// with the internal/thermal subsystem enabled; the thermal network
+	// clamps them to its configured branch limits.
+	BattHeatW, BattChillW float64
 }
 
 // Powers holds the three HVAC power consumers.

@@ -1,0 +1,115 @@
+package charging
+
+import (
+	"math"
+	"testing"
+
+	"evclimate/internal/battery"
+	"evclimate/internal/thermal"
+)
+
+func preconditionParams(ambientC float64) PreconditionParams {
+	return PreconditionParams{
+		Charger:  Level2(),
+		Thermal:  thermal.DefaultThermal(),
+		AmbientC: ambientC,
+	}
+}
+
+// TestPreconditionWarmsPack pins the point of depot preconditioning: an
+// overnight −20 °C soak plus a Level-2 charge leaves the pack at the
+// departure setpoint, with the heater energy drawn from the wall on top
+// of the charge energy.
+func TestPreconditionWarmsPack(t *testing.T) {
+	p := preconditionParams(-20)
+	res, err := Precondition(p, battery.LeafPack(), 30, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TargetReached {
+		t.Fatalf("pack only reached %.2f °C, target 15 °C", res.FinalPackC)
+	}
+	if res.FinalPackC < 15 || res.FinalPackC > 25 {
+		t.Errorf("final pack %.2f °C implausible for a 15 °C setpoint", res.FinalPackC)
+	}
+	if res.HeaterEnergyKWh <= 0 {
+		t.Error("deep-cold precondition spent no heater energy")
+	}
+	if res.WallEnergyKWh <= res.Charge.WallEnergyKWh {
+		t.Errorf("total wall %v kWh not above charge-only %v kWh",
+			res.WallEnergyKWh, res.Charge.WallEnergyKWh)
+	}
+	if res.DurationS < res.Charge.DurationS {
+		t.Errorf("session %v s shorter than its charge %v s", res.DurationS, res.Charge.DurationS)
+	}
+	// The trace warms while the heater runs; after the setpoint is met
+	// the thermostat lets the pack sag only slowly toward ambient (no
+	// step may cool faster than the ambient leak allows).
+	for i := 1; i < len(res.PackC); i++ {
+		if res.PackC[i] < res.PackC[i-1]-0.2 {
+			t.Fatalf("pack cooled %.4f → %.4f °C at sample %d", res.PackC[i-1], res.PackC[i], i)
+		}
+	}
+}
+
+// TestPreconditionMildAmbientNoHeat checks the heater stays off when the
+// soak already satisfies the setpoint: the session is exactly the charge.
+func TestPreconditionMildAmbientNoHeat(t *testing.T) {
+	p := preconditionParams(20)
+	res, err := Precondition(p, battery.LeafPack(), 30, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HeaterEnergyKWh != 0 {
+		t.Errorf("mild-ambient precondition spent %v kWh on heating", res.HeaterEnergyKWh)
+	}
+	if res.DurationS != res.Charge.DurationS {
+		t.Errorf("no-heat session %v s != charge %v s", res.DurationS, res.Charge.DurationS)
+	}
+	if math.Abs(res.WallEnergyKWh-res.Charge.WallEnergyKWh) != 0 {
+		t.Errorf("wall energy %v != charge energy %v", res.WallEnergyKWh, res.Charge.WallEnergyKWh)
+	}
+	// Charging Joule losses may warm the pack slightly above the soak but
+	// never cool it.
+	if res.FinalPackC < 20-1e-9 {
+		t.Errorf("pack cooled below ambient: %v °C", res.FinalPackC)
+	}
+}
+
+// TestPreconditionHoldBudget bounds the plugged-in hold: a setpoint the
+// short top-up charge plus the hold window cannot reach terminates at
+// MaxHoldS with TargetReached false.
+func TestPreconditionHoldBudget(t *testing.T) {
+	p := preconditionParams(-20)
+	p.TargetPackC = 80
+	p.MaxHoldS = 300
+	res, err := Precondition(p, battery.LeafPack(), 88, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetReached {
+		t.Errorf("80 °C setpoint reported reached (final %.1f °C)", res.FinalPackC)
+	}
+	if got, want := res.DurationS, res.Charge.DurationS+300; math.Abs(got-want) > p.Dt+1e-9 {
+		t.Errorf("session %v s, want charge %v s + 300 s hold", got, res.Charge.DurationS)
+	}
+}
+
+// TestPreconditionValidation rejects broken parameters.
+func TestPreconditionValidation(t *testing.T) {
+	p := preconditionParams(-20)
+	p.TargetPackC = math.NaN()
+	if _, err := Precondition(p, battery.LeafPack(), 30, 90); err == nil {
+		t.Error("NaN setpoint accepted")
+	}
+	p = preconditionParams(-20)
+	p.MaxHoldS = -1
+	if _, err := Precondition(p, battery.LeafPack(), 30, 90); err == nil {
+		t.Error("negative hold budget accepted")
+	}
+	p = preconditionParams(-20)
+	p.Charger.Efficiency = 2
+	if _, err := Precondition(p, battery.LeafPack(), 30, 90); err == nil {
+		t.Error("invalid charger accepted")
+	}
+}

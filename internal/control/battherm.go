@@ -1,0 +1,60 @@
+package control
+
+import "evclimate/internal/cabin"
+
+// Battery thermostatic rule constants shared by the ladder baselines
+// (on/off and fuzzy). The MPC co-schedules the battery branch
+// optimally; the baselines use this simple latch so the supervisor
+// ladder stays total under thermal-network simulations — every rung can
+// keep the pack out of the damaging cold/hot extremes, just not
+// efficiently.
+const (
+	// BattHeatOnC / BattHeatOffC latch the pack heater on below 5 °C
+	// (lithium-plating territory under charge/regen) and off above 12 °C.
+	BattHeatOnC  = 5.0
+	BattHeatOffC = 12.0
+	// BattChillOnC / BattChillOffC latch the chiller on above 35 °C and
+	// off below 30 °C.
+	BattChillOnC  = 35.0
+	BattChillOffC = 30.0
+	// BattHeatCmdW and BattChillCmdW are the fixed branch commands while
+	// latched (the thermal network clamps to its own limits).
+	BattHeatCmdW  = 3000.0
+	BattChillCmdW = 1500.0
+)
+
+// batteryThermostat is the latch state of the baseline battery-thermal
+// rule. Zero value = both branches off.
+type batteryThermostat struct {
+	heatOn, chillOn bool
+}
+
+// reset clears both latches.
+func (b *batteryThermostat) reset() { b.heatOn, b.chillOn = false, false }
+
+// apply updates the latches from the measured pack temperature and
+// writes the branch commands into the decided inputs. Without a thermal
+// network (ctx.PackThermal false) it clears the latches and leaves the
+// inputs untouched, so non-thermal behaviour is bit-identical.
+func (b *batteryThermostat) apply(ctx StepContext, in *cabin.Inputs) {
+	if !ctx.PackThermal {
+		b.reset()
+		return
+	}
+	if ctx.PackTempC < BattHeatOnC {
+		b.heatOn = true
+	} else if ctx.PackTempC > BattHeatOffC {
+		b.heatOn = false
+	}
+	if ctx.PackTempC > BattChillOnC {
+		b.chillOn = true
+	} else if ctx.PackTempC < BattChillOffC {
+		b.chillOn = false
+	}
+	if b.heatOn {
+		in.BattHeatW = BattHeatCmdW
+	}
+	if b.chillOn {
+		in.BattChillW = BattChillCmdW
+	}
+}

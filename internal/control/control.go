@@ -58,6 +58,13 @@ type StepContext struct {
 	// controller may spend on this step (an overloaded ECU or an injected
 	// solver-budget fault). Non-optimizing controllers ignore it.
 	SolverIterBudget int
+	// PackTempC is the measured battery-pack temperature and PackThermal
+	// reports whether the simulation runs the cold-climate thermal
+	// network (internal/thermal). When PackThermal is false PackTempC is
+	// meaningless and controllers must not emit battery heater/chiller
+	// commands.
+	PackTempC   float64
+	PackThermal bool
 }
 
 // Controller decides the HVAC inputs for the next control period.

@@ -25,6 +25,7 @@ type Fuzzy struct {
 	sys     *fuzzy.System
 	prevErr float64
 	hasPrev bool
+	batt    batteryThermostat
 }
 
 // NewFuzzy builds the baseline with the rule base of [10]: 3×3 rules on
@@ -81,6 +82,7 @@ func (c *Fuzzy) Name() string { return "Fuzzy-based" }
 func (c *Fuzzy) Reset() {
 	c.prevErr = 0
 	c.hasPrev = false
+	c.batt.reset()
 }
 
 // Decide implements Controller.
@@ -117,5 +119,9 @@ func (c *Fuzzy) Decide(ctx StepContext) cabin.Inputs {
 	default: // idle: ventilate
 		in = cabin.Inputs{SupplyTempC: mix, CoilTempC: mix, Recirc: c.Recirc, AirFlowKgS: p.MinAirFlowKgS}
 	}
-	return c.Model.ClampInputs(in, mix)
+	in = c.Model.ClampInputs(in, mix)
+	// Thermostatic battery heating/cooling (no-op without the thermal
+	// network) keeps the ladder total in cold-climate simulations.
+	c.batt.apply(ctx, &in)
+	return in
 }

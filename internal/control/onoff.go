@@ -30,7 +30,8 @@ type OnOff struct {
 	// comfort-zone half-width is used.
 	HysteresisC float64
 
-	on bool
+	on   bool
+	batt batteryThermostat
 }
 
 // NewOnOff returns the baseline with its default operating point: a
@@ -52,7 +53,7 @@ func NewOnOff(m *cabin.Model) *OnOff {
 func (c *OnOff) Name() string { return "On/Off" }
 
 // Reset implements Controller.
-func (c *OnOff) Reset() { c.on = false }
+func (c *OnOff) Reset() { c.on = false; c.batt.reset() }
 
 // Decide implements Controller.
 func (c *OnOff) Decide(ctx StepContext) cabin.Inputs {
@@ -111,5 +112,9 @@ func (c *OnOff) Decide(ctx StepContext) cabin.Inputs {
 			AirFlowKgS:  c.OnAirFlowKgS,
 		}
 	}
-	return c.Model.ClampInputs(in, mix)
+	in = c.Model.ClampInputs(in, mix)
+	// Thermostatic battery heating/cooling (no-op without the thermal
+	// network) keeps the ladder total in cold-climate simulations.
+	c.batt.apply(ctx, &in)
+	return in
 }

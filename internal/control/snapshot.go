@@ -13,11 +13,14 @@ import (
 
 type onOffState struct {
 	On bool `json:"on"`
+	// Battery-thermostat latches (cold-climate thermal network).
+	BattHeat  bool `json:"batt_heat,omitempty"`
+	BattChill bool `json:"batt_chill,omitempty"`
 }
 
 // StateSnapshot implements Snapshotter.
 func (c *OnOff) StateSnapshot() (json.RawMessage, error) {
-	return json.Marshal(onOffState{On: c.on})
+	return json.Marshal(onOffState{On: c.on, BattHeat: c.batt.heatOn, BattChill: c.batt.chillOn})
 }
 
 // RestoreState implements Snapshotter.
@@ -27,6 +30,7 @@ func (c *OnOff) RestoreState(raw json.RawMessage) error {
 		return fmt.Errorf("control: on/off state: %w", err)
 	}
 	c.on = st.On
+	c.batt.heatOn, c.batt.chillOn = st.BattHeat, st.BattChill
 	return nil
 }
 
@@ -54,11 +58,14 @@ func (c *PID) RestoreState(raw json.RawMessage) error {
 type fuzzyState struct {
 	PrevErr float64 `json:"prev_err"`
 	HasPrev bool    `json:"has_prev"`
+	// Battery-thermostat latches (cold-climate thermal network).
+	BattHeat  bool `json:"batt_heat,omitempty"`
+	BattChill bool `json:"batt_chill,omitempty"`
 }
 
 // StateSnapshot implements Snapshotter.
 func (c *Fuzzy) StateSnapshot() (json.RawMessage, error) {
-	return json.Marshal(fuzzyState{PrevErr: c.prevErr, HasPrev: c.hasPrev})
+	return json.Marshal(fuzzyState{PrevErr: c.prevErr, HasPrev: c.hasPrev, BattHeat: c.batt.heatOn, BattChill: c.batt.chillOn})
 }
 
 // RestoreState implements Snapshotter.
@@ -68,6 +75,7 @@ func (c *Fuzzy) RestoreState(raw json.RawMessage) error {
 		return fmt.Errorf("control: fuzzy state: %w", err)
 	}
 	c.prevErr, c.hasPrev = st.PrevErr, st.HasPrev
+	c.batt.heatOn, c.batt.chillOn = st.BattHeat, st.BattChill
 	return nil
 }
 

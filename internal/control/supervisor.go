@@ -311,17 +311,21 @@ func (s *Supervisor) sanitize(ctx *StepContext) {
 func (s *Supervisor) validate(in cabin.Inputs, ctx *StepContext) error {
 	// Ordered (not a map) so a multi-field failure reports the same
 	// first violation every run — transition reasons are replayable.
-	fields := [4]struct {
+	fields := [6]struct {
 		name string
 		v    float64
 	}{
 		{"supply", in.SupplyTempC}, {"coil", in.CoilTempC},
 		{"recirc", in.Recirc}, {"flow", in.AirFlowKgS},
+		{"battery-heater", in.BattHeatW}, {"battery-chiller", in.BattChillW},
 	}
 	for _, f := range fields {
 		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
 			return fmt.Errorf("control: non-finite %s input: %v", f.name, f.v)
 		}
+	}
+	if in.BattHeatW < 0 || in.BattChillW < 0 {
+		return fmt.Errorf("control: negative battery thermal command (heat %.1f W, chill %.1f W)", in.BattHeatW, in.BattChillW)
 	}
 	mix := s.model.MixTemp(ctx.OutsideC, ctx.CabinTempC, in.Recirc)
 	if err := s.model.CheckInputs(in, mix, s.cfg.ValidationTol); err != nil {

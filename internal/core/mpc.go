@@ -105,6 +105,10 @@ type Config struct {
 	// iteration histograms (mpc_solves_total{status}, mpc_sqp_iterations,
 	// mpc_qp_iterations). Nil or Nop adds no overhead to Decide.
 	Telemetry telemetry.Sink
+	// Thermal enables the cold-climate battery-thermal co-scheduling
+	// extension (see ThermalOptions). The zero value keeps the paper's
+	// cabin-only controller bit-for-bit.
+	Thermal ThermalOptions
 }
 
 // DefaultConfig returns the configuration used in the experiments.
@@ -125,6 +129,20 @@ func DefaultConfig() Config {
 type Controller struct {
 	cfg   Config
 	model *cabin.Model
+
+	// Stage layout: sv variables, ne equality rows, ni inequality rows
+	// per prediction step; offX is the in-stage offset of x_{k+1}. The
+	// cabin-only problem is [Ts,Tc,dr,mz,Ph,Pc | x] (7/3/14); thermal
+	// co-scheduling appends the battery branch and the pack state,
+	// [Ts,Tc,dr,mz,Ph,Pc,Pbh,Pbc | x,Tb] (10/4/18). The values are fixed
+	// in New; with thermal disabled every index expression evaluates
+	// exactly as the original constants did, keeping the cabin-only
+	// trajectory bit-identical.
+	sv, ne, ni, offX int
+	thermal          bool
+	// kabEffWK is the coolant loop folded into an effective pack↔ambient
+	// conductance for the one-state-per-stage pack prediction model.
+	kabEffWK float64
 
 	prevZ    []float64 // previous solution for warm starting (fixed buffer)
 	havePrev bool      // prevZ holds a usable previous solution
@@ -151,6 +169,9 @@ type Controller struct {
 	// lastSolve is the previous Decide's optimizer diagnostics, exposed
 	// through control.SolveReporter for telemetry step spans.
 	lastSolve control.SolveInfo
+	// lastStructured records whether the previous solve stayed on the
+	// stage-structured KKT path end to end.
+	lastStructured bool
 
 	// Telemetry instruments, nil unless the config carried an active
 	// sink; nil instruments are no-ops so Decide never branches on them.
@@ -195,11 +216,20 @@ func New(cfg Config) (*Controller, error) {
 		// warm-started next step re-optimizes anyway.
 		cfg.SQP.MinMeritDecrease = 1e-4
 	}
+	if err := cfg.Thermal.validate(); err != nil {
+		return nil, err
+	}
 	m, err := cabin.New(cfg.Cabin)
 	if err != nil {
 		return nil, err
 	}
 	c := &Controller{cfg: cfg, model: m}
+	c.sv, c.ne, c.ni, c.offX = stageVars, 3, ineqPerStep, stageVars-1
+	if cfg.Thermal.Enabled {
+		c.thermal = true
+		c.sv, c.ne, c.ni, c.offX = thermalStageVars, 4, thermalIneqPerStep, 8
+		c.kabEffWK = cfg.Thermal.Network.EffectivePackAmbientUA()
+	}
 	n := cfg.Horizon
 	c.hor = horizonData{
 		motorW:     make([]float64, n),
@@ -208,6 +238,8 @@ func New(cfg Config) (*Controller, error) {
 		coilFloorC: make([]float64, n),
 		comfortLo:  make([]float64, n),
 		comfortHi:  make([]float64, n),
+		ah:         make([]float64, n),
+		qjW:        make([]float64, n),
 	}
 	c.socBuf = make([]float64, n)
 	c.sensBuf = make([]float64, n)
@@ -218,10 +250,10 @@ func New(cfg Config) (*Controller, error) {
 		N:         c.nz(),
 		Objective: func(z []float64) float64 { return c.objective(z, &c.hor) },
 		Gradient:  func(z, g []float64) { c.gradient(z, &c.hor, g) },
-		MEq:       3 * n,
+		MEq:       c.ne * n,
 		Eq:        func(z, out []float64) { c.equalities(z, &c.hor, out) },
 		EqJac:     func(z []float64, jac *mat.Dense) { c.equalitiesJac(z, &c.hor, jac) },
-		MIneq:     n * ineqPerStep,
+		MIneq:     n * c.ni,
 		Ineq:      func(z, out []float64) { c.inequalities(z, &c.hor, out) },
 		IneqJac:   func(z []float64, jac *mat.Dense) { c.inequalitiesJac(z, &c.hor, jac) },
 		Stages:    c.horizonStructure(),
@@ -258,7 +290,18 @@ func (c *Controller) BindTelemetry(tel telemetry.Sink) {
 }
 
 // Name implements control.Controller.
-func (c *Controller) Name() string { return "Battery Lifetime-aware" }
+func (c *Controller) Name() string {
+	if c.cfg.Thermal.Enabled {
+		return "Thermal Co-scheduling"
+	}
+	return "Battery Lifetime-aware"
+}
+
+// Structured reports whether the last Decide's SQP solve used the
+// stage-structured (block-tridiagonal) KKT backend on every QP
+// subproblem — false after a dense fallback, a safe-ventilation
+// fallback, or before the first solve.
+func (c *Controller) Structured() bool { return c.lastStructured }
 
 // Reset implements control.Controller.
 func (c *Controller) Reset() {
@@ -316,6 +359,17 @@ type horizonData struct {
 	tz0, soc0    float64
 	targetC      float64
 	kappaPerWatt float64 // SoC percent lost per W over one step
+	// ah is the per-stage heater power coefficient: supply heat
+	// mz·cp·(Ts−Tc) divided by the stage's electrical conversion factor
+	// (EtaHeat cabin-only; the heat-pump COP at the forecast ambient, or
+	// the PTC efficiency below cutoff, in thermal mode), in
+	// W/(kg/s·K).
+	ah []float64
+	// tb0 and qjW are the thermal extension's measured initial pack
+	// temperature and per-stage Joule-heat forecast (I²·R(tb0) at the
+	// forecast motor current), W.
+	tb0 float64
+	qjW []float64
 }
 
 // buildHorizon resamples the StepContext forecast onto the MPC grid,
@@ -328,6 +382,7 @@ func (c *Controller) buildHorizon(ctx control.StepContext) *horizonData {
 	h.tz0 = ctx.CabinTempC
 	h.soc0 = ctx.SoC
 	h.targetC = ctx.TargetC
+	h.tb0 = ctx.PackTempC
 	// SoC percent drained per watt over one prediction step (Eq. 13 with
 	// I_eff ≈ I).
 	h.kappaPerWatt = 100 * c.cfg.Dt / (units.SecondsPerHour * c.cfg.BatteryCapacityAh * c.cfg.BatteryVoltageV)
@@ -349,6 +404,14 @@ func (c *Controller) buildHorizon(ctx control.StepContext) *horizonData {
 			h.solarW[k] = ctx.SolarW
 		}
 		h.coilFloorC[k] = math.Min(c.cfg.Cabin.MinCoilTempC, h.outsideC[k])
+		if c.thermal {
+			eff, _ := c.cfg.Thermal.HeatPump.Heating(h.outsideC[k])
+			h.ah[k] = c.cfg.Cabin.AirCpJKgK / eff
+			iPred := (h.motorW[k] + c.cfg.AccessoryW) / c.cfg.BatteryVoltageV
+			h.qjW[k] = iPred * iPred * c.cfg.Thermal.Network.PackResistanceOhm(h.tb0)
+		} else {
+			h.ah[k] = c.cfg.Cabin.AirCpJKgK / c.cfg.Cabin.EtaHeat
+		}
 
 		// Comfort funnel: when the cabin starts outside the zone, the
 		// bound relaxes to the reachable envelope and tightens along the
@@ -369,36 +432,53 @@ func (c *Controller) buildHorizon(ctx control.StepContext) *horizonData {
 }
 
 // Variable layout: stage-major (multiple-shooting order). Stage k owns
-// the 7 contiguous variables
+// sv contiguous variables; cabin-only (sv = 7)
 //
 //	z[7k+0..5]   [Ts_k, Tc_k, dr_k, mz_k, Ph_k, Pc_k]   inputs + coil powers
 //	z[7k+6]      x_{k+1}                                next cabin temperature
 //
+// and thermal co-scheduling (sv = 10)
+//
+//	z[10k+0..5]  [Ts_k, Tc_k, dr_k, mz_k, Ph_k, Pc_k]   inputs + coil powers
+//	z[10k+6..7]  [Pbh_k, Pbc_k]                         battery heater/chiller, kW
+//	z[10k+8]     x_{k+1}                                next cabin temperature
+//	z[10k+9]     Tb_{k+1}                               next pack temperature
+//
 // so every constraint of stage k touches only the variables of stages
-// k−1 (through x_k) and k. That is exactly the backward-support contract
-// of qp.StageStructure: the SQP subproblems factor block-tridiagonally
-// instead of densely. (The paper's Eq. 20 z = [x, i, u] grouping is
-// mathematically identical — this is a permutation.)
-func (c *Controller) idxX(k int) int  { return 7*(k-1) + 6 } // x_k, k ≥ 1
-func (c *Controller) idxTs(k int) int { return 7 * k }
-func (c *Controller) idxTc(k int) int { return 7*k + 1 }
-func (c *Controller) idxDr(k int) int { return 7*k + 2 }
-func (c *Controller) idxMz(k int) int { return 7*k + 3 }
-func (c *Controller) idxPh(k int) int { return 7*k + 4 }
-func (c *Controller) idxPc(k int) int { return 7*k + 5 }
+// k−1 (through x_k, Tb_k) and k. That is exactly the backward-support
+// contract of qp.StageStructure: the SQP subproblems factor
+// block-tridiagonally instead of densely at either stride. (The paper's
+// Eq. 20 z = [x, i, u] grouping is mathematically identical — this is a
+// permutation.)
+func (c *Controller) idxX(k int) int  { return c.sv*(k-1) + c.offX } // x_k, k ≥ 1
+func (c *Controller) idxTs(k int) int { return c.sv * k }
+func (c *Controller) idxTc(k int) int { return c.sv*k + 1 }
+func (c *Controller) idxDr(k int) int { return c.sv*k + 2 }
+func (c *Controller) idxMz(k int) int { return c.sv*k + 3 }
+func (c *Controller) idxPh(k int) int { return c.sv*k + 4 }
+func (c *Controller) idxPc(k int) int { return c.sv*k + 5 }
+
+// Battery-branch and pack-state indices (thermal co-scheduling only).
+func (c *Controller) idxBh(k int) int { return c.sv*k + 6 }
+func (c *Controller) idxBc(k int) int { return c.sv*k + 7 }
+func (c *Controller) idxTb(k int) int { return c.sv*(k-1) + 9 } // Tb_k, k ≥ 1
 
 // nz returns the decision-vector length.
-func (c *Controller) nz() int { return 7 * c.cfg.Horizon }
+func (c *Controller) nz() int { return c.sv * c.cfg.Horizon }
 
-// stageVars is the per-stage variable count of the layout above.
-const stageVars = 7
+// stageVars and thermalStageVars are the per-stage variable counts of
+// the two layouts above.
+const (
+	stageVars        = 7
+	thermalStageVars = 10
+)
 
 // horizonStructure declares the stage structure of the horizon NLP for
-// the structured QP backend: stageVars variables, 3 equality rows
-// (dynamics, heater power, cooler power) and ineqPerStep inequality rows
-// per prediction step.
+// the structured QP backend: sv variables, ne equality rows (dynamics,
+// heater power, cooler power, and in thermal mode the pack dynamics) and
+// ni inequality rows per prediction step.
 func (c *Controller) horizonStructure() *qp.StageStructure {
-	return qp.UniformStages(c.cfg.Horizon, stageVars, 3, ineqPerStep)
+	return qp.UniformStages(c.cfg.Horizon, c.sv, c.ne, c.ni)
 }
 
 // stateAt returns the cabin temperature at the start of step k and
@@ -410,13 +490,27 @@ func (c *Controller) stateAt(z []float64, h *horizonData, k int) (float64, bool)
 	return z[c.idxX(k)], true
 }
 
-// hvacPowerAt returns Ph + Pc + Pf at step k for iterate z, in watts.
+// packAt returns the pack temperature at the start of step k and whether
+// it is a decision variable (k ≥ 1). Thermal co-scheduling only.
+func (c *Controller) packAt(z []float64, h *horizonData, k int) (float64, bool) {
+	if k == 0 {
+		return h.tb0, false
+	}
+	return z[c.idxTb(k)], true
+}
+
+// hvacPowerAt returns Ph + Pc + Pf — plus the battery heater/chiller
+// branch in thermal mode — at step k for iterate z, in watts.
 // The coil-power decision variables are stored in kilowatts so all
 // decision variables share the same order of magnitude (important for the
 // BFGS Hessian seed in the SQP solver).
 func (c *Controller) hvacPowerAt(z []float64, h *horizonData, k int) float64 {
 	mz := z[c.idxMz(k)]
-	return 1000*(z[c.idxPh(k)]+z[c.idxPc(k)]) + c.cfg.Cabin.FanCoeffW*mz*mz
+	pw := 1000*(z[c.idxPh(k)]+z[c.idxPc(k)]) + c.cfg.Cabin.FanCoeffW*mz*mz
+	if c.thermal {
+		pw += 1000 * (z[c.idxBh(k)] + z[c.idxBc(k)])
+	}
+	return pw
 }
 
 // socTrajectory returns SoC_1..SoC_N for iterate z, written into the
@@ -455,6 +549,22 @@ func (c *Controller) objective(z []float64, h *horizonData) float64 {
 	// the whole running cost anchors the trajectory at the target.
 	dN := z[c.idxX(h.n)] - h.targetC
 	cost += w.Comfort * float64(h.n) * dN * dN
+	if c.thermal {
+		// Soft pack-temperature comfort band (C¹ relu²): excursions below
+		// BandLoC price lithium-plating-prone cold cycling, above BandHiC
+		// Arrhenius-accelerated fade. This is the ΔSoH term of the
+		// co-scheduling cost.
+		wb := c.cfg.Thermal.BandWeight
+		for k := 1; k <= h.n; k++ {
+			tb := z[c.idxTb(k)]
+			if d := c.cfg.Thermal.BandLoC - tb; d > 0 {
+				cost += wb * d * d
+			}
+			if d := tb - c.cfg.Thermal.BandHiC; d > 0 {
+				cost += wb * d * d
+			}
+		}
+	}
 	return cost
 }
 
@@ -490,22 +600,45 @@ func (c *Controller) gradient(z []float64, h *horizonData, grad []float64) {
 		dCdP := sens[k]
 		grad[c.idxPh(k)] += dCdP * 1000
 		grad[c.idxPc(k)] += dCdP * 1000
+		if c.thermal {
+			grad[c.idxBh(k)] += dCdP * 1000
+			grad[c.idxBc(k)] += dCdP * 1000
+		}
 		grad[c.idxMz(k)] += dCdP * 2 * c.cfg.Cabin.FanCoeffW * z[c.idxMz(k)]
 		grad[c.idxX(k+1)] += 2 * w.Comfort * (z[c.idxX(k+1)] - h.targetC)
 	}
 	grad[c.idxX(h.n)] += 2 * w.Comfort * float64(h.n) * (z[c.idxX(h.n)] - h.targetC)
+	if c.thermal {
+		wb := c.cfg.Thermal.BandWeight
+		for k := 1; k <= h.n; k++ {
+			tb := z[c.idxTb(k)]
+			if d := c.cfg.Thermal.BandLoC - tb; d > 0 {
+				grad[c.idxTb(k)] -= 2 * wb * d
+			}
+			if d := tb - c.cfg.Thermal.BandHiC; d > 0 {
+				grad[c.idxTb(k)] += 2 * wb * d
+			}
+		}
+	}
 }
 
-// Equality constraints, stage-major, 3 per step k:
+// Equality constraints, stage-major, ne per step k (rows at ne·k+…):
 //
-//	row 3k   : dynamics residual (Eqs. 18–19, trapezoidal), scaled by
-//	           Δt/Mc so it reads in kelvins
-//	row 3k+1 : Ph_k − (cp/ηh)·mz·(Ts − Tc)/1000 = 0   (Eq. 10, kW)
-//	row 3k+2 : Pc_k − (cp/ηc)·mz·(Tm − Tc)/1000 = 0   (Eqs. 9, 11, kW)
+//	row +0 : cabin dynamics residual (Eqs. 18–19, trapezoidal), scaled by
+//	         Δt/Mc so it reads in kelvins; in thermal mode the heat input
+//	         gains the pack→cabin conduction K_bc·(T̄b − x̄)
+//	row +1 : Ph_k − (cp/η_k)·mz·(Ts − Tc)/1000 = 0   (Eq. 10, kW; η_k is
+//	         EtaHeat cabin-only, the heat-pump conversion in thermal mode)
+//	row +2 : Pc_k − (cp/ηc)·mz·(Tm − Tc)/1000 = 0    (Eqs. 9, 11, kW)
+//	row +3 : (thermal only) pack dynamics residual, trapezoidal in Tb,
+//	         kelvins: conduction to ambient (coolant loop folded into
+//	         kabEffWK) and cabin, the forecast Joule heat, and the battery
+//	         heater/chiller branch (branch variables in kW)
 func (c *Controller) equalities(z []float64, h *horizonData, out []float64) {
 	p := c.cfg.Cabin
-	ah := p.AirCpJKgK / p.EtaHeat
 	ac := p.AirCpJKgK / p.EtaCool
+	net := &c.cfg.Thermal.Network
+	kbc := net.UAPackCabinWK
 	for k := 0; k < h.n; k++ {
 		xk, _ := c.stateAt(z, h, k)
 		xk1 := z[c.idxX(k+1)]
@@ -515,21 +648,33 @@ func (c *Controller) equalities(z []float64, h *horizonData, out []float64) {
 		mz := z[c.idxMz(k)]
 		xbar := (xk + xk1) / 2
 		q := h.solarW[k] + p.ShellUAWK*(h.outsideC[k]-xbar)
+		row := c.ne * k
+		if c.thermal {
+			tbk, _ := c.packAt(z, h, k)
+			tbk1 := z[c.idxTb(k+1)]
+			tbbar := (tbk + tbk1) / 2
+			q += kbc * (tbbar - xbar)
+			scale := h.dt / net.PackHeatCapJK
+			qb := h.qjW[k] + c.kabEffWK*(h.outsideC[k]-tbbar) + kbc*(xbar-tbbar) +
+				1000*(net.HeaterEff*z[c.idxBh(k)]-net.ChillerCOP*z[c.idxBc(k)])
+			out[row+3] = (tbk1 - tbk) - scale*qb
+		}
 		supply := mz * p.AirCpJKgK * (ts - xbar)
 		rowScale := h.dt / p.ThermalCapacitanceJK
-		out[3*k] = (xk1 - xk) - rowScale*(q+supply)
+		out[row] = (xk1 - xk) - rowScale*(q+supply)
 
 		tm := (1-dr)*h.outsideC[k] + dr*xk
-		out[3*k+1] = z[c.idxPh(k)] - ah*mz*(ts-tc)/1000
-		out[3*k+2] = z[c.idxPc(k)] - ac*mz*(tm-tc)/1000
+		out[row+1] = z[c.idxPh(k)] - h.ah[k]*mz*(ts-tc)/1000
+		out[row+2] = z[c.idxPc(k)] - ac*mz*(tm-tc)/1000
 	}
 }
 
 // equalitiesJac writes the Jacobian of the equality constraints.
 func (c *Controller) equalitiesJac(z []float64, h *horizonData, jac *mat.Dense) {
 	p := c.cfg.Cabin
-	ah := p.AirCpJKgK / p.EtaHeat
 	ac := p.AirCpJKgK / p.EtaCool
+	net := &c.cfg.Thermal.Network
+	kbc := net.UAPackCabinWK
 	for k := 0; k < h.n; k++ {
 		ts := z[c.idxTs(k)]
 		tc := z[c.idxTc(k)]
@@ -539,24 +684,36 @@ func (c *Controller) equalitiesJac(z []float64, h *horizonData, jac *mat.Dense) 
 		xk1 := z[c.idxX(k+1)]
 		xbar := (xk + xk1) / 2
 
-		// Dynamics row (scaled by Δt/Mc).
+		// Dynamics row (scaled by Δt/Mc). The trapezoidal x̄ contributes
+		// half of each conductance to both endpoint states.
 		rowScale := h.dt / p.ThermalCapacitanceJK
-		jac.Set(3*k, c.idxX(k+1), 1+rowScale*(p.ShellUAWK/2+mz*p.AirCpJKgK/2))
-		if xIsVar {
-			jac.Set(3*k, c.idxX(k), -1+rowScale*(p.ShellUAWK/2+mz*p.AirCpJKgK/2))
+		row := c.ne * k
+		sumHalf := p.ShellUAWK/2 + mz*p.AirCpJKgK/2
+		if c.thermal {
+			sumHalf += kbc / 2
 		}
-		jac.Set(3*k, c.idxTs(k), -rowScale*mz*p.AirCpJKgK)
-		jac.Set(3*k, c.idxMz(k), -rowScale*p.AirCpJKgK*(ts-xbar))
+		jac.Set(row, c.idxX(k+1), 1+rowScale*sumHalf)
+		if xIsVar {
+			jac.Set(row, c.idxX(k), -1+rowScale*sumHalf)
+		}
+		jac.Set(row, c.idxTs(k), -rowScale*mz*p.AirCpJKgK)
+		jac.Set(row, c.idxMz(k), -rowScale*p.AirCpJKgK*(ts-xbar))
+		if c.thermal {
+			jac.Set(row, c.idxTb(k+1), -rowScale*kbc/2)
+			if k >= 1 {
+				jac.Set(row, c.idxTb(k), -rowScale*kbc/2)
+			}
+		}
 
 		// Heater power definition row (kW).
-		r := 3*k + 1
+		r := row + 1
 		jac.Set(r, c.idxPh(k), 1)
-		jac.Set(r, c.idxTs(k), -ah*mz/1000)
-		jac.Set(r, c.idxTc(k), ah*mz/1000)
-		jac.Set(r, c.idxMz(k), -ah*(ts-tc)/1000)
+		jac.Set(r, c.idxTs(k), -h.ah[k]*mz/1000)
+		jac.Set(r, c.idxTc(k), h.ah[k]*mz/1000)
+		jac.Set(r, c.idxMz(k), -h.ah[k]*(ts-tc)/1000)
 
 		// Cooler power definition row (kW).
-		r = 3*k + 2
+		r = row + 2
 		tm := (1-dr)*h.outsideC[k] + dr*xk
 		jac.Set(r, c.idxPc(k), 1)
 		jac.Set(r, c.idxTc(k), ac*mz/1000)
@@ -564,6 +721,23 @@ func (c *Controller) equalitiesJac(z []float64, h *horizonData, jac *mat.Dense) 
 		jac.Set(r, c.idxMz(k), -ac*(tm-tc)/1000)
 		if xIsVar {
 			jac.Set(r, c.idxX(k), -ac*mz*dr/1000)
+		}
+
+		// Pack dynamics row (thermal only, kelvins).
+		if c.thermal {
+			r = row + 3
+			scale := h.dt / net.PackHeatCapJK
+			half := (c.kabEffWK + kbc) / 2
+			jac.Set(r, c.idxTb(k+1), 1+scale*half)
+			if k >= 1 {
+				jac.Set(r, c.idxTb(k), -1+scale*half)
+			}
+			jac.Set(r, c.idxX(k+1), -scale*kbc/2)
+			if xIsVar {
+				jac.Set(r, c.idxX(k), -scale*kbc/2)
+			}
+			jac.Set(r, c.idxBh(k), -scale*1000*net.HeaterEff)
+			jac.Set(r, c.idxBc(k), scale*1000*net.ChillerCOP)
 		}
 	}
 }
@@ -577,7 +751,15 @@ func (c *Controller) equalitiesJac(z []float64, h *horizonData, jac *mat.Dense) 
 //	8: dr ≥ 0              (C7)     9: dr ≤ dr_max     (C7)
 //	10: Ph ≤ Ph_max        (C8)    11: Pc ≤ Pc_max     (C9)
 //	12: Ph ≥ 0                     13: Pc ≥ 0
-const ineqPerStep = 14
+//
+// Thermal co-scheduling appends 4 battery-branch rows per step:
+//
+//	14: Pbh ≤ Pbh_max      15: Pbc ≤ Pbc_max
+//	16: Pbh ≥ 0            17: Pbc ≥ 0
+const (
+	ineqPerStep        = 14
+	thermalIneqPerStep = ineqPerStep + 4
+)
 
 func (c *Controller) maxFlow() float64 {
 	p := c.cfg.Cabin
@@ -594,7 +776,7 @@ func (c *Controller) inequalities(z []float64, h *horizonData, out []float64) {
 		mz := z[c.idxMz(k)]
 		xhat, _ := c.stateAt(z, h, k)
 		tm := (1-dr)*h.outsideC[k] + dr*xhat
-		o := out[k*ineqPerStep:]
+		o := out[k*c.ni:]
 		o[0] = p.MinAirFlowKgS - mz
 		o[1] = mz - mzHi
 		o[2] = h.comfortLo[k] - z[c.idxX(k+1)]
@@ -609,6 +791,13 @@ func (c *Controller) inequalities(z []float64, h *horizonData, out []float64) {
 		o[11] = z[c.idxPc(k)] - p.MaxCoolerPowerW/1000
 		o[12] = -z[c.idxPh(k)]
 		o[13] = -z[c.idxPc(k)]
+		if c.thermal {
+			net := &c.cfg.Thermal.Network
+			o[14] = z[c.idxBh(k)] - net.MaxHeaterW/1000
+			o[15] = z[c.idxBc(k)] - net.MaxChillerW/1000
+			o[16] = -z[c.idxBh(k)]
+			o[17] = -z[c.idxBc(k)]
+		}
 	}
 }
 
@@ -616,7 +805,7 @@ func (c *Controller) inequalitiesJac(z []float64, h *horizonData, jac *mat.Dense
 	for k := 0; k < h.n; k++ {
 		dr := z[c.idxDr(k)]
 		xhat, xIsVar := c.stateAt(z, h, k)
-		r := k * ineqPerStep
+		r := k * c.ni
 		jac.Set(r+0, c.idxMz(k), -1)
 		jac.Set(r+1, c.idxMz(k), 1)
 		jac.Set(r+2, c.idxX(k+1), -1)
@@ -636,6 +825,12 @@ func (c *Controller) inequalitiesJac(z []float64, h *horizonData, jac *mat.Dense
 		jac.Set(r+11, c.idxPc(k), 1)
 		jac.Set(r+12, c.idxPh(k), -1)
 		jac.Set(r+13, c.idxPc(k), -1)
+		if c.thermal {
+			jac.Set(r+14, c.idxBh(k), 1)
+			jac.Set(r+15, c.idxBc(k), 1)
+			jac.Set(r+16, c.idxBh(k), -1)
+			jac.Set(r+17, c.idxBc(k), -1)
+		}
 	}
 }
 
@@ -643,7 +838,6 @@ func (c *Controller) inequalitiesJac(z []float64, h *horizonData, jac *mat.Dense
 // current temperature and ventilate. Every entry of z is written.
 func (c *Controller) initialGuess(h *horizonData, z []float64) {
 	p := c.cfg.Cabin
-	ah := p.AirCpJKgK / p.EtaHeat
 	ac := p.AirCpJKgK / p.EtaCool
 	for k := 1; k <= h.n; k++ {
 		z[c.idxX(k)] = h.tz0
@@ -658,8 +852,23 @@ func (c *Controller) initialGuess(h *horizonData, z []float64) {
 		z[c.idxTc(k)] = tc
 		z[c.idxDr(k)] = dr
 		z[c.idxMz(k)] = mz
-		z[c.idxPh(k)] = math.Max(0, ah*mz*(ts-tc)/1000)
+		z[c.idxPh(k)] = math.Max(0, h.ah[k]*mz*(ts-tc)/1000)
 		z[c.idxPc(k)] = math.Max(0, ac*mz*(tm-tc)/1000)
+	}
+	if c.thermal {
+		// Hold the measured pack temperature and pre-seed the heater when
+		// the pack starts below the band — in deep cold full heat is near
+		// optimal and the seed saves SQP iterations.
+		net := &c.cfg.Thermal.Network
+		bh := 0.0
+		if h.tb0 < c.cfg.Thermal.BandLoC {
+			bh = net.MaxHeaterW / 1000
+		}
+		for k := 0; k < h.n; k++ {
+			z[c.idxBh(k)] = bh
+			z[c.idxBc(k)] = 0
+			z[c.idxTb(k+1)] = h.tb0
+		}
 	}
 }
 
@@ -669,8 +878,8 @@ func (c *Controller) initialGuess(h *horizonData, z []float64) {
 // and the next-state variable all travel together), and the final stage
 // repeats the previous plan's last stage.
 func (c *Controller) shiftWarmStart(prev []float64, h *horizonData, z []float64) {
-	last := stageVars * (h.n - 1)
-	copy(z[:last], prev[stageVars:])
+	last := c.sv * (h.n - 1)
+	copy(z[:last], prev[c.sv:])
 	copy(z[last:], prev[last:])
 }
 
@@ -743,8 +952,18 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 		}
 		c.lastErr = fmt.Errorf("core: safe-ventilation fallback: %w", err)
 		c.lastSolve.Status = "fallback"
+		c.lastStructured = false
 		mixFallback := c.model.MixTemp(ctx.OutsideC, ctx.CabinTempC, 0.5)
 		in = cabin.Inputs{SupplyTempC: mixFallback, CoilTempC: mixFallback, Recirc: 0.5, AirFlowKgS: c.cfg.Cabin.MinAirFlowKgS}
+		if c.thermal && ctx.PackThermal {
+			// Keep the pack protected through optimizer breakdowns with the
+			// same thermostatic rule the ladder baselines use.
+			if ctx.PackTempC < control.BattHeatOnC {
+				in.BattHeatW = control.BattHeatCmdW
+			} else if ctx.PackTempC > control.BattChillOnC {
+				in.BattChillW = control.BattChillCmdW
+			}
+		}
 	} else {
 		// res.X aliases the SQP workspace (overwritten by the next solve),
 		// so the warm start keeps its own copy.
@@ -760,11 +979,31 @@ func (c *Controller) Decide(ctx control.StepContext) cabin.Inputs {
 			Recirc:      res.X[c.idxDr(0)],
 			AirFlowKgS:  res.X[c.idxMz(0)],
 		}
+		if c.thermal {
+			in.BattHeatW = 1000 * math.Max(0, res.X[c.idxBh(0)])
+			in.BattChillW = 1000 * math.Max(0, res.X[c.idxBc(0)])
+		}
+		c.lastStructured = res.Structured
 	}
 	if c.telIters != nil {
 		c.telIters.Observe(float64(c.lastSolve.Iterations))
 		c.telQPIters.Observe(float64(c.lastSolve.QPIterations))
 		c.telSolves[c.lastSolve.Status].Inc()
+	}
+	// Battery-branch complementarity snap (mirror of the coil snap below):
+	// a finite-tolerance solve can leave both the pack heater and chiller
+	// active — often when the SoC-balancing term locally rewards drawing
+	// power. Cancelling the smaller branch against the net pack heat keeps
+	// the planned pack trajectory while strictly reducing electrical draw,
+	// so the emitted move is never worse than the optimizer's.
+	if c.thermal && in.BattHeatW > 0 && in.BattChillW > 0 {
+		net := &c.cfg.Thermal.Network
+		heat := net.HeaterEff*in.BattHeatW - net.ChillerCOP*in.BattChillW
+		if heat >= 0 {
+			in.BattHeatW, in.BattChillW = heat/net.HeaterEff, 0
+		} else {
+			in.BattHeatW, in.BattChillW = 0, -heat/net.ChillerCOP
+		}
 	}
 	out, mix := c.model.ClampForEnvironment(in, ctx.OutsideC, ctx.CabinTempC)
 	// Exact heater/cooler complementarity on the emitted move: the

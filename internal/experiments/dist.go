@@ -63,6 +63,9 @@ func DistSpec(params map[string]string) (runner.Spec, error) {
 func FabricSpecs() *fabric.Registry {
 	specs := fabric.NewSpecRegistry()
 	specs.Register("dist", DistSpec)
+	specs.Register("cold", ColdSpec)
+	specs.Register("table1", Table1Spec)
+	specs.Register("fleet", FleetSpec)
 	return specs
 }
 

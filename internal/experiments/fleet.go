@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -87,8 +88,8 @@ type fleetTripParams struct {
 	totalKm float64
 }
 
-// RunFleet executes the Monte-Carlo sweep on the parallel runner.
-func RunFleet(cfg FleetConfig) (*FleetSummary, error) {
+// fill applies the sweep defaults in place.
+func (cfg *FleetConfig) fill() {
 	if cfg.Trips <= 0 {
 		cfg.Trips = 12
 	}
@@ -100,7 +101,13 @@ func RunFleet(cfg FleetConfig) (*FleetSummary, error) {
 			geodata.Temperate, geodata.Desert, geodata.Coastal, geodata.Continental,
 		}
 	}
+}
 
+// fleetSpec expands a filled config into the sweep spec and the sampled
+// trip parameters. The builder is pure in the config: equal configs
+// always sample identical trips and expand identical jobs, which lets
+// the fabric registry rebuild the sweep from wire parameters.
+func fleetSpec(cfg FleetConfig) (runner.Spec, []fleetTripParams) {
 	// Phase 1: sample every trip's parameters sequentially from the
 	// config seed (cheap and reproducible).
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -153,7 +160,7 @@ func RunFleet(cfg FleetConfig) (*FleetSummary, error) {
 			},
 		}
 	}
-	spec := runner.Spec{
+	return runner.Spec{
 		Controllers: []runner.ControllerSpec{
 			runner.OnOffSpec(0),
 			runner.MPCSpec(mpcCfg, 0),
@@ -161,7 +168,46 @@ func RunFleet(cfg FleetConfig) (*FleetSummary, error) {
 		Cycles:      cycles,
 		MaxProfileS: cfg.MaxProfileS,
 		BaseSeed:    cfg.Seed,
+	}, trips
+}
+
+// FleetParams encodes the Monte-Carlo sweep's variability as wire
+// parameters for the fabric (see DistParams).
+func FleetParams(cfg FleetConfig) map[string]string {
+	cfg.fill()
+	return map[string]string{
+		"trips": strconv.Itoa(cfg.Trips),
+		"seed":  strconv.FormatInt(cfg.Seed, 10),
+		"max_s": strconv.FormatFloat(cfg.MaxProfileS, 'g', -1, 64),
 	}
+}
+
+// FleetSpec rebuilds the distributable Monte-Carlo sweep from wire
+// parameters: default climate zones and controller configs, with the
+// trip sampling and route synthesis fully determined by the seed.
+func FleetSpec(params map[string]string) (runner.Spec, error) {
+	trips, err := strconv.Atoi(params["trips"])
+	if err != nil {
+		return runner.Spec{}, fmt.Errorf("experiments: fleet trips param: %w", err)
+	}
+	seed, err := strconv.ParseInt(params["seed"], 10, 64)
+	if err != nil {
+		return runner.Spec{}, fmt.Errorf("experiments: fleet seed param: %w", err)
+	}
+	maxS, err := strconv.ParseFloat(params["max_s"], 64)
+	if err != nil {
+		return runner.Spec{}, fmt.Errorf("experiments: fleet max_s param: %w", err)
+	}
+	cfg := FleetConfig{Trips: trips, Seed: seed, MaxProfileS: maxS}
+	cfg.fill()
+	spec, _ := fleetSpec(cfg)
+	return spec, nil
+}
+
+// RunFleet executes the Monte-Carlo sweep on the parallel runner.
+func RunFleet(cfg FleetConfig) (*FleetSummary, error) {
+	cfg.fill()
+	spec, trips := fleetSpec(cfg)
 	ctx := cfg.Ctx
 	if ctx == nil {
 		ctx = context.Background()

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
+	"evclimate/internal/core"
 	"evclimate/internal/runner"
 )
 
@@ -20,6 +22,49 @@ type Table1Row struct {
 
 // Table1Ambients are the paper's evaluated outside temperatures.
 var Table1Ambients = []float64{43, 35, 32, 21, 10, 0}
+
+// Table1Params encodes the paper's Table I grid as wire parameters for
+// the fabric (see DistParams).
+func Table1Params(o Options) map[string]string {
+	o.fill()
+	return map[string]string{
+		"seed":  strconv.FormatInt(distSeed, 10),
+		"max_s": strconv.FormatFloat(o.MaxProfileS, 'g', -1, 64),
+	}
+}
+
+// Table1Spec is the paper's Table I grid as a pure, fabric-distributable
+// spec builder: ECE_EUDC × the six evaluated ambients under the three
+// methodologies, seasonal solar (400 W on warm days, none below 15 °C).
+func Table1Spec(params map[string]string) (runner.Spec, error) {
+	seed, err := strconv.ParseInt(params["seed"], 10, 64)
+	if err != nil {
+		return runner.Spec{}, fmt.Errorf("experiments: table1 seed param: %w", err)
+	}
+	maxS, err := strconv.ParseFloat(params["max_s"], 64)
+	if err != nil {
+		return runner.Spec{}, fmt.Errorf("experiments: table1 max_s param: %w", err)
+	}
+	envs := make([]runner.Env, len(Table1Ambients))
+	for i, amb := range Table1Ambients {
+		envs[i] = runner.Env{AmbientC: amb, SolarW: 400}
+		if amb < 15 {
+			envs[i].SolarW = 0
+		}
+	}
+	return runner.Spec{
+		Controllers: []runner.ControllerSpec{
+			runner.OnOffSpec(1),
+			runner.FuzzySpec(1),
+			runner.MPCSpec(core.DefaultConfig(), 5),
+		},
+		Cycles:      []runner.CycleSpec{{Name: "ECE_EUDC"}},
+		Envs:        envs,
+		Targets:     []float64{24},
+		BaseSeed:    seed,
+		MaxProfileS: maxS,
+	}, nil
+}
 
 // Table1 reproduces the ambient-temperature analysis on the ECE_EUDC
 // profile: average HVAC power per methodology and the SoH improvement of

@@ -199,6 +199,8 @@ func (j *Job) Fingerprint() uint64 {
 	cfg.Powertrain.Efficiency = nil
 	flt := cfg.Faults
 	cfg.Faults = nil
+	th := cfg.Thermal
+	cfg.Thermal = nil
 	// Telemetry never changes the simulated trajectory, and a sink's %+v
 	// would print pointer addresses — fingerprints must not depend on it.
 	cfg.Telemetry = nil
@@ -206,6 +208,10 @@ func (j *Job) Fingerprint() uint64 {
 	if !flt.Empty() {
 		// The fault spec is pure data; its %+v prints the full schedule.
 		fmt.Fprintf(h, "\x00faults:%+v", *flt)
+	}
+	if th != nil {
+		// The thermal-network config is pure data.
+		fmt.Fprintf(h, "\x00thermal:%+v", *th)
 	}
 
 	var buf [8]byte

@@ -72,6 +72,20 @@ func MPCSpec(cfg core.Config, controlDt float64) ControllerSpec {
 	}
 }
 
+// ThermalMPCSpec is the cold-climate co-scheduling MPC: the lifetime-
+// aware controller with the battery-thermal extension enabled, deciding
+// cabin HVAC and battery heater/chiller jointly. Pair it with a sim
+// template whose Thermal network matches the controller's prediction
+// model (the sweep's Base config).
+func ThermalMPCSpec(cfg core.Config, controlDt float64) ControllerSpec {
+	if !cfg.Thermal.Enabled {
+		cfg.Thermal = core.DefaultThermalOptions()
+	}
+	sp := MPCSpec(cfg, controlDt)
+	sp.Label = "Thermal Co-scheduling"
+	return sp
+}
+
 // MPCEscalation is the retry-escalation ladder for an MPC spec: a
 // short-horizon MPC (mirroring core.NewSupervised's fallback rung —
 // horizon max(4, N/3), halved SQP budget), then the fuzzy baseline.

@@ -166,16 +166,16 @@ func TestGoldenManifest(t *testing.T) {
 	}
 	ri := ManifestRunInfo("golden", 20150601, jobs)
 
-	const wantSweepFP = "5b730a7f54cf0f64"
+	const wantSweepFP = "c9914d5283a5952a"
 	want := []struct {
 		cycle, controller, scenario string
 		seed                        int64
 		fp                          string
 	}{
-		{"ECE_EUDC", "On/Off", "", -2711457506983803706, "ca7259679b44d5d5"},
-		{"ECE_EUDC", "Fuzzy-based", "", 5494506592831746107, "e91c3327df4c7731"},
-		{"ECE_EUDC", "On/Off", "stuck", -1735793612705131672, "fb78107d61d3eb14"},
-		{"ECE_EUDC", "Fuzzy-based", "stuck", -3557642015698659178, "9595bfc42bf1bd01"},
+		{"ECE_EUDC", "On/Off", "", -2711457506983803706, "ffca455e0ff0cfc7"},
+		{"ECE_EUDC", "Fuzzy-based", "", 5494506592831746107, "05a787340d42ede3"},
+		{"ECE_EUDC", "On/Off", "stuck", -1735793612705131672, "c1912879e577f43a"},
+		{"ECE_EUDC", "Fuzzy-based", "stuck", -3557642015698659178, "b650281f5f02ec07"},
 	}
 
 	if len(ri.Jobs) != len(want) {

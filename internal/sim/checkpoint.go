@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 
+	"evclimate/internal/battery"
 	"evclimate/internal/bms"
 	"evclimate/internal/cabin"
 	"evclimate/internal/control"
 	"evclimate/internal/faults"
+	"evclimate/internal/thermal"
 )
 
 // CheckpointVersion is the checkpoint schema version; Restore refuses
@@ -73,8 +75,22 @@ type Checkpoint struct {
 	// Faults is the injector's hold-last state; nil when the run injects
 	// no faults.
 	Faults *faults.InjectorState `json:"faults,omitempty"`
+	// Thermal is the thermal-network state plus the sim-side thermal
+	// accumulators; nil when the run has no thermal network.
+	Thermal *ThermalCheckpoint `json:"thermal,omitempty"`
 	// CtrlState is the controller's Snapshotter blob.
 	CtrlState json.RawMessage `json:"ctrl_state,omitempty"`
+}
+
+// ThermalCheckpoint is the serializable thermal-network slice of a
+// checkpoint: the network node state plus the sim-side accumulators
+// (calendar aging, heat-pump mode counters).
+type ThermalCheckpoint struct {
+	State       thermal.Snapshot `json:"state"`
+	CalendarPct float64          `json:"calendar_pct"`
+	HPSteps     int              `json:"hp_steps"`
+	PTCSteps    int              `json:"ptc_steps"`
+	COPSum      float64          `json:"cop_sum"`
 }
 
 // runState is the mutable loop state of an in-flight run, held on the
@@ -89,6 +105,14 @@ type runState struct {
 	tz                                 float64
 	hvacJ, motorJ, totalJ              float64
 	comfortViol, comfortCount, trackSq float64
+
+	// Thermal-network plant state and accumulators (nil/zero when the run
+	// has no thermal network).
+	th                *thermal.State
+	cal               battery.CalendarParams
+	calPct            float64
+	hpSteps, ptcSteps int
+	copSum            float64
 }
 
 // Snapshot captures the in-flight run's complete simulation state at the
@@ -129,6 +153,15 @@ func (r *Runner) Snapshot() (*Checkpoint, error) {
 		fs := st.inj.State()
 		ck.Faults = &fs
 	}
+	if st.th != nil {
+		ck.Thermal = &ThermalCheckpoint{
+			State:       st.th.Snapshot(),
+			CalendarPct: st.calPct,
+			HPSteps:     st.hpSteps,
+			PTCSteps:    st.ptcSteps,
+			COPSum:      st.copSum,
+		}
+	}
 	return ck, nil
 }
 
@@ -165,6 +198,9 @@ func (r *Runner) restore(st *runState, ck *Checkpoint) error {
 	if (ck.Faults != nil) != (st.inj != nil) {
 		return errors.New("sim: checkpoint fault state does not match the run's fault configuration")
 	}
+	if (ck.Thermal != nil) != (st.th != nil) {
+		return errors.New("sim: checkpoint thermal state does not match the run's thermal configuration")
+	}
 	snap, ok := st.ctrl.(control.Snapshotter)
 	if !ok {
 		return fmt.Errorf("sim: controller %q does not support state snapshots", st.ctrl.Name())
@@ -180,6 +216,14 @@ func (r *Runner) restore(st *runState, ck *Checkpoint) error {
 	}
 	if st.inj != nil {
 		st.inj.SetState(*ck.Faults)
+	}
+	if st.th != nil {
+		if err := st.th.Restore(ck.Thermal.State); err != nil {
+			return err
+		}
+		st.calPct = ck.Thermal.CalendarPct
+		st.hpSteps, st.ptcSteps = ck.Thermal.HPSteps, ck.Thermal.PTCSteps
+		st.copSum = ck.Thermal.COPSum
 	}
 	st.res.Trace = copyTrace(&ck.Trace)
 	st.k = ck.Step
@@ -202,6 +246,7 @@ func copyTrace(t *Trace) Trace {
 		HVACW:    append([]float64(nil), t.HVACW...),
 		TotalW:   append([]float64(nil), t.TotalW...),
 		SoC:      append([]float64(nil), t.SoC...),
+		PackC:    append([]float64(nil), t.PackC...),
 		Inputs:   append([]cabin.Inputs(nil), t.Inputs...),
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 	"time"
 
+	"evclimate/internal/battery"
 	"evclimate/internal/bms"
 	"evclimate/internal/cabin"
 	"evclimate/internal/control"
@@ -21,6 +22,8 @@ import (
 	"evclimate/internal/ode"
 	"evclimate/internal/powertrain"
 	"evclimate/internal/telemetry"
+	"evclimate/internal/thermal"
+	"evclimate/internal/units"
 )
 
 // Config assembles one co-simulation run.
@@ -64,6 +67,14 @@ type Config struct {
 	// FaultSeed seeds the fault schedule's random draws; runs with equal
 	// configs and seeds replay bit-identically.
 	FaultSeed int64
+	// Thermal, when non-nil, attaches the cold-climate battery thermal
+	// network (internal/thermal): the pack exchanges heat with cabin,
+	// coolant loop, and ambient, cabin heating runs through the heat pump
+	// (PTC below cutoff), the battery heater/chiller branch commands in
+	// cabin.Inputs actuate, Joule losses self-heat the pack, and the run
+	// reports pack-temperature and calendar-aging metrics. Nil keeps the
+	// paper's cabin-only co-simulation bit-for-bit.
+	Thermal *thermal.Config
 	// Telemetry, when non-nil and active, receives one StepSpan per
 	// control step plus step counters and latency histograms. Nil (or
 	// telemetry.Nop) adds no per-step work; the sweep engine excludes this
@@ -82,6 +93,9 @@ type Trace struct {
 	MotorW, HeaterW, CoolerW, FanW, HVACW, TotalW []float64
 	// SoC is the battery state of charge after each step, percent.
 	SoC []float64
+	// PackC is the battery-pack temperature after each step (thermal
+	// runs only; nil otherwise).
+	PackC []float64
 	// Inputs are the HVAC inputs applied over each step.
 	Inputs []cabin.Inputs
 }
@@ -107,6 +121,22 @@ type Result struct {
 	SoCDev, SoCAvg float64
 	// FinalSoC is the SoC at drive end.
 	FinalSoC float64
+	// CalendarDeltaSoH is the calendar-aging (storage) capacity loss over
+	// the cycle, percent — Arrhenius in pack temperature, SoC-dependent
+	// (thermal runs only; the cycle DeltaSoH above is additionally scaled
+	// by the pack-temperature cycle stress factor).
+	CalendarDeltaSoH float64
+	// PackMeanC, PackMinC, and PackFinalC summarize the pack-temperature
+	// trajectory (thermal runs only).
+	PackMeanC, PackMinC, PackFinalC float64
+	// HeatPumpFrac is the fraction of heating steps served by the heat
+	// pump (vs PTC); AvgCOP the mean heating conversion factor over the
+	// heat-pump steps (thermal runs only).
+	HeatPumpFrac float64
+	AvgCOP       float64
+	// ThermalEnergyDefectJ is the thermal network's closing energy-ledger
+	// defect — should be roundoff-small (thermal runs only).
+	ThermalEnergyDefectJ float64
 	// ComfortViolationFrac is the fraction of post-settling time spent
 	// outside the comfort zone.
 	ComfortViolationFrac float64
@@ -169,6 +199,11 @@ func New(cfg Config) (*Runner, error) {
 	}
 	if err := cfg.BMS.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Thermal != nil {
+		if err := cfg.Thermal.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	r := &Runner{cfg: cfg, pt: pt, hvac: hvac}
 	r.motor = pt.PowerProfile(cfg.Profile)
@@ -265,12 +300,22 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 	var (
 		telSteps   *telemetry.Counter
 		telLatency *telemetry.Histogram
+		telPack    *telemetry.Gauge
+		telCOP     *telemetry.Gauge
+		telHPSteps *telemetry.Counter
+		telPTC     *telemetry.Counter
 		solver     control.SolveReporter
 		ladder     control.LadderReporter
 	)
 	if telOn {
 		telSteps = tel.Counter("sim_steps_total")
 		telLatency = tel.Histogram("sim_step_latency_seconds", telemetry.LatencyBuckets)
+		if cfg.Thermal != nil {
+			telPack = tel.Gauge("sim_pack_temp_c")
+			telCOP = tel.Gauge("sim_heatpump_cop")
+			telHPSteps = tel.Counter("sim_heatpump_steps_total")
+			telPTC = tel.Counter("sim_ptc_steps_total")
+		}
 		solver, _ = ctrl.(control.SolveReporter)
 		ladder, _ = ctrl.(control.LadderReporter)
 		// Late-bind the run's sink into the controller so solver and
@@ -284,6 +329,14 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 	// The loop state lives on the Runner while the run is in flight so
 	// Snapshot can capture it from an OnCheckpoint hook.
 	st := &runState{ctrl: ctrl, b: b, inj: inj, res: res, n: n, tz: tz}
+	if cfg.Thermal != nil {
+		th, err := thermal.NewState(*cfg.Thermal, cfg.Profile.Samples[0].AmbientC)
+		if err != nil {
+			return nil, err
+		}
+		st.th = th
+		st.cal = battery.DefaultCalendarParams()
+	}
 	r.st = st
 	defer func() { r.st = nil }()
 
@@ -330,6 +383,10 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 			ComfortHighC: cfg.TargetC + cfg.ComfortBandC,
 			Forecast:     r.forecast(t, cfg.ForecastSteps),
 		}
+		if st.th != nil {
+			ctx.PackTempC = st.th.PackC()
+			ctx.PackThermal = true
+		}
 		if inj != nil {
 			inj.Apply(k, &ctx)
 		}
@@ -344,11 +401,35 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 		}
 		pw := r.hvac.PowersFor(in, mix)
 
+		// Cabin heating runs through the heat pump in thermal runs: the
+		// plant's delivered heat pw.HeaterW·EtaHeat is unchanged, only the
+		// electrical conversion follows the COP at the current ambient (or
+		// the PTC efficiency below the cutoff).
+		heaterElecW := pw.HeaterW
+		hpEff, hpPTC := 0.0, false
+		if st.th != nil && pw.HeaterW > 0 {
+			hpEff, hpPTC = st.th.Heating(s.AmbientC)
+			heaterElecW = pw.HeaterW * cfg.Cabin.EtaHeat / hpEff
+		}
+		hvacW := pw.Total() - pw.HeaterW + heaterElecW
+
 		// Integrate the cabin plant over the control period with the
 		// inputs held (zero-order hold), sampling ambient continuously.
 		sys := func(tt float64, x, dxdt []float64) {
 			sp := cfg.Profile.At(tt)
 			dxdt[0] = r.hvac.CabinDerivative(x[0], in, sp.AmbientC, sp.SolarW)
+		}
+		if st.th != nil {
+			// The pack→cabin conduction enters the cabin ODE with the pack
+			// temperature frozen over the control period (the network itself
+			// steps once per period below).
+			tb := st.th.PackC()
+			kbc := cfg.Thermal.Network.UAPackCabinWK
+			mc := cfg.Cabin.ThermalCapacitanceJK
+			sys = func(tt float64, x, dxdt []float64) {
+				sp := cfg.Profile.At(tt)
+				dxdt[0] = r.hvac.CabinDerivative(x[0], in, sp.AmbientC, sp.SolarW) + kbc*(tb-x[0])/mc
+			}
 		}
 		sub := cfg.ControlDt / float64(cfg.PlantSubSteps)
 		x, err := ode.Integrate(sys, []float64{st.tz}, t, t+cfg.ControlDt, sub, &ode.RK4{}, nil)
@@ -356,8 +437,33 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 			return nil, fmt.Errorf("sim: plant integration failed at t=%v: %w", t, err)
 		}
 
-		total := pe + pw.Total() + cfg.Powertrain.AccessoryW
+		total := pe + hvacW + cfg.Powertrain.AccessoryW
+		if st.th != nil {
+			// Pack Joule self-heating at the pre-branch current feeds the
+			// thermal network and drains the battery; the (clamped) battery
+			// heater/chiller electrical draw adds on top.
+			iPack := total / cfg.BMS.Pack.NominalVoltageV
+			jouleW := iPack * iPack * st.th.PackResistanceOhm()
+			fl := st.th.Step(st.tz, s.AmbientC, jouleW, in.BattHeatW, in.BattChillW, cfg.ControlDt)
+			total += fl.HeaterElecW + fl.ChillerElecW + jouleW
+		}
 		_, soc := b.Step(total, cfg.ControlDt)
+		if st.th != nil {
+			// Calendar aging accrues continuously at the pack temperature and
+			// the storage SoC, with the sqrt(t) kernel evaluated at the pack's
+			// running age.
+			age := st.cal
+			age.AgeDays += t / units.SecondsPerDay
+			st.calPct += age.LossPercent(st.th.PackC(), soc, cfg.ControlDt)
+			if pw.HeaterW > 0 {
+				if hpPTC {
+					st.ptcSteps++
+				} else {
+					st.hpSteps++
+					st.copSum += hpEff
+				}
+			}
+		}
 
 		if telOn {
 			telSteps.Inc()
@@ -369,7 +475,7 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 				OutsideC:     s.AmbientC,
 				SoCPct:       soc,
 				SoCDeltaPct:  soc - socBefore,
-				HVACW:        pw.Total(),
+				HVACW:        hvacW,
 				SupplyC:      in.SupplyTempC,
 				CoilC:        in.CoilTempC,
 				Recirc:       in.Recirc,
@@ -388,6 +494,21 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 				span.Rung = ladder.Level()
 				span.Stage = ladder.ActiveStage()
 			}
+			if st.th != nil {
+				span.PackC = st.th.PackC()
+				span.BattHeatW = in.BattHeatW
+				span.BattChillW = in.BattChillW
+				telPack.Set(st.th.PackC())
+				if pw.HeaterW > 0 {
+					span.COP = hpEff
+					telCOP.Set(hpEff)
+					if hpPTC {
+						telPTC.Inc()
+					} else {
+						telHPSteps.Inc()
+					}
+				}
+			}
 			tel.Step(&span)
 		}
 
@@ -395,15 +516,18 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 		tr.CabinC = append(tr.CabinC, st.tz)
 		tr.OutsideC = append(tr.OutsideC, s.AmbientC)
 		tr.MotorW = append(tr.MotorW, pe)
-		tr.HeaterW = append(tr.HeaterW, pw.HeaterW)
+		tr.HeaterW = append(tr.HeaterW, heaterElecW)
 		tr.CoolerW = append(tr.CoolerW, pw.CoolerW)
 		tr.FanW = append(tr.FanW, pw.FanW)
-		tr.HVACW = append(tr.HVACW, pw.Total())
+		tr.HVACW = append(tr.HVACW, hvacW)
 		tr.TotalW = append(tr.TotalW, total)
 		tr.SoC = append(tr.SoC, soc)
+		if st.th != nil {
+			tr.PackC = append(tr.PackC, st.th.PackC())
+		}
 		tr.Inputs = append(tr.Inputs, in)
 
-		st.hvacJ += pw.Total() * cfg.ControlDt
+		st.hvacJ += hvacW * cfg.ControlDt
 		st.motorJ += pe * cfg.ControlDt
 		st.totalJ += total * cfg.ControlDt
 
@@ -447,6 +571,23 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 		return nil, err
 	}
 	res.DeltaSoH = dsoh
+	if st.th != nil {
+		// Cold (or hot) cycling accelerates cycle fade: scale the cycle term
+		// by the U-shaped pack-temperature stress factor, and report the
+		// calendar (storage) term alongside.
+		res.DeltaSoH = dsoh * battery.CycleStressFactor(st.th.MeanPackC())
+		res.CalendarDeltaSoH = st.calPct
+		res.PackMeanC = st.th.MeanPackC()
+		res.PackMinC = st.th.MinPackC()
+		res.PackFinalC = st.th.PackC()
+		res.ThermalEnergyDefectJ = st.th.EnergyDefectJ()
+		if heatSteps := st.hpSteps + st.ptcSteps; heatSteps > 0 {
+			res.HeatPumpFrac = float64(st.hpSteps) / float64(heatSteps)
+		}
+		if st.hpSteps > 0 {
+			res.AvgCOP = st.copSum / float64(st.hpSteps)
+		}
+	}
 	if st.comfortCount > 0 {
 		res.ComfortViolationFrac = st.comfortViol / st.comfortCount
 		res.RMSTrackingErrC = math.Sqrt(st.trackSq / st.comfortCount)

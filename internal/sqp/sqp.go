@@ -189,6 +189,11 @@ type Result struct {
 	KKTResidual float64
 	// MaxViolation is the final constraint violation (∞-norm).
 	MaxViolation float64
+	// Structured reports that every QP subproblem of the solve (elastic
+	// fallbacks included) took the stage-structured KKT path — the
+	// signal MPC-level tests use to prove the block-tridiagonal backend
+	// actually engaged on the declared horizon structure.
+	Structured bool
 }
 
 type evaluator struct {
@@ -422,7 +427,11 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	overTime := func() bool { return opt.MaxTime > 0 && time.Now().After(deadline) }
 
 	res := &ws.res
-	*res = Result{Status: MaxIterations}
+	// Structured starts true when the stage backend can engage and is
+	// cleared by the first subproblem that solved densely; a solve with
+	// zero QP subproblems reports false.
+	*res = Result{Status: MaxIterations, Structured: structured}
+	qpSolves := 0
 	stagnant := 0
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		if opt.HardIterCap > 0 && iter >= opt.HardIterCap {
@@ -476,6 +485,10 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		qr, err := qp.Solve(sub, qpOpts)
 		if qr != nil {
 			res.QPIterations += qr.Iterations
+			qpSolves++
+			if !qr.Structured {
+				res.Structured = false
+			}
 		}
 		if err != nil || qr.Status == qp.NumericalFailure || !mat.AllFinite(qr.X) {
 			// Elastic fallback: relax constraints with penalized slacks.
@@ -488,6 +501,9 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 			qr, err = solveElastic(sub, opt.ElasticWeight, qpOpts, ws.el)
 			if qr != nil {
 				res.QPIterations += qr.Iterations
+				if !qr.Structured {
+					res.Structured = false
+				}
 			}
 			if err != nil {
 				res.Status = Failed
@@ -650,6 +666,9 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	res.EqDuals = lam
 	res.InDuals = mu
 	res.MaxViolation = violation(ce, ci)
+	if qpSolves == 0 {
+		res.Structured = false
+	}
 	if res.Status == Failed {
 		return res, fmt.Errorf("sqp: subproblem failure at iteration %d", res.Iterations)
 	}

@@ -43,6 +43,14 @@ type StepSpan struct {
 	// FaultsActive counts fault injections whose schedule window covers
 	// this step.
 	FaultsActive int `json:"faults_active,omitempty"`
+	// PackC is the battery-pack temperature after the step; COP the
+	// heat-pump conversion factor applied to cabin heating this step;
+	// BattHeatW and BattChillW the battery-branch commands. All zero (and
+	// omitted) outside thermal-network runs.
+	PackC      float64 `json:"pack_c,omitempty"`
+	COP        float64 `json:"cop,omitempty"`
+	BattHeatW  float64 `json:"batt_heat_w,omitempty"`
+	BattChillW float64 `json:"batt_chill_w,omitempty"`
 	// LatencyNs is the wall-clock time of the controller decision
 	// (Decide plus actuator clamping). It is the one nondeterministic
 	// span field; deterministic exports omit it.

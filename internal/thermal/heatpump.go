@@ -1,0 +1,79 @@
+package thermal
+
+import "errors"
+
+// HeatPumpParams models the heat-pump HVAC heating actuator: an
+// air-source heat pump whose COP falls linearly with ambient temperature
+// (evaporator capacity loss, defrost duty) until, below CutoffC, the
+// compressor is abandoned for the resistive PTC element. The cooling
+// side is unchanged from the paper's vapor-compression model
+// (cabin.Params.EtaCool); only heating mode differs.
+type HeatPumpParams struct {
+	// COPAt7C is the rated heating COP at the EN 14511 7 °C test point.
+	COPAt7C float64
+	// COPSlopePerK is the COP change per kelvin of ambient.
+	COPSlopePerK float64
+	// COPMin and COPMax clamp the curve (COPMin ≈ 1 is resistive parity).
+	COPMin, COPMax float64
+	// CutoffC is the ambient below which the heat pump cannot run
+	// (refrigerant density/defrost limits) and heating falls back to the
+	// PTC resistive element.
+	CutoffC float64
+	// PTCEff is the PTC fallback efficiency (heat per electrical watt).
+	// The default equals cabin.Default().EtaHeat so the PTC mode is
+	// exactly the paper's resistive heater.
+	PTCEff float64
+}
+
+// DefaultHeatPump returns a production-typical R1234yf automotive heat
+// pump: COP 3.0 at 7 °C falling 0.09/K, floor at resistive parity,
+// compressor cutoff at −15 °C.
+func DefaultHeatPump() HeatPumpParams {
+	return HeatPumpParams{
+		COPAt7C:      3.0,
+		COPSlopePerK: 0.09,
+		COPMin:       1.0,
+		COPMax:       4.5,
+		CutoffC:      -15,
+		PTCEff:       0.9,
+	}
+}
+
+// Validate reports invalid heat-pump parameters.
+func (p *HeatPumpParams) Validate() error {
+	switch {
+	case p.COPAt7C <= 0:
+		return errors.New("thermal: heat-pump rated COP must be positive")
+	case p.COPSlopePerK < 0:
+		return errors.New("thermal: heat-pump COP slope must be nonnegative")
+	case p.COPMin <= 0 || p.COPMax < p.COPMin:
+		return errors.New("thermal: heat-pump COP clamp must satisfy 0 < min ≤ max")
+	case p.PTCEff <= 0 || p.PTCEff > 1:
+		return errors.New("thermal: PTC efficiency must be in (0, 1]")
+	}
+	return nil
+}
+
+// COP returns the clamped heat-pump heating COP at the given ambient.
+// It does not apply the cutoff — use Heating for the mode decision.
+func (p *HeatPumpParams) COP(ambientC float64) float64 {
+	cop := p.COPAt7C + p.COPSlopePerK*(ambientC-7)
+	if cop < p.COPMin {
+		cop = p.COPMin
+	}
+	if cop > p.COPMax {
+		cop = p.COPMax
+	}
+	return cop
+}
+
+// Heating returns the effective heating conversion factor (heat delivered
+// per electrical watt) at the given ambient and whether the PTC fallback
+// is active: below CutoffC the heat pump cannot run and eff = PTCEff;
+// otherwise eff = COP(ambient).
+func (p *HeatPumpParams) Heating(ambientC float64) (eff float64, ptc bool) {
+	if ambientC < p.CutoffC {
+		return p.PTCEff, true
+	}
+	return p.COP(ambientC), false
+}

@@ -1,0 +1,157 @@
+// Package thermal implements the cold-climate thermal network the paper
+// scopes out (Sec. II-D): a lumped-parameter cabin ↔ pack ↔ coolant loop
+// ↔ ambient model with UA conductances, an electric battery
+// heater/chiller branch, and a heat-pump HVAC actuator with a
+// COP-vs-ambient curve degrading to a resistive PTC fallback below
+// ≈ −15 °C. The conductance and heat-capacity coefficients follow the
+// V2G-Sim battery-degradation model (SNIPPETS.md): M_b = 182 000 J/K pack
+// heat capacity, K_ab = 4.343 W/K pack↔ambient, K_bc = 3.468 W/K
+// pack↔cabin. The network keeps an explicit energy ledger so the
+// conservation property (Δ stored enthalpy = net boundary heat) holds to
+// roundoff and is testable over arbitrary schedules.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NetworkParams defines the lumped thermal network around the battery
+// pack: two dynamic nodes (pack, coolant loop) exchanging heat with the
+// cabin and ambient (both exogenous to the network) through constant UA
+// conductances, plus the electric battery heater/chiller branch attached
+// to the pack node.
+type NetworkParams struct {
+	// PackHeatCapJK is the pack lumped heat capacity (V2G-Sim M_b).
+	PackHeatCapJK float64
+	// CoolantHeatCapJK is the coolant-loop heat capacity (fluid + plates).
+	CoolantHeatCapJK float64
+	// UAPackAmbientWK is the direct pack↔ambient conductance through the
+	// enclosure (V2G-Sim K_ab).
+	UAPackAmbientWK float64
+	// UAPackCabinWK is the pack↔cabin conductance through the floor pan
+	// (V2G-Sim K_bc).
+	UAPackCabinWK float64
+	// UAPackCoolantWK couples the pack to the coolant loop (cold plates).
+	UAPackCoolantWK float64
+	// UACoolantAmbientWK couples the coolant loop to ambient (front
+	// radiator, passive — no active refrigeration on this path).
+	UACoolantAmbientWK float64
+	// PackResistance25Ohm is the pack DC resistance at 25 °C; Joule heat
+	// is I²·R(T) with R rising exponentially as the electrolyte cools.
+	PackResistance25Ohm float64
+	// ResistanceTempCoef is the per-kelvin exponential growth rate of the
+	// pack resistance below (and shrink above) 25 °C: R(T) = R25 ·
+	// exp(coef·(25 − T)). At the default 0.018/K the resistance is ≈2.2×
+	// at −20 °C — the cold-cranking penalty that makes pack
+	// preconditioning worth grid energy.
+	ResistanceTempCoef float64
+	// HeaterEff is the electric pack heater efficiency (heat delivered
+	// per electrical watt; resistive film heaters are near-unity).
+	HeaterEff float64
+	// ChillerCOP is the pack chiller coefficient of performance (heat
+	// removed per electrical watt).
+	ChillerCOP float64
+	// MaxHeaterW and MaxChillerW bound the branch electrical commands.
+	MaxHeaterW, MaxChillerW float64
+}
+
+// DefaultNetwork returns the 24 kWh-pack network used in the cold-climate
+// experiments. Heat capacities and the pack↔ambient / pack↔cabin
+// conductances are the V2G-Sim coefficients; the coolant-loop values are
+// sized for a small glycol loop with passive radiator.
+func DefaultNetwork() NetworkParams {
+	return NetworkParams{
+		PackHeatCapJK:       182000, // V2G-Sim M_b
+		CoolantHeatCapJK:    25000,
+		UAPackAmbientWK:     4.343, // V2G-Sim K_ab
+		UAPackCabinWK:       3.468, // V2G-Sim K_bc
+		UAPackCoolantWK:     220,
+		UACoolantAmbientWK:  15,
+		PackResistance25Ohm: 0.09,
+		ResistanceTempCoef:  0.018,
+		HeaterEff:           0.92,
+		ChillerCOP:          2.0,
+		MaxHeaterW:          4000,
+		MaxChillerW:         1500,
+	}
+}
+
+// Validate reports invalid network parameters.
+func (p *NetworkParams) Validate() error {
+	switch {
+	case p.PackHeatCapJK <= 0 || p.CoolantHeatCapJK <= 0:
+		return errors.New("thermal: node heat capacities must be positive")
+	case p.UAPackAmbientWK < 0 || p.UAPackCabinWK < 0 || p.UAPackCoolantWK < 0 || p.UACoolantAmbientWK < 0:
+		return errors.New("thermal: UA conductances must be nonnegative")
+	case p.PackResistance25Ohm < 0:
+		return errors.New("thermal: pack resistance must be nonnegative")
+	case p.ResistanceTempCoef < 0:
+		return errors.New("thermal: resistance temperature coefficient must be nonnegative")
+	case p.HeaterEff <= 0 || p.HeaterEff > 1:
+		return errors.New("thermal: heater efficiency must be in (0, 1]")
+	case p.ChillerCOP <= 0:
+		return errors.New("thermal: chiller COP must be positive")
+	case p.MaxHeaterW < 0 || p.MaxChillerW < 0:
+		return errors.New("thermal: branch power limits must be nonnegative")
+	}
+	return nil
+}
+
+// PackResistanceOhm returns the temperature-dependent pack DC resistance
+// R(T) = R25 · exp(coef · (25 − T)).
+func (p *NetworkParams) PackResistanceOhm(tempC float64) float64 {
+	return p.PackResistance25Ohm * math.Exp(p.ResistanceTempCoef*(25-tempC))
+}
+
+// EffectivePackAmbientUA folds the coolant loop into a single steady-state
+// pack↔ambient conductance: the direct enclosure path in parallel with
+// the series pack↔coolant↔ambient path. The MPC's prediction model uses
+// this two-node reduction so the pack-temperature dynamics stay one
+// state per stage.
+func (p *NetworkParams) EffectivePackAmbientUA() float64 {
+	series := 0.0
+	if s := p.UAPackCoolantWK + p.UACoolantAmbientWK; s > 0 {
+		series = p.UAPackCoolantWK * p.UACoolantAmbientWK / s
+	}
+	return p.UAPackAmbientWK + series
+}
+
+// Config bundles everything the simulator needs to run the thermal
+// subsystem: the network, the heat-pump HVAC actuator, and the pack's
+// initial condition. The struct is pointer-free so %+v formatting (the
+// runner's fingerprint and cache-key scheme) is deterministic.
+type Config struct {
+	Network  NetworkParams
+	HeatPump HeatPumpParams
+	// InitialPackC is the pack temperature at drive start. Ignored when
+	// PackFromAmbient is set, in which case the pack starts soaked at the
+	// scenario ambient (the overnight-parking condition).
+	InitialPackC    float64
+	PackFromAmbient bool
+}
+
+// DefaultThermal returns the cold-climate default: V2G-Sim network,
+// production heat-pump curve, pack soaked at ambient.
+func DefaultThermal() Config {
+	return Config{
+		Network:         DefaultNetwork(),
+		HeatPump:        DefaultHeatPump(),
+		PackFromAmbient: true,
+	}
+}
+
+// Validate reports an invalid configuration.
+func (c *Config) Validate() error {
+	if err := c.Network.Validate(); err != nil {
+		return err
+	}
+	if err := c.HeatPump.Validate(); err != nil {
+		return err
+	}
+	if !c.PackFromAmbient && (math.IsNaN(c.InitialPackC) || math.IsInf(c.InitialPackC, 0)) {
+		return fmt.Errorf("thermal: initial pack temperature %v must be finite", c.InitialPackC)
+	}
+	return nil
+}

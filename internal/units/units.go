@@ -23,6 +23,9 @@ const (
 
 	// SecondsPerHour converts hours to seconds.
 	SecondsPerHour = 3600.0
+
+	// SecondsPerDay converts days to seconds (calendar-aging kernels).
+	SecondsPerDay = 86400.0
 )
 
 // KmhToMs converts a speed in km/h to m/s.
