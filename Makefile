@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-gate clean test-faults test-resume test-fabric test-thermal fuzz-qp check
+.PHONY: all build test race vet bench bench-json bench-gate clean test-faults test-resume test-fabric test-thermal test-batch fuzz-qp check
 
 all: build vet test
 
@@ -31,7 +31,7 @@ bench:
 # the workspace-reuse win, and the -benchmem allocs/op column pins the
 # allocation-free hot path.
 bench-json:
-	{ $(GO) test -run '^$$' -bench 'Sweep16|CoSimOnOff' -benchmem . ; \
+	{ $(GO) test -run '^$$' -bench 'Sweep16|SweepScalar|SweepBatch|CoSimOnOff' -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'Forecast|RunOnOff' -benchmem ./internal/sim ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_sweep.json
 	$(GO) test -run '^$$' -bench 'MPCSolveStep|QPInteriorPoint|QPStructured|SQPSolveWarm|LUSolve' -benchmem . \
@@ -46,10 +46,19 @@ bench-json:
 # `git diff BENCH_solver.json` shows the drift. The 3 s benchtime
 # matches how the committed snapshot was produced; short runs are too
 # noisy to gate at 15 % on shared CI hardware.
+#
+# The second gate reruns the sweep benches and fails when the batched
+# sweep throughput bench (BenchmarkSweepBatch, the fix for the
+# non-scaling parallel sweep) regresses more than 35 % in ns/op — wider
+# than the solver tolerance because whole-sweep wall-clock on shared
+# runners swings far more than a single solve step.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'MPCSolveStep|QPInteriorPoint|QPStructured|SQPSolveWarm|LUSolve' -benchmem -benchtime 3s . \
 	| $(GO) run ./cmd/benchjson -gate BENCH_solver.json \
 	  -gate-bench 'BenchmarkMPCSolveStep,BenchmarkMPCSolveStepThermal' -o BENCH_solver.json
+	$(GO) test -run '^$$' -bench 'Sweep16|SweepScalar|SweepBatch|CoSimOnOff' -benchmem -benchtime 3s . \
+	| $(GO) run ./cmd/benchjson -gate BENCH_sweep.json \
+	  -gate-bench 'BenchmarkSweepBatch' -gate-tol 0.35 -o BENCH_sweep.json
 
 # Fault-injection and observability conformance under the race detector:
 # the injector and supervisor unit tests, the telemetry registry/trace
@@ -103,9 +112,18 @@ fuzz-qp:
 	$(GO) test -fuzz='^FuzzSolve$$' -fuzztime=1m ./internal/qp/
 	$(GO) test -fuzz='^FuzzStageKKT$$' -fuzztime=1m ./internal/qp/
 
+# Batched-execution suite: the SoA integrator and batched-controller
+# unit tests, the sim-level batch-vs-scalar bit-equivalence properties
+# (controllers × cycles × batch sizes, fault injection, checkpoint/
+# resume on batch boundaries), and the pool's batch planning /
+# sweep-equivalence tests under the race detector.
+test-batch:
+	$(GO) test -run 'Batch' ./internal/ode/... ./internal/control/... ./internal/sim/...
+	$(GO) test -race -run 'Batch|PlanUnits' ./internal/runner/...
+
 # Pre-merge gate: full build + vet + tests, fault, crash-safety,
-# distributed-fabric, and cold-climate thermal suites, and short fuzz
-# smokes of the QP solver and the journal parser.
-check: all test-faults test-resume test-fabric test-thermal
+# distributed-fabric, cold-climate thermal, and batched-execution
+# suites, and short fuzz smokes of the QP solver and the journal parser.
+check: all test-faults test-resume test-fabric test-thermal test-batch
 	$(GO) test -fuzz='^FuzzSolve$$' -fuzztime=10s ./internal/qp/
 	$(GO) test -fuzz='^FuzzStageKKT$$' -fuzztime=10s ./internal/qp/

@@ -541,11 +541,11 @@ func sweepSpec16() runner.Spec {
 	}
 }
 
-func benchSweep(b *testing.B, workers int) {
+func benchSweep(b *testing.B, workers, batchSize int) {
 	b.Helper()
 	spec := sweepSpec16()
 	for i := 0; i < b.N; i++ {
-		sw, err := runner.Run(context.Background(), spec, runner.Options{Workers: workers})
+		sw, err := runner.Run(context.Background(), spec, runner.Options{Workers: workers, BatchSize: batchSize})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -557,9 +557,21 @@ func benchSweep(b *testing.B, workers int) {
 }
 
 // BenchmarkSweep16Sequential and BenchmarkSweep16Parallel measure the
-// sweep engine on the same 16-scenario grid with one worker and with one
-// worker per CPU; their ratio is the parallel speedup (≈ 1 on a
-// single-core host, approaching min(16, NumCPU) otherwise).
-func BenchmarkSweep16Sequential(b *testing.B) { benchSweep(b, 1) }
+// sweep engine's default path on the same 16-scenario grid with one
+// worker and with one worker per CPU; their ratio is the parallel
+// speedup (≈ 1 on a single-core host, approaching min(16, NumCPU)
+// otherwise). The default path batches eligible jobs (Options.BatchSize
+// 0 → 16-lane SoA batches), which is where single-core throughput comes
+// from.
+func BenchmarkSweep16Sequential(b *testing.B) { benchSweep(b, 1, 0) }
 
-func BenchmarkSweep16Parallel(b *testing.B) { benchSweep(b, runtime.NumCPU()) }
+func BenchmarkSweep16Parallel(b *testing.B) { benchSweep(b, runtime.NumCPU(), 0) }
+
+// BenchmarkSweepScalar and BenchmarkSweepBatch pin the batched SoA core
+// against the per-job scalar path on the same grid at real core count;
+// their ratio is the many-vehicle batching win. BenchmarkSweepBatch is
+// regression-gated (Makefile bench-gate) so the sweep cannot quietly
+// fall back to scalar throughput.
+func BenchmarkSweepScalar(b *testing.B) { benchSweep(b, runtime.NumCPU(), -1) }
+
+func BenchmarkSweepBatch(b *testing.B) { benchSweep(b, runtime.NumCPU(), runner.DefaultBatchSize) }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -46,6 +47,13 @@ type Report struct {
 	Goos   string `json:"goos,omitempty"`
 	Goarch string `json:"goarch,omitempty"`
 	CPU    string `json:"cpu,omitempty"`
+	// MaxProcs and NumCPU record the snapshot machine's parallelism:
+	// GOMAXPROCS and the core count when the snapshot was taken. A
+	// "parallel" benchmark committed from a MaxProcs=1 box measured no
+	// parallelism at all — exactly the shape that hid the non-scaling
+	// sweep — so the snapshot now carries enough context to catch it.
+	MaxProcs int `json:"maxprocs,omitempty"`
+	NumCPU   int `json:"numcpu,omitempty"`
 	// Benchmarks are the parsed results in input order.
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
@@ -110,7 +118,10 @@ func main() {
 // benchmark lines (PASS, ok, test logs) are ignored, so the full test
 // output can be piped in unfiltered.
 func Parse(r io.Reader) (*Report, error) {
-	rep := &Report{}
+	// benchjson runs in the same pipeline (and on the same machine) as
+	// the benchmark process, so its own runtime view records the
+	// snapshot environment.
+	rep := &Report{MaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	pkg := ""
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)

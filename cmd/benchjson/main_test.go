@@ -1,6 +1,7 @@
 package main
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -26,6 +27,10 @@ func TestParse(t *testing.T) {
 	}
 	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
 		t.Errorf("header = (%q, %q, %q)", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if rep.MaxProcs != runtime.GOMAXPROCS(0) || rep.NumCPU != runtime.NumCPU() {
+		t.Errorf("snapshot parallelism = (%d, %d), want (%d, %d)",
+			rep.MaxProcs, rep.NumCPU, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	}
 	if len(rep.Benchmarks) != 3 {
 		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))

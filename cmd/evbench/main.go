@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	solar := fs.Float64("solar", 400, "solar thermal load (W)")
 	quick := fs.Bool("quick", false, "truncate profiles to 200 s for a fast smoke run")
 	workers := fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "lockstep-batch lanes for eligible sweep jobs (0 = default 16, negative = scalar only)")
 	scenarios := fs.String("fault-scenarios", "",
 		"comma-separated fault scenarios for -exp faults (default: all of "+
 			strings.Join(faults.BuiltinNames(), ",")+")")
@@ -106,7 +107,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	cache := runner.NewCache()
-	opts := experiments.Options{AmbientC: *ambient, SolarW: *solar, Workers: *workers, Cache: cache, Ctx: ctx}
+	opts := experiments.Options{AmbientC: *ambient, SolarW: *solar, Workers: *workers, BatchSize: *batch, Cache: cache, Ctx: ctx}
 	if *quick {
 		opts.MaxProfileS = 200
 	}

@@ -137,6 +137,16 @@ func (b *BMS) Step(requestW, dt float64) (appliedW, soc float64) {
 	return applied, soc
 }
 
+// Grow preallocates capacity for n further Step calls so the per-step
+// trace appends never regrow the slice mid-run.
+func (b *BMS) Grow(n int) {
+	if want := len(b.trace) + n; cap(b.trace) < want {
+		out := make([]float64, len(b.trace), want)
+		copy(out, b.trace)
+		b.trace = out
+	}
+}
+
 // Trace returns a copy of the SoC trajectory recorded so far (percent,
 // one entry per Step plus the initial SoC).
 func (b *BMS) Trace() []float64 {

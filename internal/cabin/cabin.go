@@ -130,6 +130,15 @@ func (pw Powers) Total() float64 { return pw.HeaterW + pw.CoolerW + pw.FanW }
 // Model evaluates the HVAC equations.
 type Model struct {
 	p Params
+
+	// Derived constants precomputed at construction; ClampInputs sits on
+	// the per-step hot path of every simulation and these spare it a
+	// square root and two multiplications per call. Each is the exact
+	// subexpression the inline form computed, so clamp results are
+	// bit-identical.
+	maxFlowByFan float64 // √(MaxFanPowerW / FanCoeffW), the C10 flow cap
+	coolPowNum   float64 // MaxCoolerPowerW · EtaCool, the C9 numerator
+	heatPowNum   float64 // MaxHeaterPowerW · EtaHeat, the C8 numerator
 }
 
 // New builds a Model after validating the parameters.
@@ -137,7 +146,12 @@ func New(p Params) (*Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{p: p}, nil
+	return &Model{
+		p:            p,
+		maxFlowByFan: math.Sqrt(p.MaxFanPowerW / p.FanCoeffW),
+		coolPowNum:   p.MaxCoolerPowerW * p.EtaCool,
+		heatPowNum:   p.MaxHeaterPowerW * p.EtaHeat,
+	}, nil
 }
 
 // Params returns the model parameters.
@@ -186,38 +200,46 @@ func (m *Model) CabinDerivative(cabinC float64, in Inputs, outsideC, solarW floa
 // power limit, and lowers T_s if the heater would exceed its limit — the
 // behaviour of the real actuators when commanded beyond capacity.
 func (m *Model) ClampInputs(in Inputs, mixC float64) Inputs {
-	out := in
-	out.AirFlowKgS = units.Clamp(in.AirFlowKgS, m.p.MinAirFlowKgS, m.p.MaxAirFlowKgS)
+	m.ClampInputsInPlace(&in, mixC)
+	return in
+}
+
+// ClampInputsInPlace is ClampInputs mutating in directly — the per-step
+// control and batch paths call it twice per vehicle step, where the
+// by-value copies of ClampInputs dominate the clamping arithmetic. Each
+// field is read before it is written, so the results are bit-identical
+// to the by-value form.
+func (m *Model) ClampInputsInPlace(in *Inputs, mixC float64) {
+	in.AirFlowKgS = units.Clamp(in.AirFlowKgS, m.p.MinAirFlowKgS, m.p.MaxAirFlowKgS)
 	// C10: fan power limit caps the achievable flow.
-	if maxFlowByFan := math.Sqrt(m.p.MaxFanPowerW / m.p.FanCoeffW); out.AirFlowKgS > maxFlowByFan {
-		out.AirFlowKgS = maxFlowByFan
+	if in.AirFlowKgS > m.maxFlowByFan {
+		in.AirFlowKgS = m.maxFlowByFan
 	}
-	out.Recirc = units.Clamp(in.Recirc, 0, m.p.MaxRecirc)
+	in.Recirc = units.Clamp(in.Recirc, 0, m.p.MaxRecirc)
 	// C4/C5: the coil outlet lies between the coil minimum and the mixer
 	// temperature; when the mix is already below the coil minimum the
 	// cooling coil is inactive and passes the air through (T_c = T_m).
 	lo := math.Min(m.p.MinCoilTempC, mixC)
 	hiC := mixC
-	out.CoilTempC = units.Clamp(in.CoilTempC, lo, hiC)
+	in.CoilTempC = units.Clamp(in.CoilTempC, lo, hiC)
 	// C9: cooler power limit bounds how far below T_m the coil can pull.
-	if out.AirFlowKgS > 0 {
-		maxDrop := m.p.MaxCoolerPowerW * m.p.EtaCool / (m.p.AirCpJKgK * out.AirFlowKgS)
-		if mixC-out.CoilTempC > maxDrop {
-			out.CoilTempC = mixC - maxDrop
-			if out.CoilTempC > hiC {
-				out.CoilTempC = hiC
+	if in.AirFlowKgS > 0 {
+		maxDrop := m.coolPowNum / (m.p.AirCpJKgK * in.AirFlowKgS)
+		if mixC-in.CoilTempC > maxDrop {
+			in.CoilTempC = mixC - maxDrop
+			if in.CoilTempC > hiC {
+				in.CoilTempC = hiC
 			}
 		}
 	}
-	out.SupplyTempC = units.Clamp(in.SupplyTempC, out.CoilTempC, m.p.MaxHeaterTempC)
+	in.SupplyTempC = units.Clamp(in.SupplyTempC, in.CoilTempC, m.p.MaxHeaterTempC)
 	// C8: heater power limit bounds the rise above the coil temperature.
-	if out.AirFlowKgS > 0 {
-		maxRise := m.p.MaxHeaterPowerW * m.p.EtaHeat / (m.p.AirCpJKgK * out.AirFlowKgS)
-		if out.SupplyTempC-out.CoilTempC > maxRise {
-			out.SupplyTempC = out.CoilTempC + maxRise
+	if in.AirFlowKgS > 0 {
+		maxRise := m.heatPowNum / (m.p.AirCpJKgK * in.AirFlowKgS)
+		if in.SupplyTempC-in.CoilTempC > maxRise {
+			in.SupplyTempC = in.CoilTempC + maxRise
 		}
 	}
-	return out
 }
 
 // ClampForEnvironment clamps the recirculation fraction first, computes
@@ -225,9 +247,17 @@ func (m *Model) ClampInputs(in Inputs, mixC float64) Inputs {
 // temperatures, then clamps the remaining inputs against it. Controllers
 // should use this instead of calling MixTemp with unclamped inputs.
 func (m *Model) ClampForEnvironment(in Inputs, outsideC, cabinC float64) (Inputs, float64) {
+	mix := m.ClampForEnvironmentInPlace(&in, outsideC, cabinC)
+	return in, mix
+}
+
+// ClampForEnvironmentInPlace is ClampForEnvironment mutating in
+// directly, returning the mixer temperature. See ClampInputsInPlace.
+func (m *Model) ClampForEnvironmentInPlace(in *Inputs, outsideC, cabinC float64) float64 {
 	in.Recirc = units.Clamp(in.Recirc, 0, m.p.MaxRecirc)
 	mix := m.MixTemp(outsideC, cabinC, in.Recirc)
-	return m.ClampInputs(in, mix), mix
+	m.ClampInputsInPlace(in, mix)
+	return mix
 }
 
 // CheckInputs verifies the constraint set C1, C3–C10 for inputs in at

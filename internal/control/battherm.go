@@ -36,7 +36,7 @@ func (b *batteryThermostat) reset() { b.heatOn, b.chillOn = false, false }
 // writes the branch commands into the decided inputs. Without a thermal
 // network (ctx.PackThermal false) it clears the latches and leaves the
 // inputs untouched, so non-thermal behaviour is bit-identical.
-func (b *batteryThermostat) apply(ctx StepContext, in *cabin.Inputs) {
+func (b *batteryThermostat) apply(ctx *StepContext, in *cabin.Inputs) {
 	if !ctx.PackThermal {
 		b.reset()
 		return

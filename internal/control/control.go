@@ -155,7 +155,7 @@ type HealthReporter interface {
 
 // coolingNeeded reports whether the environment pushes the cabin above
 // the target (so the HVAC must cool), based on ambient and solar load.
-func coolingNeeded(ctx StepContext) bool {
+func coolingNeeded(ctx *StepContext) bool {
 	// Solar gain makes mild ambients net-heating; 50 W/K shell
 	// conductance is the Default() cabin value and only the sign matters
 	// for mode selection here.

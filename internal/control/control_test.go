@@ -217,16 +217,17 @@ func TestConstantController(t *testing.T) {
 func TestCoolingNeededModeSelection(t *testing.T) {
 	// Hot ambient → cooling; cold ambient → heating; mild ambient with
 	// strong sun → still cooling.
-	if !coolingNeeded(hotCtx(24)) {
+	hot, cold := hotCtx(24), coldCtx(24)
+	if !coolingNeeded(&hot) {
 		t.Error("35 °C day should need cooling")
 	}
-	if coolingNeeded(coldCtx(24)) {
+	if coolingNeeded(&cold) {
 		t.Error("0 °C day should need heating")
 	}
 	sunny := coldCtx(24)
 	sunny.OutsideC = 22
 	sunny.SolarW = 400
-	if !coolingNeeded(sunny) {
+	if !coolingNeeded(&sunny) {
 		t.Error("22 °C + strong sun should need cooling")
 	}
 }

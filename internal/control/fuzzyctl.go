@@ -1,6 +1,8 @@
 package control
 
 import (
+	"sync"
+
 	"evclimate/internal/cabin"
 	"evclimate/internal/fuzzy"
 )
@@ -22,11 +24,24 @@ type Fuzzy struct {
 	// heating intensity (default 28 °C).
 	MaxHeatSupplyRiseC float64
 
-	sys     *fuzzy.System
-	prevErr float64
-	hasPrev bool
-	batt    batteryThermostat
+	sys      *fuzzy.System
+	compiled *fuzzy.Compiled
+	evalIn   [2]float64
+	prevErr  float64
+	hasPrev  bool
+	batt     batteryThermostat
 }
+
+// The baseline rule base is fixed, so it compiles once per process; each
+// controller instance clones the compiled form (shared degree tables,
+// private scratch) instead of re-walking maps per step. A compile
+// failure — impossible for the static rule base, but handled — leaves
+// compiled nil and Decide falls back to the interpreter.
+var (
+	fuzzyCompileOnce          sync.Once
+	fuzzyCompiledBase         *fuzzy.Compiled
+	fuzzyErrIdx, fuzzyDerrIdx int
+)
 
 // NewFuzzy builds the baseline with the rule base of [10]: 3×3 rules on
 // (error, error rate) → intensity.
@@ -66,13 +81,32 @@ func NewFuzzy(m *cabin.Model) *Fuzzy {
 		AddRule(rule("neg", "steady", "heathard")).
 		AddRule(rule("neg", "falling", "heathard"))
 
-	return &Fuzzy{
+	fuzzyCompileOnce.Do(func() {
+		c, err := sys.Compile()
+		if err != nil {
+			return
+		}
+		for i, name := range c.InputNames() {
+			switch name {
+			case "err":
+				fuzzyErrIdx = i
+			case "derr":
+				fuzzyDerrIdx = i
+			}
+		}
+		fuzzyCompiledBase = c
+	})
+	f := &Fuzzy{
 		Model:              m,
 		Recirc:             0.5,
 		MaxCoolSupplyDropC: 16,
 		MaxHeatSupplyRiseC: 28,
 		sys:                sys,
 	}
+	if fuzzyCompiledBase != nil {
+		f.compiled = fuzzyCompiledBase.Clone()
+	}
+	return f
 }
 
 // Name implements Controller.
@@ -87,15 +121,31 @@ func (c *Fuzzy) Reset() {
 
 // Decide implements Controller.
 func (c *Fuzzy) Decide(ctx StepContext) cabin.Inputs {
+	return c.decideLane(&ctx, &c.prevErr, &c.hasPrev, &c.batt)
+}
+
+// decideLane is the decision kernel shared by the scalar controller and
+// BatchFuzzy lanes: the arithmetic of Decide with the derivative memory
+// and battery latch supplied by the caller, so the batch path's SoA
+// state arrays produce the same bits the scalar fields would.
+func (c *Fuzzy) decideLane(ctx *StepContext, prevErr *float64, hasPrev *bool, batt *batteryThermostat) cabin.Inputs {
 	e := ctx.CabinTempC - ctx.TargetC
 	var de float64
-	if c.hasPrev && ctx.Dt > 0 {
-		de = (e - c.prevErr) / ctx.Dt
+	if *hasPrev && ctx.Dt > 0 {
+		de = (e - *prevErr) / ctx.Dt
 	}
-	c.prevErr = e
-	c.hasPrev = true
+	*prevErr = e
+	*hasPrev = true
 
-	u, err := c.sys.Evaluate(map[string]float64{"err": e, "derr": de})
+	var u float64
+	var err error
+	if c.compiled != nil {
+		c.evalIn[fuzzyErrIdx] = e
+		c.evalIn[fuzzyDerrIdx] = de
+		u, err = c.compiled.Evaluate(c.evalIn[:])
+	} else {
+		u, err = c.sys.Evaluate(map[string]float64{"err": e, "derr": de})
+	}
 	if err != nil {
 		u = 0 // rule base covers the universe; defensive fallback
 	}
@@ -119,9 +169,9 @@ func (c *Fuzzy) Decide(ctx StepContext) cabin.Inputs {
 	default: // idle: ventilate
 		in = cabin.Inputs{SupplyTempC: mix, CoilTempC: mix, Recirc: c.Recirc, AirFlowKgS: p.MinAirFlowKgS}
 	}
-	in = c.Model.ClampInputs(in, mix)
+	c.Model.ClampInputsInPlace(&in, mix)
 	// Thermostatic battery heating/cooling (no-op without the thermal
 	// network) keeps the ladder total in cold-climate simulations.
-	c.batt.apply(ctx, &in)
+	batt.apply(ctx, &in)
 	return in
 }

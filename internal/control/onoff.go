@@ -57,6 +57,14 @@ func (c *OnOff) Reset() { c.on = false; c.batt.reset() }
 
 // Decide implements Controller.
 func (c *OnOff) Decide(ctx StepContext) cabin.Inputs {
+	return c.decideLane(&ctx, &c.on, &c.batt)
+}
+
+// decideLane is the decision kernel shared by the scalar controller and
+// BatchOnOff lanes: the arithmetic of Decide with the latch state
+// supplied by the caller, so the batch path's SoA state arrays produce
+// the same bits the scalar fields would.
+func (c *OnOff) decideLane(ctx *StepContext, on *bool, batt *batteryThermostat) cabin.Inputs {
 	band := c.HysteresisC
 	if band <= 0 {
 		band = (ctx.ComfortHighC - ctx.ComfortLowC) / 2
@@ -71,15 +79,15 @@ func (c *OnOff) Decide(ctx StepContext) cabin.Inputs {
 	// trace.
 	if cooling {
 		if ctx.CabinTempC >= ctx.TargetC+band {
-			c.on = true
+			*on = true
 		} else if ctx.CabinTempC <= ctx.TargetC-band*2/3 {
-			c.on = false
+			*on = false
 		}
 	} else {
 		if ctx.CabinTempC <= ctx.TargetC-band {
-			c.on = true
+			*on = true
 		} else if ctx.CabinTempC >= ctx.TargetC+band*2/3 {
-			c.on = false
+			*on = false
 		}
 	}
 
@@ -89,7 +97,7 @@ func (c *OnOff) Decide(ctx StepContext) cabin.Inputs {
 	}
 	mix := c.Model.MixTemp(ctx.OutsideC, ctx.CabinTempC, dr)
 	var in cabin.Inputs
-	if !c.on {
+	if !*on {
 		// Ventilation only: pass mixed air through at minimum flow.
 		in = cabin.Inputs{
 			SupplyTempC: mix,
@@ -112,9 +120,9 @@ func (c *OnOff) Decide(ctx StepContext) cabin.Inputs {
 			AirFlowKgS:  c.OnAirFlowKgS,
 		}
 	}
-	in = c.Model.ClampInputs(in, mix)
+	c.Model.ClampInputsInPlace(&in, mix)
 	// Thermostatic battery heating/cooling (no-op without the thermal
 	// network) keeps the ladder total in cold-climate simulations.
-	c.batt.apply(ctx, &in)
+	batt.apply(ctx, &in)
 	return in
 }

@@ -52,21 +52,65 @@ func (c *Cycle) SpeedAt(t float64) float64 {
 	return units.KmhToMs(bp[len(bp)-1].SpeedKmh)
 }
 
+// speedAtFrom is SpeedAt with a resumable segment cursor for monotone
+// query sequences: *idx is the segment index of the previous (smaller)
+// query, so each call only advances forward instead of re-scanning the
+// breakpoint list from the start. The segment chosen — the first i with
+// t ≤ bp[i+1].TimeS — and the interpolation arithmetic are exactly
+// SpeedAt's, so the result is bit-identical.
+func speedAtFrom(bp []Breakpoint, t float64, idx *int) float64 {
+	if t <= bp[0].TimeS {
+		return units.KmhToMs(bp[0].SpeedKmh)
+	}
+	i := *idx
+	for i < len(bp)-1 && bp[i+1].TimeS < t {
+		i++
+	}
+	*idx = i
+	if i >= len(bp)-1 {
+		return units.KmhToMs(bp[len(bp)-1].SpeedKmh)
+	}
+	w := (t - bp[i].TimeS) / (bp[i+1].TimeS - bp[i].TimeS)
+	return units.KmhToMs(units.Lerp(bp[i].SpeedKmh, bp[i+1].SpeedKmh, w))
+}
+
 // Profile samples the cycle at period dt, computing acceleration by
 // forward differences (matching the discrete drive-profile definition in
 // paper Sec. II-A). Slope, ambient, and solar default to zero; use the
-// Profile.With* helpers to set them.
+// Profile.With* helpers to set them. Sampling walks the breakpoint list
+// once with two cursors (one per forward-difference endpoint) instead of
+// scanning it per sample; each sample is bit-identical to calling
+// SpeedAt directly (pinned by TestProfileMatchesSpeedAt).
 func (c *Cycle) Profile(dt float64) *Profile {
+	return c.ProfileSpan(dt, 0)
+}
+
+// ProfileSpan samples the cycle like Profile but only up to maxS seconds
+// (maxS ≤ 0 or a bound past the end samples the full cycle). The result
+// is sample-for-sample identical to Profile(dt).Truncate(maxS) — each
+// sample depends only on its own time — without materializing the tail;
+// sweep expansion truncates to its MaxProfileS anyway, so building the
+// full cycle just to throw most of it away dominated expansion.
+func (c *Cycle) ProfileSpan(dt, maxS float64) *Profile {
 	if dt <= 0 {
 		panic(fmt.Sprintf("drivecycle: Profile(dt=%v)", dt))
 	}
 	dur := c.Duration()
 	n := int(math.Round(dur/dt)) + 1
+	if maxS > 0 {
+		// Truncate keeps samples with Time ≤ maxS; count them directly.
+		m := 0
+		for m < n && float64(m)*dt <= maxS {
+			m++
+		}
+		n = m
+	}
 	p := &Profile{Name: c.Name, Dt: dt, Samples: make([]Sample, n)}
+	var cur, curNext int
 	for i := 0; i < n; i++ {
 		t := float64(i) * dt
-		v := c.SpeedAt(t)
-		vNext := c.SpeedAt(t + dt)
+		v := c.speedAtCursor(t, &cur)
+		vNext := c.speedAtCursor(t+dt, &curNext)
 		p.Samples[i] = Sample{
 			Time:  t,
 			Speed: v,
@@ -74,6 +118,15 @@ func (c *Cycle) Profile(dt float64) *Profile {
 		}
 	}
 	return p
+}
+
+// speedAtCursor dispatches to speedAtFrom, keeping SpeedAt's empty-cycle
+// behavior.
+func (c *Cycle) speedAtCursor(t float64, idx *int) float64 {
+	if len(c.Breakpoints) == 0 {
+		return 0
+	}
+	return speedAtFrom(c.Breakpoints, t, idx)
 }
 
 // Append returns a new cycle consisting of c followed by d (both names

@@ -367,3 +367,28 @@ func TestWLTPStats(t *testing.T) {
 		t.Errorf("ByName(wltp): %v", err)
 	}
 }
+
+// TestProfileMatchesSpeedAt pins the cursor-based Profile sampling to
+// the direct SpeedAt evaluation, bitwise, across every registered cycle
+// and a non-integer sample period: the forward-cursor segment search
+// must select exactly the segments the from-scratch scan selects.
+func TestProfileMatchesSpeedAt(t *testing.T) {
+	for _, name := range Names() {
+		cyc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dt := range []float64{1, 0.7, 2.5} {
+			p := cyc.Profile(dt)
+			for i, s := range p.Samples {
+				tm := float64(i) * dt
+				v := cyc.SpeedAt(tm)
+				vNext := cyc.SpeedAt(tm + dt)
+				if s.Time != tm || s.Speed != v || s.Accel != (vNext-v)/dt {
+					t.Fatalf("%s dt=%v sample %d: got {%v %v %v}, want {%v %v %v}",
+						name, dt, i, s.Time, s.Speed, s.Accel, tm, v, (vNext-v)/dt)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package drivecycle
+
+import (
+	"math"
+
+	"evclimate/internal/units"
+)
+
+// EnvAt returns the ambient temperature and solar load that At(t) would
+// report, without interpolating the four fields the plant's thermal ODE
+// never reads or materializing a Sample. The arithmetic is the same
+// per-field Lerp over the same bracketing pair, so the returned values
+// are bit-identical to At(t).AmbientC / At(t).SolarW.
+func (p *Profile) EnvAt(t float64) (ambientC, solarW float64) {
+	if len(p.Samples) == 0 {
+		return 0, 0
+	}
+	if t <= p.Samples[0].Time {
+		s := &p.Samples[0]
+		return s.AmbientC, s.SolarW
+	}
+	last := &p.Samples[len(p.Samples)-1]
+	if t >= last.Time {
+		return last.AmbientC, last.SolarW
+	}
+	idx := int(math.Floor((t - p.Samples[0].Time) / p.Dt))
+	if idx >= len(p.Samples)-1 {
+		idx = len(p.Samples) - 2
+	}
+	a, b := &p.Samples[idx], &p.Samples[idx+1]
+	if t < a.Time || t > b.Time {
+		// Non-uniform spacing fallback: scan.
+		for i := 0; i < len(p.Samples)-1; i++ {
+			if p.Samples[i].Time <= t && t <= p.Samples[i+1].Time {
+				a, b = &p.Samples[i], &p.Samples[i+1]
+				break
+			}
+		}
+	}
+	w := (t - a.Time) / (b.Time - a.Time)
+	return units.Lerp(a.AmbientC, b.AmbientC, w), units.Lerp(a.SolarW, b.SolarW, w)
+}
+
+// EnvSampler samples a profile's environment signals (ambient, solar)
+// with a constant-field fast path. Sweep environments are built with
+// WithAmbient/WithSolar, which write the same value into every sample —
+// detecting that once at construction turns the per-sub-step
+// interpolation of the plant ODE's right-hand side into two loads.
+// Lerp(c, c, w) = c + (c-c)·w = c for finite c, so the fast path returns
+// the same bits the interpolating path would.
+type EnvSampler struct {
+	p          *Profile
+	constant   bool
+	ambC, solW float64
+}
+
+// NewEnvSampler builds a sampler over p, detecting constant fields.
+func NewEnvSampler(p *Profile) *EnvSampler {
+	e := &EnvSampler{p: p}
+	if len(p.Samples) > 0 {
+		e.ambC, e.solW = p.Samples[0].AmbientC, p.Samples[0].SolarW
+		e.constant = true
+		for i := range p.Samples {
+			if p.Samples[i].AmbientC != e.ambC || p.Samples[i].SolarW != e.solW {
+				e.constant = false
+				break
+			}
+		}
+	}
+	return e
+}
+
+// Constant reports whether both sampled fields are constant over the
+// profile (the fast path is active).
+func (e *EnvSampler) Constant() bool { return e.constant }
+
+// ConstantEnv returns the fast-path values; ok is false when the
+// profile's environment varies over time and At must interpolate.
+func (e *EnvSampler) ConstantEnv() (ambC, solW float64, ok bool) {
+	return e.ambC, e.solW, e.constant
+}
+
+// At returns the ambient temperature and solar load at time t,
+// bit-identical to Profile.At(t).AmbientC / .SolarW.
+func (e *EnvSampler) At(t float64) (ambientC, solarW float64) {
+	if e.constant {
+		return e.ambC, e.solW
+	}
+	return e.p.EnvAt(t)
+}

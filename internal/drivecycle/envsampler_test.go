@@ -1,0 +1,58 @@
+package drivecycle
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEnvSamplerMatchesAt pins the bit-equivalence contract: EnvAt and
+// EnvSampler.At return exactly the bits Profile.At reports for the two
+// environment fields, on constant, varying, and non-uniform profiles,
+// including times before, inside (on- and off-sample), and past the span.
+func TestEnvSamplerMatchesAt(t *testing.T) {
+	constant := ECE15().Profile(1).WithAmbient(35).WithSolar(400)
+	varying := ECE15().Profile(1).
+		WithAmbientFunc(func(tt float64) float64 { return 20 + 10*math.Sin(tt/40) }).
+		WithSolar(300)
+	nonUniform := &Profile{Name: "nonuniform", Dt: 1, Samples: []Sample{
+		{Time: 0, AmbientC: 10, SolarW: 100},
+		{Time: 1, AmbientC: 12, SolarW: 150},
+		{Time: 3.5, AmbientC: 9, SolarW: 80},
+		{Time: 4, AmbientC: 15, SolarW: 260},
+	}}
+
+	for _, tc := range []struct {
+		name         string
+		p            *Profile
+		wantConstant bool
+	}{
+		{"constant", constant, true},
+		{"varying", varying, false},
+		{"nonuniform", nonUniform, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			es := NewEnvSampler(tc.p)
+			if es.Constant() != tc.wantConstant {
+				t.Errorf("Constant() = %v, want %v", es.Constant(), tc.wantConstant)
+			}
+			dur := tc.p.Duration()
+			times := []float64{-5, 0, 0.25, 1, 1.5, 2.75, dur / 3, dur/2 + 0.125, dur - 0.5, dur, dur + 10}
+			for k := 0; k < 200; k++ {
+				times = append(times, dur*float64(k)/199)
+			}
+			for _, tt := range times {
+				s := tc.p.At(tt)
+				amb, sol := es.At(tt)
+				if amb != s.AmbientC || sol != s.SolarW {
+					t.Fatalf("t=%v: EnvSampler.At = (%v, %v), Profile.At = (%v, %v)",
+						tt, amb, sol, s.AmbientC, s.SolarW)
+				}
+				amb2, sol2 := tc.p.EnvAt(tt)
+				if amb2 != s.AmbientC || sol2 != s.SolarW {
+					t.Fatalf("t=%v: EnvAt = (%v, %v), Profile.At = (%v, %v)",
+						tt, amb2, sol2, s.AmbientC, s.SolarW)
+				}
+			}
+		})
+	}
+}

@@ -171,6 +171,19 @@ func (p *Profile) WithAmbient(tempC float64) *Profile {
 	return out
 }
 
+// WithEnv returns a copy with a constant ambient temperature (°C) and a
+// constant solar thermal load (W) — one clone where chaining
+// WithAmbient and WithSolar would copy the samples twice. Sweep
+// expansion builds one such profile per cycle/environment pair.
+func (p *Profile) WithEnv(tempC, solarW float64) *Profile {
+	out := p.Clone()
+	for i := range out.Samples {
+		out.Samples[i].AmbientC = tempC
+		out.Samples[i].SolarW = solarW
+	}
+	return out
+}
+
 // WithSolar returns a copy with a constant solar thermal load (W). The
 // paper treats solar radiation as a constant thermal-load offset during a
 // drive (Sec. II-C).

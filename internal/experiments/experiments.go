@@ -40,6 +40,11 @@ type Options struct {
 	MaxProfileS float64
 	// Workers is the scenario-sweep worker-pool size (0 = GOMAXPROCS).
 	Workers int
+	// BatchSize is the lockstep-batch lane count for eligible sweep jobs
+	// (0 = runner.DefaultBatchSize, negative disables batching). Batched
+	// lanes are bit-identical to scalar runs, so this is purely a
+	// throughput knob.
+	BatchSize int
 	// Cache, when non-nil, reuses simulation results across harnesses
 	// keyed by scenario fingerprint (cmd/evbench shares one cache so
 	// e.g. Fig. 5 and Fig. 6 run their common scenarios once).
@@ -73,6 +78,7 @@ type Options struct {
 func (o *Options) runnerOptions(label string) runner.Options {
 	return runner.Options{
 		Workers:       o.Workers,
+		BatchSize:     o.BatchSize,
 		Cache:         o.Cache,
 		Telemetry:     o.Telemetry,
 		TraceLog:      o.TraceLog,

@@ -1,0 +1,131 @@
+package fuzzy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// testSystem builds the 3×3 controller shape the climate baseline uses:
+// two inputs, five output terms, nine rules.
+func testSystem() *System {
+	errV := NewVariable("err", -6, 6).
+		AddTerm("neg", Triangle{A: -6, B: -6, C: 0}).
+		AddTerm("zero", Triangle{A: -0.8, B: 0, C: 0.8}).
+		AddTerm("pos", Triangle{A: 0, B: 6, C: 6})
+	dErrV := NewVariable("derr", -0.2, 0.2).
+		AddTerm("falling", Triangle{A: -0.2, B: -0.2, C: 0}).
+		AddTerm("steady", Triangle{A: -0.03, B: 0, C: 0.03}).
+		AddTerm("rising", Triangle{A: 0, B: 0.2, C: 0.2})
+	outV := NewVariable("u", -1, 1).
+		AddTerm("heathard", Triangle{A: -1, B: -1, C: -0.5}).
+		AddTerm("heat", Triangle{A: -1, B: -0.5, C: 0}).
+		AddTerm("idle", Triangle{A: -0.15, B: 0, C: 0.15}).
+		AddTerm("cool", Triangle{A: 0, B: 0.5, C: 1}).
+		AddTerm("coolhard", Triangle{A: 0.5, B: 1, C: 1})
+	rule := func(e, d, u string) Rule {
+		return Rule{If: []Cond{{Var: "err", Term: e}, {Var: "derr", Term: d}}, Then: Cond{Var: "u", Term: u}}
+	}
+	return NewSystem(outV, errV, dErrV).
+		AddRule(rule("pos", "rising", "coolhard")).
+		AddRule(rule("pos", "steady", "coolhard")).
+		AddRule(rule("pos", "falling", "cool")).
+		AddRule(rule("zero", "rising", "cool")).
+		AddRule(rule("zero", "steady", "idle")).
+		AddRule(rule("zero", "falling", "heat")).
+		AddRule(rule("neg", "rising", "heat")).
+		AddRule(rule("neg", "steady", "heathard")).
+		AddRule(rule("neg", "falling", "heathard"))
+}
+
+// TestCompiledMatchesEvaluate is the bit-equivalence property: over a
+// dense random sweep of the input space (including out-of-universe
+// values, which both paths clamp), the compiled evaluator returns
+// exactly the interpreted Evaluate's bits.
+func TestCompiledMatchesEvaluate(t *testing.T) {
+	sys := testSystem()
+	c, err := sys.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := c.InputNames()
+	if len(names) != 2 || names[0] != "derr" || names[1] != "err" {
+		t.Fatalf("InputNames = %v, want [derr err]", names)
+	}
+	rng := rand.New(rand.NewSource(7))
+	in := make([]float64, 2)
+	for i := 0; i < 5000; i++ {
+		e := -8 + rng.Float64()*16     // beyond the ±6 universe
+		de := -0.3 + rng.Float64()*0.6 // beyond the ±0.2 universe
+		want, errWant := sys.Evaluate(map[string]float64{"err": e, "derr": de})
+		in[0], in[1] = de, e // InputNames order: derr, err
+		got, errGot := c.Evaluate(in)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("e=%v de=%v: error mismatch: interpreted %v, compiled %v", e, de, errWant, errGot)
+		}
+		if got != want {
+			t.Fatalf("e=%v de=%v: compiled %v != interpreted %v (diff %g)", e, de, got, want, got-want)
+		}
+	}
+}
+
+// TestCompiledZeroAlloc pins that the hot path allocates nothing.
+func TestCompiledZeroAlloc(t *testing.T) {
+	c, err := testSystem().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.01, 2.5}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.Evaluate(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Evaluate allocated %v times per call, want 0", allocs)
+	}
+}
+
+// TestCompiledClone pins that clones share tables but not scratch:
+// interleaved evaluations from two clones match fresh evaluations.
+func TestCompiledClone(t *testing.T) {
+	sys := testSystem()
+	c1, err := sys.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := c1.Clone()
+	a1, _ := c1.Evaluate([]float64{0.1, 3})
+	a2, _ := c2.Evaluate([]float64{-0.1, -3})
+	b1, _ := c1.Evaluate([]float64{0.1, 3})
+	b2, _ := c2.Evaluate([]float64{-0.1, -3})
+	if a1 != b1 || a2 != b2 {
+		t.Errorf("clone interference: %v/%v then %v/%v", a1, a2, b1, b2)
+	}
+}
+
+// TestCompiledErrors pins argument validation and the no-activation path.
+func TestCompiledErrors(t *testing.T) {
+	c, err := testSystem().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Evaluate([]float64{1}); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	if _, err := (&System{}).Compile(); err == nil {
+		t.Error("invalid system compiled")
+	}
+	// A gappy rule base can fail to fire; both paths must agree.
+	gap := NewSystem(
+		NewVariable("y", 0, 1).AddTerm("t", Triangle{A: 0, B: 0.5, C: 1}),
+		NewVariable("x", 0, 10).AddTerm("low", Triangle{A: 0, B: 1, C: 2}),
+	).AddRule(Rule{If: []Cond{{Var: "x", Term: "low"}}, Then: Cond{Var: "y", Term: "t"}})
+	gc, err := gap.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gc.Evaluate([]float64{5}); !errors.Is(err, ErrNoActivation) {
+		t.Errorf("want ErrNoActivation, got %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package ode
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// laneRHS builds a family of independent one-state plants shaped like the
+// cabin thermal model: dx/dt = (q + a·(amb − x) + b·(ts − x)) / m, with
+// time-varying forcing so every RK4 stage matters.
+type laneRHS struct {
+	q, a, amb, b, ts, m float64
+}
+
+func (l *laneRHS) eval(t, x float64) float64 {
+	amb := l.amb + math.Sin(t/7)
+	return (l.q + l.a*(amb-x) + l.b*(l.ts-x)) / l.m
+}
+
+// TestBatchRK4MatchesScalarIntegrate pins the tentpole's foundation: a
+// batched IntegrateInto over N concatenated lanes produces, per lane,
+// bit-identical state to scalar Integrate with RK4 on that lane alone —
+// including the shortened final step when the span is not a multiple of
+// dt.
+func TestBatchRK4MatchesScalarIntegrate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, lanes := range []int{1, 3, 16} {
+		for _, span := range []struct{ t0, t1, dt float64 }{
+			{0, 1, 0.2},
+			{3, 4, 0.3}, // 0.3 does not divide 1: exercises the shortened last step
+			{10, 10.5, 0.1},
+		} {
+			rhs := make([]laneRHS, lanes)
+			x := make([]float64, lanes)
+			for i := range rhs {
+				rhs[i] = laneRHS{
+					q:   rng.Float64() * 500,
+					a:   20 + rng.Float64()*30,
+					amb: -10 + rng.Float64()*50,
+					b:   100 + rng.Float64()*200,
+					ts:  5 + rng.Float64()*40,
+					m:   1e4 + rng.Float64()*1e5,
+				}
+				x[i] = -5 + rng.Float64()*40
+			}
+
+			// Scalar reference, one lane at a time.
+			want := make([]float64, lanes)
+			for i := range rhs {
+				l := rhs[i]
+				sys := func(tt float64, xs, dxdt []float64) { dxdt[0] = l.eval(tt, xs[0]) }
+				out, err := Integrate(sys, []float64{x[i]}, span.t0, span.t1, span.dt, &RK4{}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = out[0]
+			}
+
+			var br BatchRK4
+			bsys := func(tt float64, xs, dxdt []float64) {
+				for i := range xs {
+					dxdt[i] = rhs[i].eval(tt, xs[i])
+				}
+			}
+			if err := br.IntegrateInto(bsys, x, span.t0, span.t1, span.dt); err != nil {
+				t.Fatal(err)
+			}
+			for i := range x {
+				if x[i] != want[i] {
+					t.Errorf("lanes=%d span=%+v lane %d: batch %v != scalar %v (diff %g)",
+						lanes, span, i, x[i], want[i], x[i]-want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRK4WorkspaceReuse pins that repeated calls reuse the
+// workspace: after warm-up, IntegrateInto allocates nothing.
+func TestBatchRK4WorkspaceReuse(t *testing.T) {
+	var br BatchRK4
+	x := make([]float64, 16)
+	sys := func(tt float64, xs, dxdt []float64) {
+		for i := range xs {
+			dxdt[i] = -0.1 * xs[i]
+		}
+	}
+	run := func() {
+		if err := br.IntegrateInto(sys, x, 0, 1, 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // size the workspace
+	allocs := testing.AllocsPerRun(100, run)
+	if allocs != 0 {
+		t.Errorf("IntegrateInto allocated %v times per call after warm-up, want 0", allocs)
+	}
+}
+
+// TestBatchRK4NonFiniteLane pins lane attribution: when one lane
+// diverges, the error names it and the message matches the scalar shape.
+func TestBatchRK4NonFiniteLane(t *testing.T) {
+	var br BatchRK4
+	x := []float64{1, 1, 1}
+	sys := func(tt float64, xs, dxdt []float64) {
+		dxdt[0] = 0
+		dxdt[1] = math.NaN()
+		dxdt[2] = 0
+	}
+	err := br.IntegrateInto(sys, x, 0, 1, 0.5)
+	var nf *NonFiniteLaneError
+	if !errors.As(err, &nf) {
+		t.Fatalf("want *NonFiniteLaneError, got %v", err)
+	}
+	if nf.Lane != 1 {
+		t.Errorf("lane = %d, want 1", nf.Lane)
+	}
+}
+
+// TestBatchRK4ArgErrors mirrors Integrate's argument validation.
+func TestBatchRK4ArgErrors(t *testing.T) {
+	var br BatchRK4
+	sys := func(tt float64, xs, dxdt []float64) { dxdt[0] = 0 }
+	if err := br.IntegrateInto(sys, []float64{0}, 0, 1, 0); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	if err := br.IntegrateInto(sys, []float64{0}, 1, 0, 0.1); err == nil {
+		t.Error("t1 < t0 accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"evclimate/internal/drivecycle"
 	"evclimate/internal/units"
@@ -155,13 +156,97 @@ func (m *Model) PowerAt(s drivecycle.Sample) float64 {
 }
 
 // PowerProfile returns P_e for every sample of a drive profile (paper
-// Algorithm 1, lines 3–5).
+// Algorithm 1, lines 3–5). The result is memoized process-wide: sweep
+// expansion rebuilds profiles and runners per job, but a grid's jobs
+// share a handful of (powertrain, motion trace) bases and P_e depends on
+// nothing else — so repeated sweeps hit the cache instead of re-running
+// the powertrain model over the cycle. Callers must treat the returned
+// slice as read-only (the simulation paths only ever sample it).
 func (m *Model) PowerProfile(p *drivecycle.Profile) []float64 {
+	if out := lookupPowerProfile(m.p, p); out != nil {
+		return out
+	}
 	out := make([]float64, p.Len())
 	for i, s := range p.Samples {
 		out[i] = m.PowerAt(s)
 	}
+	storePowerProfile(m.p, p, out)
 	return out
+}
+
+// powerProfileCache holds the memoized PowerProfile results, most
+// recently used first. Lookups verify the full motion trace against the
+// stored copy — no hashing, so a hit is exact by construction, never
+// probabilistic. Params is comparable (the efficiency map enters by
+// pointer), which also means an efficiency map mutated in place after a
+// cache fill would alias stale powers; the model treats maps as
+// immutable after construction.
+var powerProfileCache struct {
+	sync.Mutex
+	entries []*powerProfileEntry
+}
+
+// powerProfileCacheMax bounds the cache; a sweep grid reuses a few
+// cycle × powertrain bases, so a small MRU list captures them.
+const powerProfileCacheMax = 8
+
+type powerProfileEntry struct {
+	params Params
+	dt     float64
+	motion []motionPoint
+	power  []float64
+}
+
+// motionPoint is the subset of a profile sample PowerAt reads.
+type motionPoint struct{ speed, accel, slope, wind float64 }
+
+func (e *powerProfileEntry) matches(params Params, p *drivecycle.Profile) bool {
+	if e.params != params || e.dt != p.Dt || len(e.motion) != len(p.Samples) {
+		return false
+	}
+	for i := range e.motion {
+		s, q := &p.Samples[i], &e.motion[i]
+		if q.speed != s.Speed || q.accel != s.Accel || q.slope != s.SlopePercent || q.wind != s.WindMs {
+			return false
+		}
+	}
+	return true
+}
+
+func lookupPowerProfile(params Params, p *drivecycle.Profile) []float64 {
+	if len(p.Samples) == 0 {
+		return nil
+	}
+	c := &powerProfileCache
+	c.Lock()
+	defer c.Unlock()
+	for i, e := range c.entries {
+		if e.matches(params, p) {
+			copy(c.entries[1:i+1], c.entries[:i]) // move to front
+			c.entries[0] = e
+			return e.power
+		}
+	}
+	return nil
+}
+
+func storePowerProfile(params Params, p *drivecycle.Profile, power []float64) {
+	if len(p.Samples) == 0 {
+		return
+	}
+	e := &powerProfileEntry{params: params, dt: p.Dt, motion: make([]motionPoint, len(p.Samples)), power: power}
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		e.motion[i] = motionPoint{s.Speed, s.Accel, s.SlopePercent, s.WindMs}
+	}
+	c := &powerProfileCache
+	c.Lock()
+	defer c.Unlock()
+	if len(c.entries) < powerProfileCacheMax {
+		c.entries = append(c.entries, nil)
+	}
+	copy(c.entries[1:], c.entries)
+	c.entries[0] = e
 }
 
 // CycleEnergy summarizes the traction energy of a drive profile.

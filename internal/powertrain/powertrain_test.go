@@ -334,3 +334,56 @@ func TestHeadwindRaisesCycleEnergy(t *testing.T) {
 		t.Error("tailwind did not reduce energy")
 	}
 }
+
+// TestPowerProfileMemo pins the PowerProfile cache: a repeated call over
+// an equal motion trace returns the identical powers, and any change to
+// the motion or the parameters misses (full-trace verification, so a hit
+// is exact, never probabilistic).
+func TestPowerProfileMemo(t *testing.T) {
+	m, err := New(NissanLeaf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := drivecycle.ByName("UDDS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cyc.Profile(1).Truncate(120)
+	first := m.PowerProfile(p)
+	again := m.PowerProfile(p.Clone()) // equal content, distinct backing
+	if len(first) != len(again) {
+		t.Fatalf("lengths differ: %d vs %d", len(first), len(again))
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("sample %d: %v != %v", i, first[i], again[i])
+		}
+	}
+
+	// A motion change must not alias the cached powers.
+	alt := p.Clone()
+	alt.Samples[3].Speed += 1
+	altPow := m.PowerProfile(alt)
+	if altPow[3] == first[3] {
+		t.Fatalf("changed motion returned the cached power %v", altPow[3])
+	}
+
+	// A parameter change (heavier vehicle) must miss as well.
+	hp := NissanLeaf()
+	hp.MassKg += 500
+	m2, err := New(hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavier := m2.PowerProfile(p)
+	same := true
+	for i := range first {
+		if heavier[i] != first[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("heavier powertrain returned the cached light-vehicle powers")
+	}
+}

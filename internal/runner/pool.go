@@ -68,6 +68,17 @@ type Options struct {
 	// exponential backoff and optional escalation through the job's
 	// controller fallback ladder (ControllerSpec.Fallbacks).
 	Retry RetryPolicy
+	// BatchSize groups eligible jobs into lockstep SoA batches
+	// (sim.BatchRunner): jobs sharing a batchable controller family and
+	// a time grid are simulated N vehicles at a time, which is where the
+	// sweep's throughput comes from on few-core machines. 0 uses
+	// DefaultBatchSize; negative disables batching. Grouping follows
+	// expansion order and is independent of Workers, so sweep outputs
+	// stay worker-count-deterministic; each lane's result is bit-identical
+	// to the scalar path. Batching disengages automatically for sweeps
+	// running a journal, record streaming, retries, or a job watchdog —
+	// those paths need per-job execution control.
+	BatchSize int
 }
 
 // JobResult is one executed job's outcome.
@@ -294,15 +305,18 @@ func RunJobs(ctx context.Context, jobs []Job, opts Options) ([]JobResult, error)
 		}
 	}
 
-	feed := make(chan int)
+	// Schedule the remaining jobs into units — single jobs, or SoA
+	// batches of jobs sharing a batchable controller and a time grid.
+	// Units are planned from the expansion order alone, so scheduling is
+	// independent of the worker count.
+	units := pe.planUnits(ran)
+
+	feed := make(chan []int)
 	go func() {
 		defer close(feed)
-		for i := range jobs {
-			if ran[i] {
-				continue
-			}
+		for _, u := range units {
 			select {
-			case feed <- i:
+			case feed <- u:
 			case <-ctx.Done():
 				return
 			}
@@ -325,16 +339,38 @@ func RunJobs(ctx context.Context, jobs []Job, opts Options) ([]JobResult, error)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range feed {
+			for unit := range feed {
 				if ctx.Err() != nil {
 					return
 				}
-				out[i] = pe.runOne(ctx, i)
-				ran[i] = true
+				if len(unit) == 1 {
+					i := unit[0]
+					out[i] = pe.runOne(ctx, i)
+					ran[i] = true
+					if opts.Progress != nil {
+						mu.Lock()
+						done++
+						opts.Progress(done, len(jobs), &out[i])
+						mu.Unlock()
+					}
+					continue
+				}
+				pe.runBatch(ctx, unit, out)
+				for _, i := range unit {
+					if ctx.Err() != nil && out[i].Result == nil && out[i].Err == nil {
+						continue // aborted lane: filled with ctx.Err below
+					}
+					ran[i] = true
+				}
 				if opts.Progress != nil {
 					mu.Lock()
-					done++
-					opts.Progress(done, len(jobs), &out[i])
+					for _, i := range unit {
+						if !ran[i] {
+							continue
+						}
+						done++
+						opts.Progress(done, len(jobs), &out[i])
+					}
 					mu.Unlock()
 				}
 			}

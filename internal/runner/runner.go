@@ -158,7 +158,10 @@ func deriveSeed(base int64, index int) int64 {
 }
 
 // resolveProfile builds a cycle's base profile (before environment).
-func (c *CycleSpec) resolveProfile(cycleSeed int64) (*drivecycle.Profile, error) {
+// maxS is the sweep's MaxProfileS: named cycles sample only that span up
+// front (identical to sampling fully and truncating, without building
+// the tail); explicit and generated profiles are truncated by Expand.
+func (c *CycleSpec) resolveProfile(cycleSeed int64, maxS float64) (*drivecycle.Profile, error) {
 	switch {
 	case c.Gen != nil:
 		return c.Gen(cycleSeed)
@@ -169,7 +172,7 @@ func (c *CycleSpec) resolveProfile(cycleSeed int64) (*drivecycle.Profile, error)
 		if err != nil {
 			return nil, err
 		}
-		return cyc.Profile(1), nil
+		return cyc.ProfileSpan(1, maxS), nil
 	}
 	return nil, fmt.Errorf("runner: cycle spec needs Name, Profile, or Gen")
 }
@@ -196,7 +199,7 @@ func Expand(spec Spec) ([]Job, error) {
 		cs := &spec.Cycles[ci]
 		// The cycle seed is deliberately distinct from job seeds so every
 		// controller/environment of one generated cycle shares a profile.
-		base, err := cs.resolveProfile(deriveSeed(spec.BaseSeed^0x5EED, ci))
+		base, err := cs.resolveProfile(deriveSeed(spec.BaseSeed^0x5EED, ci), spec.MaxProfileS)
 		if err != nil {
 			return nil, fmt.Errorf("runner: cycle %d: %w", ci, err)
 		}
@@ -208,7 +211,7 @@ func Expand(spec Spec) ([]Job, error) {
 		for _, env := range envs {
 			p := base
 			if applyEnv {
-				p = p.WithAmbient(env.AmbientC).WithSolar(env.SolarW)
+				p = p.WithEnv(env.AmbientC, env.SolarW)
 			}
 			targets := spec.Targets
 			if len(targets) == 0 {

@@ -100,6 +100,66 @@ type Trace struct {
 	Inputs []cabin.Inputs
 }
 
+// growFloats returns s with capacity for at least n elements, keeping
+// its values; the result aliases s when no growth is needed.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s
+	}
+	out := make([]float64, len(s), n)
+	copy(out, s)
+	return out
+}
+
+// growInputs is growFloats for the inputs column.
+func growInputs(s []cabin.Inputs, n int) []cabin.Inputs {
+	if cap(s) >= n {
+		return s
+	}
+	out := make([]cabin.Inputs, len(s), n)
+	copy(out, s)
+	return out
+}
+
+// growTrace preallocates every trace column to the run's known step
+// count so the per-step appends never regrow a slice mid-run. A fresh
+// trace gets all ten float columns carved out of one slab allocation;
+// a resumed trace grows its existing columns in place.
+func growTrace(tr *Trace, n int, thermal bool) {
+	if tr.Time == nil && tr.Inputs == nil {
+		slab := make([]float64, 10*n)
+		tr.Time = slab[0*n : 0*n : 1*n]
+		tr.CabinC = slab[1*n : 1*n : 2*n]
+		tr.OutsideC = slab[2*n : 2*n : 3*n]
+		tr.MotorW = slab[3*n : 3*n : 4*n]
+		tr.HeaterW = slab[4*n : 4*n : 5*n]
+		tr.CoolerW = slab[5*n : 5*n : 6*n]
+		tr.FanW = slab[6*n : 6*n : 7*n]
+		tr.HVACW = slab[7*n : 7*n : 8*n]
+		tr.TotalW = slab[8*n : 8*n : 9*n]
+		tr.SoC = slab[9*n : 9*n : 10*n]
+		if thermal {
+			tr.PackC = make([]float64, 0, n)
+		}
+		tr.Inputs = make([]cabin.Inputs, 0, n)
+		return
+	}
+	tr.Time = growFloats(tr.Time, n)
+	tr.CabinC = growFloats(tr.CabinC, n)
+	tr.OutsideC = growFloats(tr.OutsideC, n)
+	tr.MotorW = growFloats(tr.MotorW, n)
+	tr.HeaterW = growFloats(tr.HeaterW, n)
+	tr.CoolerW = growFloats(tr.CoolerW, n)
+	tr.FanW = growFloats(tr.FanW, n)
+	tr.HVACW = growFloats(tr.HVACW, n)
+	tr.TotalW = growFloats(tr.TotalW, n)
+	tr.SoC = growFloats(tr.SoC, n)
+	if thermal {
+		tr.PackC = growFloats(tr.PackC, n)
+	}
+	tr.Inputs = growInputs(tr.Inputs, n)
+}
+
 // Result bundles a run's trace and summary metrics.
 type Result struct {
 	// Controller is the controller name.
@@ -158,6 +218,16 @@ type Runner struct {
 	// contract).
 	fcMotor, fcOutside, fcSolar []float64
 
+	// Plant-integration state reused across steps: the RK4 workspace,
+	// the one-lane state vector, and the per-step values (zero-order-held
+	// inputs, frozen pack temperature) the persistent RHS closure reads.
+	// Rebuilding a closure and integrator per step allocates; these
+	// fields keep the loop's integration allocation-free.
+	integ ode.BatchRK4
+	x1    [1]float64
+	odeIn cabin.Inputs
+	odeTb float64
+
 	// st is the in-flight run's loop state (nil between runs); Snapshot
 	// reads it. pendingResume is a checkpoint primed by Restore for the
 	// next run.
@@ -168,11 +238,37 @@ type Runner struct {
 // New validates the configuration and precomputes the motor power
 // profile (Algorithm 1, lines 2–5).
 func New(cfg Config) (*Runner, error) {
+	r, err := buildRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.motor = r.pt.PowerProfile(r.cfg.Profile)
+	return r, nil
+}
+
+// buildRunner validates the configuration and builds a Runner without the
+// motor power profile. NewBatch uses it to share one profile across
+// lanes that drive the same cycle with the same powertrain instead of
+// recomputing the traction power per lane.
+func buildRunner(cfg Config) (*Runner, error) {
+	return buildRunnerShared(cfg, nil)
+}
+
+// buildRunnerShared is buildRunner with a cross-lane validation memo:
+// batch lanes usually share profile pointers (one per cycle/environment
+// cell), so NewBatch validates each distinct profile once instead of
+// once per lane. A nil memo validates unconditionally.
+func buildRunnerShared(cfg Config, validated map[*drivecycle.Profile]bool) (*Runner, error) {
 	if cfg.Profile == nil {
 		return nil, errors.New("sim: nil profile")
 	}
-	if err := cfg.Profile.Validate(); err != nil {
-		return nil, err
+	if !validated[cfg.Profile] {
+		if err := cfg.Profile.Validate(); err != nil {
+			return nil, err
+		}
+		if validated != nil {
+			validated[cfg.Profile] = true
+		}
 	}
 	if cfg.ControlDt <= 0 {
 		cfg.ControlDt = cfg.Profile.Dt
@@ -205,9 +301,7 @@ func New(cfg Config) (*Runner, error) {
 			return nil, err
 		}
 	}
-	r := &Runner{cfg: cfg, pt: pt, hvac: hvac}
-	r.motor = pt.PowerProfile(cfg.Profile)
-	return r, nil
+	return &Runner{cfg: cfg, pt: pt, hvac: hvac}, nil
 }
 
 // MotorPower returns the precomputed P_e at time t (zero-order hold).
@@ -350,6 +444,35 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 		}
 	}
 
+	// The plant RHS closure is built once per run: the per-step state it
+	// reads (the zero-order-held inputs, the frozen pack temperature)
+	// flows through Runner fields, and the environment comes from a
+	// sampler whose constant-field fast path returns the same bits
+	// Profile.At interpolates.
+	env := drivecycle.NewEnvSampler(cfg.Profile)
+	sys := ode.BatchSystem(func(tt float64, x, dxdt []float64) {
+		amb, sol := env.At(tt)
+		dxdt[0] = r.hvac.CabinDerivative(x[0], r.odeIn, amb, sol)
+	})
+	if st.th != nil {
+		// The pack→cabin conduction enters the cabin ODE with the pack
+		// temperature frozen over the control period (the network itself
+		// steps once per period below).
+		kbc := cfg.Thermal.Network.UAPackCabinWK
+		mc := cfg.Cabin.ThermalCapacitanceJK
+		sys = func(tt float64, x, dxdt []float64) {
+			amb, sol := env.At(tt)
+			dxdt[0] = r.hvac.CabinDerivative(x[0], r.odeIn, amb, sol) + kbc*(r.odeTb-x[0])/mc
+		}
+	}
+	sub := cfg.ControlDt / float64(cfg.PlantSubSteps)
+
+	// Preallocate the trace to the known step count (after any resume
+	// has restored its shorter prefix), so the per-step appends below
+	// never regrow a slice mid-run.
+	growTrace(tr, n, st.th != nil)
+	b.Grow(n)
+
 	for st.k < n {
 		k := st.k
 		t := float64(k) * cfg.ControlDt
@@ -366,7 +489,7 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 				return nil, fmt.Errorf("sim: run aborted at step %d/%d: %w", k, n, cerr)
 			}
 		}
-		s := cfg.Profile.At(t)
+		amb, sol := env.At(t)
 		pe := r.MotorPower(t)
 		socBefore := b.SoC()
 
@@ -374,8 +497,8 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 			Time:         t,
 			Dt:           cfg.ControlDt,
 			CabinTempC:   st.tz,
-			OutsideC:     s.AmbientC,
-			SolarW:       s.SolarW,
+			OutsideC:     amb,
+			SolarW:       sol,
 			MotorPowerW:  pe,
 			SoC:          b.SoC(),
 			TargetC:      cfg.TargetC,
@@ -394,7 +517,8 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 		if telOn {
 			stepStart = time.Now()
 		}
-		in, mix := r.hvac.ClampForEnvironment(ctrl.Decide(ctx), s.AmbientC, st.tz)
+		in := ctrl.Decide(ctx)
+		mix := r.hvac.ClampForEnvironmentInPlace(&in, amb, st.tz)
 		var stepLatency time.Duration
 		if telOn {
 			stepLatency = time.Since(stepStart)
@@ -408,32 +532,20 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 		heaterElecW := pw.HeaterW
 		hpEff, hpPTC := 0.0, false
 		if st.th != nil && pw.HeaterW > 0 {
-			hpEff, hpPTC = st.th.Heating(s.AmbientC)
+			hpEff, hpPTC = st.th.Heating(amb)
 			heaterElecW = pw.HeaterW * cfg.Cabin.EtaHeat / hpEff
 		}
 		hvacW := pw.Total() - pw.HeaterW + heaterElecW
 
 		// Integrate the cabin plant over the control period with the
-		// inputs held (zero-order hold), sampling ambient continuously.
-		sys := func(tt float64, x, dxdt []float64) {
-			sp := cfg.Profile.At(tt)
-			dxdt[0] = r.hvac.CabinDerivative(x[0], in, sp.AmbientC, sp.SolarW)
-		}
+		// inputs held (zero-order hold), sampling ambient continuously
+		// through the persistent RHS closure built above.
+		r.odeIn = in
 		if st.th != nil {
-			// The pack→cabin conduction enters the cabin ODE with the pack
-			// temperature frozen over the control period (the network itself
-			// steps once per period below).
-			tb := st.th.PackC()
-			kbc := cfg.Thermal.Network.UAPackCabinWK
-			mc := cfg.Cabin.ThermalCapacitanceJK
-			sys = func(tt float64, x, dxdt []float64) {
-				sp := cfg.Profile.At(tt)
-				dxdt[0] = r.hvac.CabinDerivative(x[0], in, sp.AmbientC, sp.SolarW) + kbc*(tb-x[0])/mc
-			}
+			r.odeTb = st.th.PackC()
 		}
-		sub := cfg.ControlDt / float64(cfg.PlantSubSteps)
-		x, err := ode.Integrate(sys, []float64{st.tz}, t, t+cfg.ControlDt, sub, &ode.RK4{}, nil)
-		if err != nil {
+		r.x1[0] = st.tz
+		if err := r.integ.IntegrateInto(sys, r.x1[:], t, t+cfg.ControlDt, sub); err != nil {
 			return nil, fmt.Errorf("sim: plant integration failed at t=%v: %w", t, err)
 		}
 
@@ -444,7 +556,7 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 			// heater/chiller electrical draw adds on top.
 			iPack := total / cfg.BMS.Pack.NominalVoltageV
 			jouleW := iPack * iPack * st.th.PackResistanceOhm()
-			fl := st.th.Step(st.tz, s.AmbientC, jouleW, in.BattHeatW, in.BattChillW, cfg.ControlDt)
+			fl := st.th.Step(st.tz, amb, jouleW, in.BattHeatW, in.BattChillW, cfg.ControlDt)
 			total += fl.HeaterElecW + fl.ChillerElecW + jouleW
 		}
 		_, soc := b.Step(total, cfg.ControlDt)
@@ -472,7 +584,7 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 				Step:         k,
 				TimeS:        t,
 				CabinC:       st.tz,
-				OutsideC:     s.AmbientC,
+				OutsideC:     amb,
 				SoCPct:       soc,
 				SoCDeltaPct:  soc - socBefore,
 				HVACW:        hvacW,
@@ -514,7 +626,7 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 
 		tr.Time = append(tr.Time, t)
 		tr.CabinC = append(tr.CabinC, st.tz)
-		tr.OutsideC = append(tr.OutsideC, s.AmbientC)
+		tr.OutsideC = append(tr.OutsideC, amb)
 		tr.MotorW = append(tr.MotorW, pe)
 		tr.HeaterW = append(tr.HeaterW, heaterElecW)
 		tr.CoolerW = append(tr.CoolerW, pw.CoolerW)
@@ -540,7 +652,7 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 			}
 		}
 
-		st.tz = x[0]
+		st.tz = r.x1[0]
 		st.k++
 
 		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil && st.k < n && st.k%opts.CheckpointEvery == 0 {
@@ -595,6 +707,13 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 	return res, nil
 }
 
+// defaultPowertrain is the shared Leaf parameter set DefaultConfig hands
+// out. Building it once keeps every defaulted configuration ==-equal in
+// its Powertrain field (one efficiency-map pointer), which is what lets
+// sweep jobs share motor power profiles; the map is immutable after
+// construction throughout the codebase.
+var defaultPowertrain = powertrain.NissanLeaf()
+
 // DefaultConfig returns the experiment baseline: Nissan Leaf power train,
 // the default single-zone HVAC, the Leaf pack at 90 % SoC, 24 °C target
 // with a ±3 °C comfort zone, 1 s control period, and a pre-conditioned
@@ -603,7 +722,7 @@ func (r *Runner) RunWith(ctrl control.Controller, opts RunOptions) (*Result, err
 func DefaultConfig(p *drivecycle.Profile) Config {
 	return Config{
 		Profile:       p,
-		Powertrain:    powertrain.NissanLeaf(),
+		Powertrain:    defaultPowertrain,
 		Cabin:         cabin.Default(),
 		BMS:           bms.DefaultConfig(),
 		TargetC:       24,
