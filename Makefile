@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-gate clean test-faults test-resume test-fabric test-thermal test-batch fuzz-qp check
+.PHONY: all build test race vet bench bench-json bench-gate clean test-faults test-resume test-fabric test-netchaos test-thermal test-batch fuzz-qp check
 
 all: build vet test
 
@@ -92,6 +92,18 @@ test-fabric:
 	$(GO) test -race ./internal/fabric/...
 	$(GO) test -run 'ServeJoin' ./cmd/evbench/
 
+# Network-chaos suite under the race detector: the seeded fault
+# transport/proxy unit tests, the transport-hardening regressions (body
+# caps, payload checksums, idempotent completion, flap breaker, the
+# per-call deadline that unsticks black-holed workers), the spill-store
+# bounded-memory proof, and the chaos matrix — every seeded fault
+# schedule must stitch byte-identical artifacts to a single-process
+# run. The explicit -timeout leaves headroom over the injected delays
+# and black-hole windows on slow shared runners.
+test-netchaos:
+	$(GO) test -race -timeout 10m ./internal/netchaos/...
+	$(GO) test -race -timeout 10m -run 'NetChaos|Complete|FlapBreaker|CallDeadline|SpillStore|MemStore|DuplicateCompletion' ./internal/fabric/
+
 # Cold-climate thermal suite: the battery thermal network and heat-pump
 # unit tests, depot preconditioning, the calendar/cycle-stress aging
 # model, the co-scheduling MPC extension (structured-vs-dense
@@ -122,8 +134,9 @@ test-batch:
 	$(GO) test -race -run 'Batch|PlanUnits' ./internal/runner/...
 
 # Pre-merge gate: full build + vet + tests, fault, crash-safety,
-# distributed-fabric, cold-climate thermal, and batched-execution
-# suites, and short fuzz smokes of the QP solver and the journal parser.
-check: all test-faults test-resume test-fabric test-thermal test-batch
+# distributed-fabric, network-chaos, cold-climate thermal, and
+# batched-execution suites, and short fuzz smokes of the QP solver and
+# the journal parser.
+check: all test-faults test-resume test-fabric test-netchaos test-thermal test-batch
 	$(GO) test -fuzz='^FuzzSolve$$' -fuzztime=10s ./internal/qp/
 	$(GO) test -fuzz='^FuzzStageKKT$$' -fuzztime=10s ./internal/qp/

@@ -90,6 +90,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	join := fs.String("join", "", "join a fabric coordinator as a worker (e.g. http://host:7070)")
 	unitSize := fs.Int("unit", 0, "jobs per leased fabric work unit (0 = default)")
 	leaseTTL := fs.Duration("lease-ttl", 0, "fabric lease heartbeat deadline (0 = default)")
+	spillDir := fs.String("spill", "", "spill the coordinator's collected records to segments in this directory (bounds coordinator memory; needs -serve)")
+	callTimeout := fs.Duration("call-timeout", 0, "fabric worker per-request deadline (0 = derived from the lease TTL; needs -join)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -103,6 +105,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *serve != "" && *join != "" {
 		fmt.Fprintln(stderr, "evbench: -serve and -join are mutually exclusive")
+		return 2
+	}
+	if *spillDir != "" && *serve == "" {
+		fmt.Fprintln(stderr, "evbench: -spill needs -serve")
+		return 2
+	}
+	if *callTimeout != 0 && *join == "" {
+		fmt.Fprintln(stderr, "evbench: -call-timeout needs -join")
 		return 2
 	}
 
@@ -129,7 +139,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// artifacts (trace, metrics, manifest, journal) live with the
 	// coordinator, so the worker path skips the wiring below entirely.
 	if *join != "" {
-		return joinFabric(ctx, *join, cache, opts, stdout, stderr)
+		return joinFabric(ctx, *join, *callTimeout, cache, opts, stdout, stderr)
 	}
 
 	// Observability wiring: one registry and trace log shared by every
@@ -351,7 +361,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			name = "cold"
 		}
 		start := time.Now()
-		if err := serveFabric(ctx, name, *serve, *unitSize, *leaseTTL, cache, opts, stdout); err != nil && ctx.Err() == nil {
+		if err := serveFabric(ctx, name, *serve, *unitSize, *leaseTTL, *spillDir, cache, opts, stdout); err != nil && ctx.Err() == nil {
 			fmt.Fprintf(stderr, "evbench: %s: %v\n", name, err)
 			failures = append(failures, name)
 		} else if err == nil {
@@ -432,7 +442,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // observability and journal wiring, so -trace/-metrics/-manifest/
 // -journal/-resume mean the same thing they do single-process. Workers
 // rebuild the spec by name from the shared FabricSpecs registry.
-func serveFabric(ctx context.Context, name, addr string, unitSize int, leaseTTL time.Duration, cache *runner.Cache, opts experiments.Options, stdout io.Writer) error {
+func serveFabric(ctx context.Context, name, addr string, unitSize int, leaseTTL time.Duration, spillDir string, cache *runner.Cache, opts experiments.Options, stdout io.Writer) error {
 	var params map[string]string
 	var render func(*runner.Sweep) (string, error)
 	switch name {
@@ -455,6 +465,10 @@ func serveFabric(ctx context.Context, name, addr string, unitSize int, leaseTTL 
 	if err != nil {
 		return err
 	}
+	var spill *fabric.SpillConfig
+	if spillDir != "" {
+		spill = &fabric.SpillConfig{Dir: spillDir}
+	}
 	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
 		Spec:       spec,
 		SpecName:   name,
@@ -462,6 +476,7 @@ func serveFabric(ctx context.Context, name, addr string, unitSize int, leaseTTL 
 		Label:      name,
 		UnitSize:   unitSize,
 		LeaseTTL:   leaseTTL,
+		Spill:      spill,
 		Journal:    opts.Journal,
 		Telemetry:  opts.Telemetry,
 		TraceLog:   opts.TraceLog,
@@ -502,14 +517,15 @@ func serveFabric(ctx context.Context, name, addr string, unitSize int, leaseTTL 
 
 // joinFabric runs the worker side of the fabric until the coordinator
 // reports the sweep done, returning an evbench exit code.
-func joinFabric(ctx context.Context, url string, cache *runner.Cache, opts experiments.Options, stdout, stderr io.Writer) int {
+func joinFabric(ctx context.Context, url string, callTimeout time.Duration, cache *runner.Cache, opts experiments.Options, stdout, stderr io.Writer) int {
 	w := fabric.NewWorker(fabric.WorkerConfig{
-		URL:        url,
-		Specs:      experiments.FabricSpecs(),
-		Workers:    opts.Workers,
-		JobTimeout: opts.JobTimeout,
-		Retry:      opts.Retry,
-		Cache:      cache,
+		URL:         url,
+		Specs:       experiments.FabricSpecs(),
+		Workers:     opts.Workers,
+		JobTimeout:  opts.JobTimeout,
+		Retry:       opts.Retry,
+		CallTimeout: callTimeout,
+		Cache:       cache,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, "evbench: worker: "+format+"\n", args...)
 		},

@@ -24,6 +24,17 @@ const (
 	// DefaultQuarantineAfter is the number of distinct workers a unit
 	// must fail on before it is quarantined.
 	DefaultQuarantineAfter = 3
+	// DefaultFlapLimit is how many expired leases one worker may
+	// accumulate before the flap breaker quarantines it.
+	DefaultFlapLimit = 8
+	// DefaultMaxCompleteBytes caps a /complete request body — large
+	// enough for a full-fidelity unit (records with traces and metric
+	// snapshots), small enough that a corrupt length or a hostile
+	// client cannot OOM the coordinator.
+	DefaultMaxCompleteBytes = 256 << 20
+	// maxControlBytes caps the small control-plane bodies (/lease,
+	// /heartbeat) — kilobytes of JSON at most.
+	maxControlBytes = 1 << 20
 	// leasePollWait is the wait hint handed to workers when no unit is
 	// leasable right now.
 	leasePollWait = 250 * time.Millisecond
@@ -46,6 +57,20 @@ type CoordinatorConfig struct {
 	// QuarantineAfter quarantines a unit once its lease has been lost on
 	// this many distinct workers (0 = DefaultQuarantineAfter).
 	QuarantineAfter int
+	// FlapLimit is the per-worker flap breaker: a worker whose leases
+	// expired mid-flight this many times is quarantined — refused
+	// further leases — instead of being allowed to keep churning units
+	// (0 = DefaultFlapLimit, negative = breaker off).
+	FlapLimit int
+	// MaxCompleteBytes caps a /complete request body; oversize bodies
+	// are rejected with a typed 413 workers treat as terminal
+	// (0 = DefaultMaxCompleteBytes).
+	MaxCompleteBytes int64
+	// Spill, when non-nil, stores completed records in rotating disk
+	// segments with only a compact index in memory, bounding
+	// coordinator RSS on cluster-scale sweeps. Stitching streams the
+	// records back in expansion order.
+	Spill *SpillConfig
 	// Reclaim paces re-leasing of an expired unit: attempt n waits
 	// Reclaim.Delay(unitSeed, n) — the exact backoff policy job retry
 	// uses, so the two paths cannot drift.
@@ -72,6 +97,15 @@ type CoordinatorConfig struct {
 	Cache *runner.Cache
 	// Git overrides the build stamp (tests pin it; "" = git describe).
 	Git string
+}
+
+// completionKey identifies one logical completion across duplicated
+// deliveries: the unit, the lease it ran under, and the worker-derived
+// request id.
+type completionKey struct {
+	unit  int
+	lease uint64
+	reqID uint64
 }
 
 // unit lease states.
@@ -112,8 +146,11 @@ type Coordinator struct {
 	mu       sync.Mutex
 	units    []*unit
 	byLease  map[uint64]*unit
-	records  map[int]*runner.JournalRecord
+	store    recordStore
 	workers  map[string]time.Time // worker id -> last seen
+	flaps    map[string]int       // worker id -> mid-flight lease losses
+	benched  map[string]bool      // workers the flap breaker quarantined
+	seen     map[completionKey]*CompleteReply
 	leaseSeq uint64
 	done     chan struct{}
 	resumed  int // jobs replayed from the journal at open
@@ -123,6 +160,7 @@ type Coordinator struct {
 	// fabric_* instruments (excluded from deterministic snapshots).
 	cGranted, cExpired, cReclaimed, cQuarantined *telemetry.Counter
 	cRecords, cDuplicates                        *telemetry.Counter
+	cCorrupt, cReplayed, cWorkersQuarantined     *telemetry.Counter
 	gWorkersLive, gUnitsDone, gJobsDone          *telemetry.Gauge
 
 	srv *http.Server
@@ -145,9 +183,21 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.QuarantineAfter <= 0 {
 		cfg.QuarantineAfter = DefaultQuarantineAfter
 	}
+	if cfg.FlapLimit == 0 {
+		cfg.FlapLimit = DefaultFlapLimit
+	}
+	if cfg.MaxCompleteBytes <= 0 {
+		cfg.MaxCompleteBytes = DefaultMaxCompleteBytes
+	}
 	jobs, err := runner.Expand(cfg.Spec)
 	if err != nil {
 		return nil, err
+	}
+	var store recordStore = newMemStore()
+	if cfg.Spill != nil {
+		if store, err = newSpillStore(*cfg.Spill); err != nil {
+			return nil, err
+		}
 	}
 	c := &Coordinator{
 		cfg:      cfg,
@@ -156,8 +206,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		fp:       telemetry.FormatFingerprint(runner.SweepFingerprint(jobs)),
 		git:      cfg.Git,
 		byLease:  make(map[uint64]*unit),
-		records:  make(map[int]*runner.JournalRecord),
+		store:    store,
 		workers:  make(map[string]time.Time),
+		flaps:    make(map[string]int),
+		benched:  make(map[string]bool),
+		seen:     make(map[completionKey]*CompleteReply),
 		done:     make(chan struct{}),
 		reapStop: make(chan struct{}),
 	}
@@ -197,7 +250,10 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 				return nil, fmt.Errorf("%w: journal record for job %d has fingerprint %s, this expansion has %s",
 					runner.ErrJournalMismatch, i, rec.Fingerprint, c.fps[i])
 			}
-			c.records[i] = rec
+			if err := c.store.Put(i, rec); err != nil {
+				jnl.Close()
+				return nil, err
+			}
 			c.resumed++
 			c.publishCache(&jobs[i], rec)
 		}
@@ -234,6 +290,9 @@ func (c *Coordinator) resolveCounters() {
 	c.cQuarantined = reg.Counter("fabric_units_quarantined_total")
 	c.cRecords = reg.Counter("fabric_records_total")
 	c.cDuplicates = reg.Counter("fabric_records_duplicate_total")
+	c.cCorrupt = reg.Counter("fabric_complete_corrupt_total")
+	c.cReplayed = reg.Counter("fabric_complete_replayed_total")
+	c.cWorkersQuarantined = reg.Counter("fabric_workers_quarantined_total")
 	c.gWorkersLive = reg.Gauge("fabric_workers_live")
 	c.gUnitsDone = reg.Gauge("fabric_units_done")
 	c.gJobsDone = reg.Gauge("fabric_jobs_completed")
@@ -243,7 +302,7 @@ func (c *Coordinator) resolveCounters() {
 // (caller holds mu, or is still constructing).
 func (c *Coordinator) unitComplete(u *unit) bool {
 	for _, i := range u.jobs {
-		if c.records[i] == nil {
+		if !c.store.Has(i) {
 			return false
 		}
 	}
@@ -272,7 +331,7 @@ func (c *Coordinator) refreshGauges() {
 		}
 	}
 	c.gUnitsDone.Set(float64(doneUnits))
-	c.gJobsDone.Set(float64(len(c.records)))
+	c.gJobsDone.Set(float64(c.store.Len()))
 	live := 0
 	cut := time.Now().Add(-2 * c.cfg.LeaseTTL)
 	for _, seen := range c.workers {
@@ -311,6 +370,17 @@ func (c *Coordinator) reap(now time.Time) {
 		u.failedOn[u.worker] = true
 		c.cExpired.Inc()
 		c.journalLease("expire", u)
+		// Flap breaker: a worker that keeps losing leases mid-flight (a
+		// flapping link, a host that wedges under load) is benched rather
+		// than allowed to keep churning units toward unit quarantine.
+		if c.cfg.FlapLimit > 0 && !c.benched[u.worker] {
+			c.flaps[u.worker]++
+			if c.flaps[u.worker] >= c.cfg.FlapLimit {
+				c.benched[u.worker] = true
+				c.cWorkersQuarantined.Inc()
+				delete(c.workers, u.worker)
+			}
+		}
 		if len(u.failedOn) >= c.cfg.QuarantineAfter {
 			u.state = unitQuarantined
 			c.cQuarantined.Inc()
@@ -351,7 +421,18 @@ func (c *Coordinator) Serve(addr string) error {
 	}
 	c.ln = ln
 	c.Addr = ln.Addr().String()
-	c.srv = &http.Server{Handler: mux}
+	// Server-side deadlines derived from the lease TTL: a peer that
+	// stalls mid-request (black-holed link, wedged client) is cut loose
+	// well before its lease machinery would notice, so coordinator
+	// connections cannot accumulate behind dead transports.
+	ttl := c.cfg.LeaseTTL
+	c.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: ttl,
+		ReadTimeout:       3 * ttl,
+		WriteTimeout:      3 * ttl,
+		IdleTimeout:       6 * ttl,
+	}
 	go c.srv.Serve(ln)
 	go c.reapLoop()
 	return nil
@@ -401,6 +482,11 @@ func (c *Coordinator) Close() error {
 		errs = append(errs, c.jnl.Close())
 		c.jnl = nil
 	}
+	if c.store != nil {
+		// The store stays set (Snapshot after Close must not panic);
+		// spill Close is idempotent and releases the segments.
+		errs = append(errs, c.store.Close())
+	}
 	return errors.Join(errs...)
 }
 
@@ -439,15 +525,12 @@ func (c *Coordinator) Snapshot() Progress {
 
 func (c *Coordinator) progressLocked() Progress {
 	p := Progress{
-		SweepFingerprint: c.fp,
-		Jobs:             len(c.jobs),
-		Units:            len(c.units),
-		Completed:        len(c.records),
-	}
-	for _, rec := range c.records {
-		if rec.Err != "" {
-			p.Failed++
-		}
+		SweepFingerprint:   c.fp,
+		Jobs:               len(c.jobs),
+		Units:              len(c.units),
+		Completed:          c.store.Len(),
+		Failed:             c.store.Failed(),
+		WorkersQuarantined: len(c.benched),
 	}
 	for _, u := range c.units {
 		switch u.state {
@@ -473,25 +556,35 @@ func (c *Coordinator) progressLocked() Progress {
 	return p
 }
 
-// Stitch folds the collected records into a Sweep, in expansion order:
-// results rebuilt via the journal replay path, metric snapshots merged
-// into the registry, step spans appended to the trace log, and the run
-// recorded in the manifest — byte-identical artifacts to a
-// single-process run of the same spec, whatever topology executed it.
-// Jobs of quarantined units carry ErrUnitQuarantined.
-func (c *Coordinator) Stitch() (*runner.Sweep, error) {
+// StitchEach streams the stitched results in expansion order, one
+// record at a time: each job's record is loaded from the store (a
+// spill-backed store reads exactly one record into memory per call),
+// rebuilt via the journal replay path, its metric snapshot merged into
+// the registry, its step spans appended to the trace log, and the
+// resulting JobResult handed to fn; the run is recorded in the manifest
+// at the end. Artifacts are byte-identical to a single-process run of
+// the same spec, whatever topology executed it. Jobs of quarantined
+// units carry ErrUnitQuarantined. fn must not retain the JobResult
+// pointer across calls.
+func (c *Coordinator) StitchEach(fn func(*runner.JobResult) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]runner.JobResult, len(c.jobs))
 	for i := range c.jobs {
-		rec := c.records[i]
+		rec, err := c.store.Get(i)
+		if err != nil {
+			return err
+		}
+		var jr runner.JobResult
 		switch {
 		case rec == nil:
-			out[i] = runner.JobResult{Job: c.jobs[i],
+			jr = runner.JobResult{Job: c.jobs[i],
 				Err: fmt.Errorf("job %d: %w", i, ErrUnitQuarantined)}
+			if err := fn(&jr); err != nil {
+				return err
+			}
 			continue
 		case rec.Err != "":
-			out[i] = runner.JobResult{
+			jr = runner.JobResult{
 				Job:      c.jobs[i],
 				Err:      errors.New(rec.Err),
 				Elapsed:  time.Duration(rec.ElapsedNs),
@@ -499,15 +592,13 @@ func (c *Coordinator) Stitch() (*runner.Sweep, error) {
 				Replayed: true,
 			}
 		default:
-			jr, err := runner.ReplayRecord(&c.jobs[i], rec)
-			if err != nil {
-				return nil, err
+			if jr, err = runner.ReplayRecord(&c.jobs[i], rec); err != nil {
+				return err
 			}
-			out[i] = jr
 		}
 		if c.cfg.Telemetry != nil {
 			if err := c.cfg.Telemetry.Merge(rec.Metrics); err != nil {
-				return nil, fmt.Errorf("fabric: stitch job %d: %w", i, err)
+				return fmt.Errorf("fabric: stitch job %d: %w", i, err)
 			}
 		}
 		if c.cfg.TraceLog != nil && len(rec.Spans) > 0 {
@@ -518,13 +609,31 @@ func (c *Coordinator) Stitch() (*runner.Sweep, error) {
 			}
 			c.cfg.TraceLog.Append(spans...)
 		}
+		if err := fn(&jr); err != nil {
+			return err
+		}
+	}
+	if c.cfg.Manifest != nil {
+		c.cfg.Manifest.AddRun(runner.ManifestRunInfo(c.cfg.Label, c.cfg.Spec.BaseSeed, c.jobs))
+	}
+	return nil
+}
+
+// Stitch folds the collected records into a Sweep via StitchEach —
+// convenient when the caller wants the whole result set in memory
+// anyway. Pipelines that only reduce over results should use StitchEach
+// directly and keep the coordinator's O(index) memory bound.
+func (c *Coordinator) Stitch() (*runner.Sweep, error) {
+	out := make([]runner.JobResult, 0, len(c.jobs))
+	if err := c.StitchEach(func(jr *runner.JobResult) error {
+		out = append(out, *jr)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	sw := &runner.Sweep{Spec: c.cfg.Spec, Jobs: out}
 	if c.cfg.Telemetry != nil {
 		sw.Metrics = c.cfg.Telemetry.Snapshot(nil)
-	}
-	if c.cfg.Manifest != nil {
-		c.cfg.Manifest.AddRun(runner.ManifestRunInfo(c.cfg.Label, c.cfg.Spec.BaseSeed, c.jobs))
 	}
 	return sw, nil
 }
@@ -560,10 +669,28 @@ func (c *Coordinator) handleSpec(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// decodeBody decodes a capped JSON request body into v, distinguishing
+// an over-cap body (ErrBodyTooLarge, 413, terminal for the worker) from
+// bytes that did not parse (ErrCorruptPayload, 422, retryable — the
+// next delivery may arrive intact). corrupt reports which rejection was
+// written when ok is false.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) (ok, corrupt bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "%v: limit %d bytes", ErrBodyTooLarge, tooBig.Limit)
+			return false, false
+		}
+		httpError(w, http.StatusUnprocessableEntity, "%v: %v", ErrCorruptPayload, err)
+		return false, true
+	}
+	return true, false
+}
+
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "fabric: bad lease request: %v", err)
+	if ok, _ := decodeBody(w, r, maxControlBytes, &req); !ok {
 		return
 	}
 	if req.SweepFingerprint != c.fp {
@@ -575,6 +702,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.benched[req.Worker] {
+		httpError(w, http.StatusForbidden, "%v: worker %s", ErrWorkerQuarantined, req.Worker)
+		return
+	}
 	c.workers[req.Worker] = now
 	c.reap(now)
 	select {
@@ -620,8 +751,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req HeartbeatRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "fabric: bad heartbeat: %v", err)
+	if ok, _ := decodeBody(w, r, maxControlBytes, &req); !ok {
 		return
 	}
 	now := time.Now()
@@ -639,14 +769,40 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req CompleteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "fabric: bad completion: %v", err)
+	if ok, corrupt := decodeBody(w, r, c.cfg.MaxCompleteBytes, &req); !ok {
+		if corrupt {
+			// A completion that does not even parse is in-transit
+			// corruption, same as a checksum mismatch.
+			c.cCorrupt.Inc()
+		}
 		return
 	}
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.workers[req.Worker] = now
+
+	// Idempotency: a torn response or a duplicated delivery makes the
+	// worker re-send the same logical completion (same RequestID). The
+	// first processing's reply is cached and replayed verbatim — the
+	// records were already accepted, so re-processing them would only
+	// inflate the duplicate counters.
+	key := completionKey{unit: req.Unit, lease: req.Lease, reqID: req.RequestID}
+	if req.RequestID != 0 {
+		if cached, ok := c.seen[key]; ok {
+			rep := *cached
+			rep.Replayed = true
+			select {
+			case <-c.done:
+				rep.Done = true
+				delete(c.workers, req.Worker)
+			default:
+			}
+			c.cReplayed.Inc()
+			writeJSON(w, rep)
+			return
+		}
+	}
 
 	// Validate everything before accepting anything: a fingerprint
 	// mismatch means a drifted binary, and none of its results can be
@@ -663,16 +819,45 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Payload checksums: recompute each record's FNV sum from what was
+	// decoded and compare against what the worker computed before the
+	// bytes hit the wire. A mismatch is in-transit corruption — reject
+	// the whole completion as retryable; an intact re-send will land.
+	if len(req.Sums) > 0 {
+		if len(req.Sums) != len(req.Records) {
+			c.cCorrupt.Inc()
+			httpError(w, http.StatusUnprocessableEntity,
+				"%v: %d checksums for %d records", ErrCorruptPayload, len(req.Sums), len(req.Records))
+			return
+		}
+		for k, rec := range req.Records {
+			sum, err := runner.ChecksumRecord(rec)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "fabric: checksum record %d: %v", k, err)
+				return
+			}
+			if sum != req.Sums[k] {
+				c.cCorrupt.Inc()
+				httpError(w, http.StatusUnprocessableEntity,
+					"%v: record %d (job %d) sums %s on the wire, %s as sent",
+					ErrCorruptPayload, k, rec.Index, sum, req.Sums[k])
+				return
+			}
+		}
+	}
 	rep := CompleteReply{}
 	for _, rec := range req.Records {
-		if c.records[rec.Index] != nil {
+		if c.store.Has(rec.Index) {
 			// A reassigned unit finishing twice: first completion wins,
 			// so stitching stays deterministic.
 			rep.Duplicates++
 			c.cDuplicates.Inc()
 			continue
 		}
-		c.records[rec.Index] = rec
+		if err := c.store.Put(rec.Index, rec); err != nil {
+			httpError(w, http.StatusInternalServerError, "fabric: store record: %v", err)
+			return
+		}
 		rep.Accepted++
 		c.cRecords.Inc()
 		c.publishCache(&c.jobs[rec.Index], rec)
@@ -680,7 +865,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			if err := c.jnl.Append(rec); err != nil {
 				// Journal failure is fatal for crash-safety claims; back
 				// the record out so a retry can land it.
-				delete(c.records, rec.Index)
+				c.store.Delete(rec.Index)
 				httpError(w, http.StatusInternalServerError, "fabric: journal append: %v", err)
 				return
 			}
@@ -713,6 +898,12 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	c.refreshGauges()
 	c.checkDone()
+	if req.RequestID != 0 {
+		// Cache the outcome (Done is recomputed per delivery) so a
+		// duplicated or retried delivery replays instead of re-counting.
+		cached := rep
+		c.seen[key] = &cached
+	}
 	select {
 	case <-c.done:
 		rep.Done = true

@@ -53,6 +53,23 @@ var ErrSpecMismatch = errors.New("fabric: worker spec does not match coordinator
 // could finish.
 var ErrUnitQuarantined = errors.New("fabric: unit quarantined (lease lost on too many distinct workers)")
 
+// ErrCorruptPayload reports a completion whose record bytes failed the
+// FNV payload checksum (or did not parse at all) — in-transit
+// corruption. The rejection is retryable: the worker re-marshals and
+// re-sends, and an intact delivery is accepted.
+var ErrCorruptPayload = errors.New("fabric: completion payload corrupt in transit")
+
+// ErrBodyTooLarge reports a request body over the coordinator's cap.
+// Unlike corruption it is terminal for the worker: the same body would
+// be rejected again, so retrying cannot help.
+var ErrBodyTooLarge = errors.New("fabric: request body exceeds coordinator cap")
+
+// ErrWorkerQuarantined reports a worker the flap breaker has benched:
+// its leases died mid-flight too many times (a flapping link or a
+// wedged host), so the coordinator stops granting it work rather than
+// let it keep churning units toward unit quarantine.
+var ErrWorkerQuarantined = errors.New("fabric: worker quarantined (leases repeatedly lost mid-flight)")
+
 // SpecBuilder constructs a sweep spec from wire parameters. Builders
 // must be pure: the same params always produce a spec that expands to
 // the same jobs, or coordinator and worker cannot agree on the work.
@@ -169,9 +186,20 @@ type CompleteRequest struct {
 	Worker string `json:"worker"`
 	Lease  uint64 `json:"lease"`
 	Unit   int    `json:"unit"`
+	// RequestID identifies this logical completion across deliveries:
+	// the worker derives it deterministically from (worker, lease,
+	// unit), so a duplicated or retried delivery carries the same id
+	// and the coordinator replays its original reply instead of
+	// re-processing the records.
+	RequestID uint64 `json:"request_id,omitempty"`
 	// Records are the unit's journal-form job records, exactly what the
 	// runner's journal mode would have appended locally.
 	Records []*runner.JournalRecord `json:"records"`
+	// Sums are FNV-1a checksums over each record's canonical JSON
+	// (runner.ChecksumRecord), index-aligned with Records. The
+	// coordinator recomputes them from what it decoded; a mismatch is
+	// in-transit corruption and the whole completion is rejected.
+	Sums []string `json:"sums,omitempty"`
 }
 
 // CompleteReply reports how many records were accepted; duplicates (a
@@ -180,6 +208,9 @@ type CompleteReply struct {
 	Accepted   int  `json:"accepted"`
 	Duplicates int  `json:"duplicates"`
 	Done       bool `json:"done,omitempty"`
+	// Replayed marks a reply served from the idempotency cache: the
+	// same RequestID already landed, so this delivery changed nothing.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // Progress is /snapshot's response: the coordinator's live state.
@@ -193,7 +224,9 @@ type Progress struct {
 	UnitsLeased      int    `json:"units_leased"`
 	UnitsQuarantined int    `json:"units_quarantined"`
 	WorkersLive      int    `json:"workers_live"`
-	Done             bool   `json:"done"`
+	// WorkersQuarantined counts workers the flap breaker has benched.
+	WorkersQuarantined int  `json:"workers_quarantined,omitempty"`
+	Done               bool `json:"done"`
 }
 
 // shardUnits shards job indexes into units by FNV scenario fingerprint:

@@ -1,0 +1,158 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"evclimate/internal/runner"
+	"evclimate/internal/sim"
+	"evclimate/internal/telemetry"
+)
+
+// synthRecord builds a record fat enough (~1 KiB of metrics) that the
+// spill store's disk-vs-index ratio is measurable.
+func synthRecord(i int, fail bool) *runner.JournalRecord {
+	rec := &runner.JournalRecord{
+		Kind:        "job",
+		Index:       i,
+		Fingerprint: telemetry.FormatFingerprint(uint64(i) * 0x9E3779B9),
+		Seed:        int64(i),
+		Attempts:    1,
+		ElapsedNs:   int64(i) * 1000,
+	}
+	if fail {
+		rec.Err = fmt.Sprintf("synthetic failure %d", i)
+		return rec
+	}
+	rec.Result = &sim.Result{AvgHVACW: float64(i) * 1.25, DeltaSoH: float64(i) * 1e-6}
+	for k := 0; k < 24; k++ {
+		rec.Metrics = append(rec.Metrics, telemetry.Metric{
+			Name: fmt.Sprintf("synthetic_series_%02d_total", k), Kind: "counter", Value: float64(i*100 + k),
+		})
+	}
+	return rec
+}
+
+// storeOps exercises the recordStore contract shared by both
+// implementations: round-trip fidelity, overwrite, delete, and
+// failure accounting.
+func storeOps(t *testing.T, s recordStore) {
+	t.Helper()
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := s.Put(i, synthRecord(i, i%8 == 3)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if got := s.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	if got := s.Failed(); got != n/8 {
+		t.Fatalf("Failed = %d, want %d", got, n/8)
+	}
+	// Byte-identical round trip for every record.
+	for i := 0; i < n; i++ {
+		got, err := s.Get(i)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		want, _ := json.Marshal(synthRecord(i, i%8 == 3))
+		have, _ := json.Marshal(got)
+		if string(want) != string(have) {
+			t.Fatalf("record %d round trip:\n got %s\nwant %s", i, have, want)
+		}
+	}
+	if s.Has(n) {
+		t.Fatal("Has reports a record that was never put")
+	}
+	if rec, err := s.Get(n); err != nil || rec != nil {
+		t.Fatalf("Get(absent) = %v, %v, want nil, nil", rec, err)
+	}
+	// Overwriting a failed record with a success drops the failure tally.
+	if err := s.Put(3, synthRecord(3, false)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Failed(); got != n/8-1 {
+		t.Fatalf("Failed after overwrite = %d, want %d", got, n/8-1)
+	}
+	// Delete forgets the record and its failure flag.
+	s.Put(11, synthRecord(11, true))
+	before := s.Failed()
+	s.Delete(11)
+	if s.Has(11) {
+		t.Fatal("deleted record still present")
+	}
+	if got := s.Failed(); got != before-1 {
+		t.Fatalf("Failed after delete = %d, want %d", got, before-1)
+	}
+}
+
+func TestMemStoreOps(t *testing.T) {
+	s := newMemStore()
+	defer s.Close()
+	storeOps(t, s)
+}
+
+func TestSpillStoreOps(t *testing.T) {
+	s, err := newSpillStore(SpillConfig{Dir: filepath.Join(t.TempDir(), "spill"), SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	storeOps(t, s)
+	if n, _ := s.Segments(); n < 2 {
+		t.Errorf("SegmentBytes=4KiB held %d segments, want rotation", n)
+	}
+}
+
+// TestSpillStoreBoundedMemory is the O(index) claim: the store streams
+// through far more record bytes than its in-memory index holds. With
+// ~1 KiB records and ~32-byte index entries the ratio clears 10x with
+// a wide margin — the acceptance bar for the disk-spilling coordinator.
+func TestSpillStoreBoundedMemory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill")
+	s, err := newSpillStore(SpillConfig{Dir: dir, SegmentBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 512
+	for i := 0; i < n; i++ {
+		if err := s.Put(i, synthRecord(i, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, diskBytes := s.Segments()
+	// The index is the only per-record memory: ~32 bytes of locator per
+	// entry (plus map overhead, counted generously at 4x).
+	indexBytes := int64(s.Len()) * 32 * 4
+	if diskBytes < 10*indexBytes {
+		t.Fatalf("spilled %d bytes across %d segments vs ~%d index bytes; want >= 10x index",
+			diskBytes, segs, indexBytes)
+	}
+	// Random access after heavy spilling still round-trips.
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		rec, err := s.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec == nil || rec.Index != i {
+			t.Fatalf("Get(%d) = %+v", i, rec)
+		}
+	}
+	// Close removes the scratch segments.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "spill-*.seg"))
+	if len(left) != 0 {
+		t.Errorf("Close left segments behind: %v", left)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Errorf("second Close: %v", err)
+	}
+	_ = os.Remove(dir)
+}

@@ -3,9 +3,11 @@ package fabric
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"os"
@@ -20,6 +22,10 @@ import (
 // defaultConnectAttempts bounds how often one protocol call is retried
 // before the worker gives up on the coordinator.
 const defaultConnectAttempts = 8
+
+// defaultCallTimeout bounds protocol calls made before the lease TTL is
+// known (the /spec fetch at join).
+const defaultCallTimeout = 30 * time.Second
 
 // WorkerConfig configures one joining worker.
 type WorkerConfig struct {
@@ -41,6 +47,15 @@ type WorkerConfig struct {
 	// coordinator restart instead of dying with it.
 	Connect         runner.RetryPolicy
 	ConnectAttempts int
+	// CallTimeout bounds each protocol request end to end. Without it, a
+	// black-holed connection (a dead switch, a partitioned coordinator)
+	// would stall the worker forever — TCP alone can take minutes to
+	// notice. 0 derives the deadline from the lease TTL after join
+	// (2x TTL, at least 2s) and uses defaultCallTimeout before it.
+	CallTimeout time.Duration
+	// Transport overrides the HTTP transport (nil = default). Chaos
+	// tests inject netchaos.Transport here.
+	Transport http.RoundTripper
 	// Cache, when non-nil, is primed from the coordinator's /cache
 	// endpoint at join, so already-collected results are never
 	// re-simulated here.
@@ -80,7 +95,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if git == "" {
 		git = telemetry.GitDescribe("")
 	}
-	w := &Worker{cfg: cfg, id: id, git: git, client: &http.Client{}}
+	w := &Worker{cfg: cfg, id: id, git: git, client: &http.Client{Transport: cfg.Transport}}
 	for _, b := range []byte(id) {
 		w.seed = w.seed*131 + int64(b)
 	}
@@ -97,11 +112,34 @@ func (w *Worker) logf(format string, args ...any) {
 	}
 }
 
-// terminalError marks protocol rejections (4xx) that retrying cannot
-// fix: mismatched builds, unknown specs, malformed requests.
-type terminalError struct{ msg string }
+// terminalError marks protocol rejections that retrying cannot fix:
+// mismatched builds, unknown specs, malformed requests, over-cap
+// bodies. err, when set, is the typed cause (errors.Is-able).
+type terminalError struct {
+	msg string
+	err error
+}
 
 func (e *terminalError) Error() string { return e.msg }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// callTimeout is the per-request deadline: configured, or derived from
+// the joined sweep's lease TTL (2x, floored at 2s), or the pre-join
+// default. It bounds every protocol call so a black-holed peer costs
+// one deadline, not a wedged worker.
+func (w *Worker) callTimeout() time.Duration {
+	if w.cfg.CallTimeout > 0 {
+		return w.cfg.CallTimeout
+	}
+	if ttl := time.Duration(w.desc.LeaseTTLMs) * time.Millisecond; ttl > 0 {
+		d := 2 * ttl
+		if d < 2*time.Second {
+			d = 2 * time.Second
+		}
+		return d
+	}
+	return defaultCallTimeout
+}
 
 // call POSTs (or GETs, when req is nil) one protocol endpoint with
 // bounded, seeded-jitter backoff on connection failures and 5xx — the
@@ -131,6 +169,8 @@ func (w *Worker) call(ctx context.Context, path string, req, rep any) error {
 }
 
 func (w *Worker) callOnce(ctx context.Context, path string, req, rep any) error {
+	cctx, cancel := context.WithTimeout(ctx, w.callTimeout())
+	defer cancel()
 	var body io.Reader
 	method := http.MethodGet
 	if req != nil {
@@ -141,7 +181,7 @@ func (w *Worker) callOnce(ctx context.Context, path string, req, rep any) error 
 		body = bytes.NewReader(data)
 		method = http.MethodPost
 	}
-	hr, err := http.NewRequestWithContext(ctx, method, w.cfg.URL+path, body)
+	hr, err := http.NewRequestWithContext(cctx, method, w.cfg.URL+path, body)
 	if err != nil {
 		return err
 	}
@@ -161,7 +201,18 @@ func (w *Worker) callOnce(ctx context.Context, path string, req, rep any) error 
 		if e.Error == "" {
 			e.Error = resp.Status
 		}
-		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+		switch {
+		case resp.StatusCode == http.StatusUnprocessableEntity:
+			// Corrupt-in-transit: retryable — the next delivery of the
+			// same bytes may arrive intact.
+			return fmt.Errorf("%w: %s", ErrCorruptPayload, e.Error)
+		case resp.StatusCode == http.StatusRequestEntityTooLarge:
+			// Over the coordinator's cap: the same body would be rejected
+			// again, so retrying cannot help.
+			return &terminalError{msg: e.Error, err: ErrBodyTooLarge}
+		case resp.StatusCode == http.StatusForbidden:
+			return &terminalError{msg: e.Error, err: ErrWorkerQuarantined}
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
 			return &terminalError{msg: e.Error}
 		}
 		return errors.New(e.Error)
@@ -367,7 +418,25 @@ func (w *Worker) runUnit(ctx context.Context, lease *LeaseReply) (int, bool, err
 		}
 		return 0, false, runErr
 	}
-	req := &CompleteRequest{Worker: w.id, Lease: lease.Lease, Unit: lease.Unit, Records: records}
+	// Checksum each record before it hits the wire, and stamp the
+	// delivery with a deterministic request id so retried or duplicated
+	// deliveries of this completion are recognized and replayed.
+	sums := make([]string, len(records))
+	for k, rec := range records {
+		sum, err := runner.ChecksumRecord(rec)
+		if err != nil {
+			return 0, false, fmt.Errorf("fabric: checksum record %d: %w", k, err)
+		}
+		sums[k] = sum
+	}
+	req := &CompleteRequest{
+		Worker:    w.id,
+		Lease:     lease.Lease,
+		Unit:      lease.Unit,
+		RequestID: completionRequestID(w.id, lease.Lease, lease.Unit),
+		Records:   records,
+		Sums:      sums,
+	}
 	var rep CompleteReply
 	// Completion for a lost lease is best-effort: the records are valid
 	// (fingerprint-checked) even if the unit was reassigned, and the
@@ -382,4 +451,22 @@ func (w *Worker) runUnit(ctx context.Context, lease *LeaseReply) (int, bool, err
 	w.logf("fabric worker %s: unit %d complete (%d accepted, %d duplicate)",
 		w.id, lease.Unit, rep.Accepted, rep.Duplicates)
 	return rep.Accepted, rep.Done, runErr
+}
+
+// completionRequestID derives the idempotency key for one logical
+// completion. It hashes (worker, lease, unit) — stable across network
+// retries of the same delivery, distinct across re-leases (a new lease
+// id is a genuinely new completion the coordinator must process).
+func completionRequestID(worker string, lease uint64, unit int) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, worker)
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], lease)
+	binary.LittleEndian.PutUint64(b[8:], uint64(unit))
+	h.Write(b[:])
+	id := h.Sum64()
+	if id == 0 {
+		id = 1 // 0 means "no id" on the wire
+	}
+	return id
 }

@@ -1,0 +1,357 @@
+// Package netchaos injects deterministic, seeded network faults into
+// HTTP traffic, so the distributed fabric's tolerance of real network
+// pathologies — latency spikes, connection resets, partitions, torn or
+// corrupted bodies, duplicated deliveries — can be tested exactly and
+// replayed exactly.
+//
+// The package mirrors internal/faults' seeding discipline: every fault
+// decision is a pure function of the schedule seed, the rule's index,
+// and a per-path call counter (splitmix64 finalizer). No shared RNG
+// state exists, so two transports built from the same Schedule fire the
+// same faults at the same calls, and a chaos run replays bit-identically
+// — as long as calls to any one path are issued sequentially, which is
+// how a fabric worker drives its coordinator (the lease loop, the
+// heartbeat ticker, and completion are each sequential streams).
+//
+// Two injection points are provided:
+//
+//   - Transport, an http.RoundTripper wrapper, faults individual
+//     protocol calls on the client side: delay them, reset them, hold
+//     them black-holed until their context deadline, tear or corrupt
+//     their bodies, or deliver them twice.
+//   - Proxy, a TCP listener proxy, faults whole connections between a
+//     client and a server it fronts: added latency, mid-stream resets,
+//     and black-holed accepts — the server-side pathologies a
+//     RoundTripper cannot express.
+package netchaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Fault is one class of injected network pathology.
+type Fault int
+
+const (
+	// Latency delays the call before forwarding it.
+	Latency Fault = iota
+	// Reset fails the call with a connection-reset error without
+	// delivering it.
+	Reset
+	// BlackHole holds the call until its context expires — a partition
+	// or a silently dropped TCP flow. Callers without a deadline hang
+	// forever, which is exactly the bug class this fault exists to
+	// expose.
+	BlackHole
+	// TornBody delivers the request but truncates the response body
+	// mid-stream — the server processed the call, the client never
+	// learns the outcome.
+	TornBody
+	// CorruptRequest flips one byte of the outgoing request body — an
+	// in-transit corruption the receiver must detect and reject.
+	CorruptRequest
+	// Duplicate delivers the request twice, back to back — a retried
+	// send whose first copy was not actually lost.
+	Duplicate
+)
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	switch f {
+	case Latency:
+		return "latency"
+	case Reset:
+		return "reset"
+	case BlackHole:
+		return "black-hole"
+	case TornBody:
+		return "torn-body"
+	case CorruptRequest:
+		return "corrupt-request"
+	case Duplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// Rule schedules one fault class onto matching calls.
+type Rule struct {
+	// Fault is the pathology to inject.
+	Fault Fault
+	// Path restricts the rule to one URL path ("" = every path).
+	Path string
+	// Rate is the per-call firing probability in [0, 1]; values ≥ 1
+	// fire on every matching call.
+	Rate float64
+	// From and To bound the rule to a half-open per-path call-index
+	// window [From, To); both zero means always active. Indexes count
+	// matching calls through one Transport, starting at 0.
+	From, To int
+	// Delay is Latency's injected delay (0 = 100 ms).
+	Delay time.Duration
+	// KeepBytes is how much of the response body TornBody delivers
+	// before tearing (0 = half of what the server sent).
+	KeepBytes int
+}
+
+// active reports whether the rule covers per-path call index n.
+func (r *Rule) active(path string, n uint64) bool {
+	if r.Path != "" && r.Path != path {
+		return false
+	}
+	if r.From == 0 && r.To == 0 {
+		return true
+	}
+	return n >= uint64(r.From) && n < uint64(r.To)
+}
+
+// Schedule is a seeded set of fault rules. The zero Schedule injects
+// nothing.
+type Schedule struct {
+	// Seed drives every fault decision; equal seeds replay equal runs.
+	Seed int64
+	// Rules are evaluated in order; the first firing rule wins, so one
+	// call suffers at most one fault.
+	Rules []Rule
+}
+
+// splitmix64 is the SplitMix64 finalizer — the same mixer the sweep
+// engine and the fault-injection layer use for per-draw seeds.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// ruleSalt decorrelates rules sharing a seed ("chaos" + golden ratio).
+func ruleSalt(rule int) uint64 { return 0xC4A05 + uint64(rule)*0x9E3779B9 }
+
+// draw returns the deterministic uint64 for (seed, rule, call).
+func draw(seed int64, rule int, call uint64) uint64 {
+	return splitmix64(splitmix64(uint64(seed)^ruleSalt(rule)) + 0x632BE59BD9B4E019*(call+1))
+}
+
+// uniform maps a draw onto [0, 1).
+func uniform(u uint64) float64 { return float64(u>>11) / (1 << 53) }
+
+// Transport is a fault-injecting http.RoundTripper. It wraps a base
+// transport and applies the schedule's first firing rule to each call.
+// Safe for concurrent use; determinism holds per path as long as calls
+// to that path are sequential.
+type Transport struct {
+	base  http.RoundTripper
+	sched Schedule
+
+	mu       sync.Mutex
+	calls    map[string]uint64 // per-path call counter
+	injected map[Fault]int     // per-fault injection tally
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with the
+// schedule's faults.
+func NewTransport(sched Schedule, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		base:     base,
+		sched:    sched,
+		calls:    make(map[string]uint64),
+		injected: make(map[Fault]int),
+	}
+}
+
+// Injected returns how often each fault class fired so far — test
+// assertions that the scenario actually exercised its pathology.
+func (t *Transport) Injected() map[Fault]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[Fault]int, len(t.injected))
+	for f, n := range t.injected {
+		out[f] = n
+	}
+	return out
+}
+
+// errReset is the injected connection-reset failure. net/http retries
+// nothing on POST, so the caller's own retry policy is what's under
+// test.
+func errReset() error {
+	return &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+}
+
+// decide picks the fault (if any) for this call and advances the path
+// counter. The winning rule and its draw are returned for
+// parameterizing the fault deterministically.
+func (t *Transport) decide(path string) (rule *Rule, rdraw uint64, fire bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.calls[path]
+	t.calls[path] = n + 1
+	for i := range t.sched.Rules {
+		r := &t.sched.Rules[i]
+		if !r.active(path, n) {
+			continue
+		}
+		u := draw(t.sched.Seed, i, n)
+		if r.Rate < 1 && uniform(u) >= r.Rate {
+			continue
+		}
+		t.injected[r.Fault]++
+		return r, u, true
+	}
+	return nil, 0, false
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rule, u, fire := t.decide(req.URL.Path)
+	if !fire {
+		return t.base.RoundTrip(req)
+	}
+	switch rule.Fault {
+	case Latency:
+		d := rule.Delay
+		if d <= 0 {
+			d = 100 * time.Millisecond
+		}
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.base.RoundTrip(req)
+
+	case Reset:
+		closeBody(req)
+		return nil, errReset()
+
+	case BlackHole:
+		closeBody(req)
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+
+	case TornBody:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &tornBody{inner: resp.Body, keep: rule.KeepBytes}
+		resp.ContentLength = -1
+		return resp, nil
+
+	case CorruptRequest:
+		if err := corruptRequest(req, u); err != nil {
+			return nil, err
+		}
+		return t.base.RoundTrip(req)
+
+	case Duplicate:
+		// First delivery: a cloned request whose response is drained and
+		// dropped — the sender never sees it, exactly like a retry whose
+		// original was not actually lost.
+		if dup, err := cloneRequest(req); err == nil {
+			if resp, err := t.base.RoundTrip(dup); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return t.base.RoundTrip(req)
+
+	default:
+		return t.base.RoundTrip(req)
+	}
+}
+
+// closeBody releases a request body that will never be sent.
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// cloneRequest copies a request with a replayable body (GetBody is set
+// by http.NewRequest for the buffer types the fabric sends).
+func cloneRequest(req *http.Request) (*http.Request, error) {
+	dup := req.Clone(req.Context())
+	if req.Body == nil || req.GetBody == nil {
+		return dup, nil
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, err
+	}
+	dup.Body = body
+	return dup, nil
+}
+
+// corruptRequest flips one deterministic byte of the request body.
+func corruptRequest(req *http.Request, u uint64) error {
+	if req.Body == nil {
+		return nil
+	}
+	data, err := io.ReadAll(req.Body)
+	req.Body.Close()
+	if err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		data[int(splitmix64(u)%uint64(len(data)))] ^= 0xFF
+	}
+	req.Body = io.NopCloser(bytes.NewReader(data))
+	req.ContentLength = int64(len(data))
+	req.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(data)), nil
+	}
+	return nil
+}
+
+// tornBody delivers keep bytes (0 = half of what arrives) and then
+// fails with io.ErrUnexpectedEOF, like a connection cut mid-response.
+type tornBody struct {
+	inner io.ReadCloser
+	keep  int
+	read  int
+	buf   []byte
+	eof   bool
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.buf == nil {
+		// Buffer the whole (small, protocol-sized) body so "half" is
+		// well-defined without a Content-Length.
+		data, err := io.ReadAll(b.inner)
+		if err != nil {
+			return 0, err
+		}
+		keep := b.keep
+		if keep <= 0 {
+			keep = len(data) / 2
+		}
+		if keep > len(data) {
+			keep = len(data)
+		}
+		b.buf = data[:keep]
+	}
+	if b.read >= len(b.buf) {
+		b.eof = true
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, b.buf[b.read:])
+	b.read += n
+	return n, nil
+}
+
+func (b *tornBody) Close() error { return b.inner.Close() }

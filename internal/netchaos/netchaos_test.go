@@ -1,0 +1,319 @@
+package netchaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// echoServer answers every POST with its own request body and every GET
+// with a fixed payload, so tests can see exactly what crossed the wire.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			data, _ := io.ReadAll(r.Body)
+			if len(data) > 0 {
+				w.Write(data)
+				return
+			}
+		}
+		w.Write([]byte("0123456789abcdef0123456789abcdef"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// post sends body through the transport and returns status, response
+// body, and error.
+func post(t *testing.T, tr *Transport, url, body string, timeout time.Duration) (int, string, error) {
+	t.Helper()
+	client := &http.Client{Transport: tr}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data), err
+}
+
+// TestScheduleDeterminism: the same seed fires the same faults at the
+// same call indexes; a different seed fires a different pattern.
+func TestScheduleDeterminism(t *testing.T) {
+	sched := func(seed int64) Schedule {
+		return Schedule{Seed: seed, Rules: []Rule{{Fault: Reset, Rate: 0.4}}}
+	}
+	pattern := func(seed int64) string {
+		tr := NewTransport(sched(seed), nil)
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if _, _, fire := tr.decide("/x"); fire {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	a, b := pattern(7), pattern(7)
+	if a != b {
+		t.Errorf("same seed, different fault pattern:\n%s\n%s", a, b)
+	}
+	if c := pattern(8); c == a {
+		t.Errorf("different seeds fired identically: %s", c)
+	}
+	if !strings.Contains(a, "1") || !strings.Contains(a, "0") {
+		t.Errorf("rate 0.4 pattern degenerate: %s", a)
+	}
+}
+
+// TestRuleWindowAndPath: rules gate on path and per-path call window.
+func TestRuleWindowAndPath(t *testing.T) {
+	tr := NewTransport(Schedule{Seed: 1, Rules: []Rule{
+		{Fault: Reset, Path: "/complete", Rate: 1, From: 2, To: 4},
+	}}, nil)
+	fires := func(path string) bool { _, _, f := tr.decide(path); return f }
+	for i, want := range []bool{false, false, true, true, false} {
+		if got := fires("/complete"); got != want {
+			t.Errorf("/complete call %d: fire=%v, want %v", i, got, want)
+		}
+	}
+	// Other paths keep their own counters and never match.
+	for i := 0; i < 5; i++ {
+		if fires("/lease") {
+			t.Errorf("/lease call %d fired a /complete-scoped rule", i)
+		}
+	}
+}
+
+// TestLatencyFault delays the call but delivers it intact.
+func TestLatencyFault(t *testing.T) {
+	srv := echoServer(t)
+	tr := NewTransport(Schedule{Seed: 3, Rules: []Rule{
+		{Fault: Latency, Rate: 1, Delay: 50 * time.Millisecond},
+	}}, nil)
+	start := time.Now()
+	status, body, err := post(t, tr, srv.URL+"/x", "hello", 0)
+	if err != nil || status != 200 || body != "hello" {
+		t.Fatalf("latency call: status=%d body=%q err=%v", status, body, err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("call took %v, want ≥ 50ms injected latency", d)
+	}
+	if n := tr.Injected()[Latency]; n != 1 {
+		t.Errorf("Injected[Latency] = %d, want 1", n)
+	}
+}
+
+// TestResetFault fails the call with a connection-reset error.
+func TestResetFault(t *testing.T) {
+	srv := echoServer(t)
+	tr := NewTransport(Schedule{Seed: 3, Rules: []Rule{{Fault: Reset, Rate: 1}}}, nil)
+	_, _, err := post(t, tr, srv.URL+"/x", "hello", 0)
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("reset call err = %v, want ECONNRESET", err)
+	}
+}
+
+// TestBlackHoleFault holds the call until the context deadline — the
+// caller's timeout is the only way out, which is the point.
+func TestBlackHoleFault(t *testing.T) {
+	srv := echoServer(t)
+	tr := NewTransport(Schedule{Seed: 3, Rules: []Rule{{Fault: BlackHole, Rate: 1}}}, nil)
+	start := time.Now()
+	_, _, err := post(t, tr, srv.URL+"/x", "hello", 80*time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("black-holed call err = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Errorf("black-holed call returned after %v, before the deadline", d)
+	}
+}
+
+// TestTornBodyFault truncates the response mid-read.
+func TestTornBodyFault(t *testing.T) {
+	srv := echoServer(t)
+	tr := NewTransport(Schedule{Seed: 3, Rules: []Rule{{Fault: TornBody, Rate: 1, KeepBytes: 4}}}, nil)
+	client := &http.Client{Transport: tr}
+	resp, err := client.Post(srv.URL+"/x", "text/plain", strings.NewReader("0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn body read err = %v (got %q), want unexpected EOF", err, data)
+	}
+	if string(data) != "0123" {
+		t.Errorf("torn body delivered %q, want the first 4 bytes", data)
+	}
+}
+
+// TestCorruptRequestFault flips exactly one byte of the request body,
+// deterministically per call index.
+func TestCorruptRequestFault(t *testing.T) {
+	srv := echoServer(t)
+	body := strings.Repeat("payload-", 8)
+	corrupted := func(seed int64) string {
+		tr := NewTransport(Schedule{Seed: seed, Rules: []Rule{{Fault: CorruptRequest, Rate: 1}}}, nil)
+		_, echoed, err := post(t, tr, srv.URL+"/x", body, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return echoed
+	}
+	got := corrupted(9)
+	if got == body {
+		t.Fatal("corrupt-request fault delivered the body unmodified")
+	}
+	diffs := 0
+	for i := range body {
+		if got[i] != body[i] {
+			diffs++
+		}
+	}
+	if diffs != 1 {
+		t.Errorf("corruption flipped %d bytes, want exactly 1", diffs)
+	}
+	if again := corrupted(9); again != got {
+		t.Errorf("same seed corrupted differently:\n%q\n%q", got, again)
+	}
+}
+
+// TestDuplicateFault delivers the request twice: the server sees two
+// copies, the client one response.
+func TestDuplicateFault(t *testing.T) {
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(data))
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	tr := NewTransport(Schedule{Seed: 3, Rules: []Rule{{Fault: Duplicate, Rate: 1}}}, nil)
+	status, body, err := post(t, tr, srv.URL+"/x", "once", 0)
+	if err != nil || status != 200 || body != "ok" {
+		t.Fatalf("duplicated call: status=%d body=%q err=%v", status, body, err)
+	}
+	if len(bodies) != 2 || bodies[0] != "once" || bodies[1] != "once" {
+		t.Fatalf("server saw %q, want two identical deliveries", bodies)
+	}
+}
+
+// TestProxyForwardsCleanly: a rate-0 proxy is a transparent TCP pipe.
+func TestProxyForwardsCleanly(t *testing.T) {
+	srv := echoServer(t)
+	p, err := NewProxy(ProxyConfig{Target: strings.TrimPrefix(srv.URL, "http://"), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	status, body, err := post(t, NewTransport(Schedule{}, nil), "http://"+p.Addr+"/x", "ping", 0)
+	if err != nil || status != 200 || body != "ping" {
+		t.Fatalf("proxied call: status=%d body=%q err=%v", status, body, err)
+	}
+}
+
+// TestProxyBlackHole: a black-holed connection never answers; the
+// client's deadline fires.
+func TestProxyBlackHole(t *testing.T) {
+	srv := echoServer(t)
+	p, err := NewProxy(ProxyConfig{
+		Target: strings.TrimPrefix(srv.URL, "http://"), Seed: 1, BlackHoleRate: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	_, err = client.Get("http://" + p.Addr + "/x")
+	if err == nil {
+		t.Fatal("black-holed proxy connection answered")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("black-holed call err = %v, want timeout", err)
+	}
+}
+
+// TestProxyReset cuts the response stream after a few bytes.
+func TestProxyReset(t *testing.T) {
+	srv := echoServer(t)
+	p, err := NewProxy(ProxyConfig{
+		Target: strings.TrimPrefix(srv.URL, "http://"), Seed: 1, ResetRate: 1, ResetAfter: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	resp, err := http.Get("http://" + p.Addr + "/x")
+	if err == nil {
+		defer resp.Body.Close()
+		if _, err = io.ReadAll(resp.Body); err == nil {
+			t.Fatal("reset proxy connection delivered a full response")
+		}
+	}
+}
+
+// TestProxyDelay adds the configured latency to every connection.
+func TestProxyDelay(t *testing.T) {
+	srv := echoServer(t)
+	p, err := NewProxy(ProxyConfig{
+		Target: strings.TrimPrefix(srv.URL, "http://"), Seed: 1, Delay: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Separate connections per request: disable keep-alives.
+	tr := &http.Transport{DisableKeepAlives: true}
+	client := &http.Client{Transport: tr}
+	start := time.Now()
+	resp, err := client.Get("http://" + p.Addr + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Errorf("delayed connection answered in %v, want ≥ 60ms", d)
+	}
+}
+
+// TestStringer pins the fault names used in logs and test output.
+func TestStringer(t *testing.T) {
+	want := map[Fault]string{
+		Latency: "latency", Reset: "reset", BlackHole: "black-hole",
+		TornBody: "torn-body", CorruptRequest: "corrupt-request", Duplicate: "duplicate",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), s)
+		}
+	}
+	if got := fmt.Sprint(Fault(99)); got != "fault(99)" {
+		t.Errorf("unknown fault prints %q", got)
+	}
+}
+
+var _ = bytes.MinRead // keep bytes imported if unused paths change

@@ -1,0 +1,190 @@
+package netchaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ProxyConfig schedules connection-level faults onto a TCP proxy.
+// Rates are per-accepted-connection probabilities; decisions derive
+// from (Seed, connection index) exactly like Transport's per-call
+// draws, so a proxy chaos run replays the same per-connection fates.
+type ProxyConfig struct {
+	// Target is the backend to forward to (host:port).
+	Target string
+	// Seed drives every per-connection fault decision.
+	Seed int64
+	// BlackHoleRate is the probability a connection is accepted but
+	// never forwarded: the client's bytes are read and discarded, and
+	// nothing ever comes back — a partitioned or wedged backend.
+	BlackHoleRate float64
+	// ResetRate is the probability a connection is torn down after
+	// forwarding at most ResetAfter bytes of the response.
+	ResetRate float64
+	// ResetAfter bounds the response bytes delivered before an injected
+	// reset (0 = 64).
+	ResetAfter int
+	// Delay is added before forwarding each accepted connection — a
+	// slow network or an overloaded accept queue.
+	Delay time.Duration
+	// DelayRate is the probability Delay applies (0 with a non-zero
+	// Delay means every connection).
+	DelayRate float64
+}
+
+// Proxy is a fault-injecting TCP proxy. Point a client at Addr and the
+// proxy forwards to Target, applying the configured connection fates.
+type Proxy struct {
+	cfg ProxyConfig
+	ln  net.Listener
+	// Addr is the proxy's listen address.
+	Addr string
+
+	mu     sync.Mutex
+	conns  uint64
+	active map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// track registers a live connection so Close can tear it down; it
+// returns false when the proxy is already closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.active[c] = struct{}{}
+	return true
+}
+
+// untrack forgets a finished connection.
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.active, c)
+	p.mu.Unlock()
+}
+
+// NewProxy starts a proxy on 127.0.0.1:0.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, ln: ln, Addr: ln.Addr().String(), active: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Close stops accepting and tears down in-flight connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.active {
+		c.Close() // unblocks the copy loops; serve exits promptly
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+// fate decides a connection's injected pathology from its index.
+type fate int
+
+const (
+	fateForward fate = iota
+	fateBlackHole
+	fateReset
+)
+
+// nextFate draws the next connection's fate and whether it is delayed.
+func (p *Proxy) nextFate() (fate, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.conns
+	p.conns++
+	if p.cfg.BlackHoleRate > 0 && uniform(draw(p.cfg.Seed, 0, n)) < p.cfg.BlackHoleRate {
+		return fateBlackHole, false
+	}
+	if p.cfg.ResetRate > 0 && uniform(draw(p.cfg.Seed, 1, n)) < p.cfg.ResetRate {
+		return fateReset, false
+	}
+	delayed := p.cfg.Delay > 0 &&
+		(p.cfg.DelayRate <= 0 || uniform(draw(p.cfg.Seed, 2, n)) < p.cfg.DelayRate)
+	return fateForward, delayed
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		f, delayed := p.nextFate()
+		p.wg.Add(1)
+		go p.serve(conn, f, delayed)
+	}
+}
+
+// serve runs one accepted connection to its fate.
+func (p *Proxy) serve(client net.Conn, f fate, delayed bool) {
+	defer p.wg.Done()
+	defer client.Close()
+	if !p.track(client) {
+		return
+	}
+	defer p.untrack(client)
+
+	if f == fateBlackHole {
+		// Swallow whatever the client sends; never answer. The client's
+		// own deadline is its only way out.
+		io.Copy(io.Discard, client)
+		return
+	}
+	if delayed {
+		time.Sleep(p.cfg.Delay)
+	}
+	backend, err := net.Dial("tcp", p.cfg.Target)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+	if !p.track(backend) {
+		return
+	}
+	defer p.untrack(backend)
+
+	// client -> backend runs freely; backend -> client is where a reset
+	// fate cuts the stream.
+	done := make(chan struct{})
+	go func() {
+		io.Copy(backend, client)
+		// Half-close so the backend sees EOF on the request stream.
+		if t, ok := backend.(*net.TCPConn); ok {
+			t.CloseWrite()
+		}
+		close(done)
+	}()
+	if f == fateReset {
+		limit := p.cfg.ResetAfter
+		if limit <= 0 {
+			limit = 64
+		}
+		io.CopyN(client, backend, int64(limit))
+		// An abortive close: SO_LINGER 0 sends RST, the genuine
+		// connection-reset the client-side retry logic must absorb.
+		if t, ok := client.(*net.TCPConn); ok {
+			t.SetLinger(0)
+		}
+	} else {
+		io.Copy(client, backend)
+	}
+	client.Close()
+	<-done
+}

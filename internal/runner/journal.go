@@ -99,6 +99,23 @@ type JournalRecord struct {
 	Metrics telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
+// ChecksumRecord returns the FNV-1a hash of the record's canonical
+// JSON form as fixed-width hex — the payload integrity check the
+// fabric's completion protocol runs over the wire. The hash is
+// representation-stable: Go's encoder emits struct fields in
+// declaration order and shortest-round-trip floats, so a decoded
+// record re-marshals to the same bytes the sender hashed, and any
+// in-transit corruption that changed a value changes the sum.
+func ChecksumRecord(rec *JournalRecord) (string, error) {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return telemetry.FormatFingerprint(h.Sum64()), nil
+}
+
 // LeaseRecord journals one fabric lease event: a unit granted to a
 // worker, an expired lease reclaimed, or a unit quarantined. Leases are
 // audit and telemetry records — resume correctness derives from job
